@@ -1,0 +1,48 @@
+//! F1 — evaluate the Example 1.1 query against base tables vs. against the
+//! materialized view, across fact-table scales.
+
+use aggview::engine::datagen::{telephony, TelephonyConfig};
+use aggview::engine::execute;
+use aggview::run::{execute_rewriting, materialize_views};
+use aggview_bench::workloads::{telephony_query, telephony_v1};
+use aggview_core::Rewriter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = aggview::engine::datagen::telephony_catalog();
+    let rewriter = Rewriter::new(&catalog);
+    let q = telephony_query();
+    let v1 = telephony_v1();
+
+    let mut group = c.benchmark_group("f1_telephony");
+    for n_calls in [10_000usize, 100_000] {
+        let mut db = telephony(
+            &TelephonyConfig {
+                n_customers: 1000,
+                n_plans: 10,
+                n_calls,
+                years: vec![1994, 1995],
+                months: 12,
+            },
+            42,
+        );
+        materialize_views(&mut db, std::slice::from_ref(&v1)).expect("view materializes");
+        let rws = rewriter
+            .rewrite(&q, std::slice::from_ref(&v1))
+            .expect("rewrite runs");
+        let rw = rws.first().expect("rewriting").clone();
+
+        group.throughput(Throughput::Elements(n_calls as u64));
+        group.bench_with_input(BenchmarkId::new("original_Q", n_calls), &db, |b, db| {
+            b.iter(|| black_box(execute(&q, db).expect("query runs")))
+        });
+        group.bench_with_input(BenchmarkId::new("rewritten_Qp", n_calls), &db, |b, db| {
+            b.iter(|| black_box(execute_rewriting(&rw, db).expect("rewriting runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

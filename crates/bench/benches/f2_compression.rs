@@ -1,0 +1,41 @@
+//! F2 — rewritten-query evaluation time vs. view compression ratio.
+
+use aggview::engine::datagen::{telephony, telephony_catalog, TelephonyConfig};
+use aggview::run::{execute_rewriting, materialize_views};
+use aggview_bench::workloads::{telephony_query, telephony_v1};
+use aggview_core::Rewriter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = telephony_catalog();
+    let rewriter = Rewriter::new(&catalog);
+    let q = telephony_query();
+    let v1 = telephony_v1();
+
+    let mut group = c.benchmark_group("f2_compression");
+    for n_plans in [2usize, 50, 1000] {
+        let mut db = telephony(
+            &TelephonyConfig {
+                n_customers: 1000,
+                n_plans,
+                n_calls: 100_000,
+                years: vec![1994, 1995],
+                months: 12,
+            },
+            7,
+        );
+        materialize_views(&mut db, std::slice::from_ref(&v1)).expect("view materializes");
+        let rws = rewriter
+            .rewrite(&q, std::slice::from_ref(&v1))
+            .expect("rewrite runs");
+        let rw = rws.first().expect("rewriting").clone();
+        group.bench_with_input(BenchmarkId::new("rewritten_Qp", n_plans), &db, |b, db| {
+            b.iter(|| black_box(execute_rewriting(&rw, db).expect("rewriting runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

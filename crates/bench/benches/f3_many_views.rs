@@ -1,0 +1,25 @@
+//! F3 — rewrite-search time vs. number of candidate views.
+
+use aggview::engine::datagen::telephony_catalog;
+use aggview_bench::workloads::{telephony_query, telephony_view_pool};
+use aggview_core::Rewriter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = telephony_catalog();
+    let rewriter = Rewriter::new(&catalog);
+    let q = telephony_query();
+
+    let mut group = c.benchmark_group("f3_many_views");
+    for n in [1usize, 4, 16, 64] {
+        let pool = telephony_view_pool(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pool, |b, pool| {
+            b.iter(|| black_box(rewriter.rewrite(&q, pool).expect("rewrite runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! F4 — rewrite-search time vs. query size (self-join chain).
+
+use aggview_bench::workloads::{chain_catalog, chain_query, chain_view};
+use aggview_core::{RewriteOptions, Rewriter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = chain_catalog();
+    let rewriter = Rewriter::with_options(
+        &catalog,
+        RewriteOptions {
+            max_rewritings: 256,
+            ..RewriteOptions::default()
+        },
+    );
+    let view = chain_view();
+
+    let mut group = c.benchmark_group("f4_query_size");
+    for n in [2usize, 4, 6, 8] {
+        let q = chain_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| {
+                black_box(
+                    rewriter
+                        .rewrite(q, std::slice::from_ref(&view))
+                        .expect("rewrite runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! F5 — predicate-closure construction time vs. number of atoms.
+
+use aggview_core::canon::{Atom, Term};
+use aggview_core::PredClosure;
+use aggview_sql::{CmpOp, Literal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_atoms(n: usize, n_cols: usize, seed: u64) -> Vec<Atom> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lhs = Term::Col(rng.random_range(0..n_cols));
+            let op = match rng.random_range(0..4) {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Lt,
+                2 => CmpOp::Le,
+                _ => CmpOp::Ne,
+            };
+            let rhs = if rng.random_bool(0.4) {
+                Term::Const(Literal::Int(rng.random_range(0..8)))
+            } else {
+                Term::Col(rng.random_range(0..n_cols))
+            };
+            Atom::new(lhs, op, rhs)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_closure");
+    for n in [8usize, 32, 128] {
+        let atoms = random_atoms(n, n * 2, 9);
+        let universe: Vec<Term> = (0..n * 2).map(Term::Col).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &atoms, |b, atoms| {
+            b.iter(|| black_box(PredClosure::build(atoms, &universe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

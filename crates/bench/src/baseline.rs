@@ -1,0 +1,177 @@
+//! A purely *syntactic* view matcher, modeled on what the paper's Section 6
+//! attributes to \[GHQ95\]: compare `Sel(Q)` with `Sel(V)` and `Groups(Q)`
+//! with `Groups(V)` directly, "without taking the conditions in the WHERE
+//! and HAVING clauses into account" — i.e., no predicate-closure reasoning,
+//! no implied-equality column substitution (`B_A`).
+//!
+//! Used by the T5 ablation: on workloads with equi-joins (the Example 1.1
+//! pattern, where the query selects `Calling_Plans.Plan_Id` but the view
+//! exposes the equal `Calls.Plan_Id`), the syntactic matcher misses
+//! rewritings that the closure-based conditions find.
+
+use aggview_core::canon::{AggExpr, AggSpec, Canonical, ColId, SelItem, Term};
+use aggview_core::mapping::{enumerate_mappings, Mapping};
+
+/// Is `view` usable for `query` under purely syntactic matching?
+///
+/// Requirements mirror C1–C4/C2'–C4' but with *identity* in place of
+/// entailed equality, and multiset inclusion of condition atoms in place of
+/// the closure-equivalence test.
+pub fn syntactic_usable(query: &Canonical, view: &Canonical) -> bool {
+    enumerate_mappings(view, query, true, None)
+        .iter()
+        .any(|m| syntactic_usable_with(query, view, m))
+}
+
+fn syntactic_usable_with(query: &Canonical, view: &Canonical, mapping: &Mapping) -> bool {
+    let image = mapping.image_cols(query);
+
+    // Syntactic exposure only: φ(B) for B ∈ ColSel(V).
+    let exposed = |qcol: ColId| -> bool {
+        view.select.iter().any(|item| match item {
+            SelItem::Col(b) => mapping.map_col(view, query, *b) == qcol,
+            SelItem::Agg(_) => false,
+        })
+    };
+    let agg_exposed = |spec: &AggSpec| -> bool {
+        view.select.iter().any(|item| match item {
+            SelItem::Agg(AggExpr::Plain(vspec)) => {
+                vspec.func == spec.func
+                    && match (vspec.arg, spec.arg) {
+                        (Some(b), Some(a)) => mapping.map_col(view, query, b) == a,
+                        (None, None) => true,
+                        _ => false,
+                    }
+            }
+            _ => false,
+        })
+    };
+
+    // Needed plain columns must be exposed verbatim.
+    let mut needed: Vec<ColId> = query.col_sel();
+    needed.extend(query.groups.iter().copied());
+    for a in needed {
+        if image[a] && !exposed(a) {
+            return false;
+        }
+    }
+
+    // Every view condition atom must appear verbatim (after mapping) among
+    // the query's atoms; leftovers must only touch available columns.
+    let mapped: Vec<_> = view
+        .conds
+        .iter()
+        .map(|a| mapping.map_atom(view, query, a).normalized())
+        .collect();
+    let q_atoms: Vec<_> = query.conds.iter().map(|a| a.normalized()).collect();
+    for a in &mapped {
+        if !q_atoms.contains(a) {
+            return false;
+        }
+    }
+    let available = |t: &Term| match t {
+        Term::Col(c) => !image[*c] || exposed(*c),
+        Term::Const(_) => true,
+    };
+    for a in &q_atoms {
+        if !(mapped.contains(a) || (available(&a.lhs) && available(&a.rhs))) {
+            return false;
+        }
+    }
+
+    // Aggregates: same function over the identical (mapped) column, or a
+    // raw exposed column; COUNT needs a COUNT column when the view
+    // aggregates.
+    let view_is_aggregated = view.is_aggregation_query();
+    let has_count = view.select.iter().any(|item| {
+        matches!(
+            item,
+            SelItem::Agg(AggExpr::Plain(AggSpec {
+                func: aggview_sql::AggFunc::Count,
+                ..
+            }))
+        )
+    });
+    for agg in query.agg_exprs() {
+        let AggExpr::Plain(spec) = agg else { return false };
+        match spec.arg {
+            Some(a) if image[a] => {
+                if view_is_aggregated {
+                    let ok = agg_exposed(spec)
+                        || (exposed(a)
+                            && matches!(
+                                spec.func,
+                                aggview_sql::AggFunc::Min | aggview_sql::AggFunc::Max
+                            ))
+                        || (spec.func == aggview_sql::AggFunc::Count && has_count);
+                    if !ok {
+                        return false;
+                    }
+                } else if !exposed(a) && spec.func != aggview_sql::AggFunc::Count {
+                    return false;
+                }
+            }
+            Some(_) => {
+                // External column: fine for MIN/MAX and for conjunctive
+                // views; SUM/COUNT/AVG over an aggregated view need COUNT.
+                if view_is_aggregated
+                    && !matches!(
+                        spec.func,
+                        aggview_sql::AggFunc::Min | aggview_sql::AggFunc::Max
+                    )
+                    && !has_count
+                {
+                    return false;
+                }
+            }
+            None => {
+                if view_is_aggregated && !has_count {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C", "D"])).unwrap();
+        cat
+    }
+
+    fn canon(sql: &str) -> Canonical {
+        Canonical::from_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn accepts_verbatim_match() {
+        let q = canon("SELECT A, SUM(B) FROM R1 WHERE A = 1 GROUP BY A");
+        let v = canon("SELECT A, B FROM R1 WHERE A = 1");
+        assert!(syntactic_usable(&q, &v));
+    }
+
+    #[test]
+    fn misses_implied_equality_exposure() {
+        // The Example 1.1 pattern: the query selects A; the view exposes C
+        // with A = C enforced. The closure-based conditions accept this;
+        // the syntactic matcher must not.
+        let q = canon("SELECT A FROM R1, R2 WHERE A = C AND D = 2");
+        let v = canon("SELECT C, D FROM R1, R2 WHERE A = C");
+        assert!(!syntactic_usable(&q, &v));
+    }
+
+    #[test]
+    fn rejects_unmatched_view_condition() {
+        let q = canon("SELECT A, B FROM R1");
+        let v = canon("SELECT A, B FROM R1 WHERE B = 5");
+        assert!(!syntactic_usable(&q, &v));
+    }
+}

@@ -1,0 +1,75 @@
+//! Regenerate every experiment table and figure of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!   repro                 # all experiments, quick settings
+//!   repro --full          # all experiments, full scale (use --release!)
+//!   repro t1 f1 ...       # selected experiments only
+
+use aggview_bench::experiments as exp;
+use aggview_bench::report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let trials: u64 = if full { 400 } else { 100 };
+    let mut tables: Vec<Table> = Vec::new();
+
+    if want("t1") {
+        tables.push(exp::t1_paper_examples());
+    }
+    if want("t2") {
+        tables.push(exp::t2_soundness(trials));
+    }
+    if want("t3") {
+        tables.push(exp::t3_church_rosser(trials));
+    }
+    if want("t4") {
+        tables.push(exp::t4_completeness(trials));
+    }
+    if want("t5") {
+        tables.push(exp::t5_closure_vs_syntactic());
+    }
+    if want("t6") {
+        tables.push(exp::t6_keys_ablation());
+    }
+    if want("t7") {
+        tables.push(exp::t7_having_ablation());
+    }
+    if want("t8") {
+        tables.push(exp::t8_expand());
+    }
+    if want("t9") {
+        tables.push(exp::t9_advisor());
+    }
+    if want("f1") {
+        tables.push(exp::f1_speedup(full));
+    }
+    if want("f2") {
+        tables.push(exp::f2_compression(full));
+    }
+    if want("f3") {
+        tables.push(exp::f3_many_views());
+    }
+    if want("f4") {
+        tables.push(exp::f4_query_size());
+    }
+    if want("f6") {
+        tables.push(exp::f6_maintenance(full));
+    }
+
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    println!(
+        "{} experiment table(s) regenerated{}.",
+        tables.len(),
+        if full { " (full scale)" } else { " (quick scale; pass --full for the paper-scale sweep)" }
+    );
+}

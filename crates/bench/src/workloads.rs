@@ -1,0 +1,182 @@
+//! Workload builders shared between the experiment functions and the
+//! Criterion benches.
+
+use aggview::gen::experiment_catalog;
+use aggview_catalog::{Catalog, TableSchema};
+use aggview_core::ViewDef;
+use aggview_sql::{parse_query, Query};
+
+/// The paper's Example 1.1 query `Q`.
+pub fn telephony_query() -> Query {
+    parse_query(
+        "SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge) \
+         FROM Calls, Calling_Plans \
+         WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 \
+         GROUP BY Calling_Plans.Plan_Id, Plan_Name \
+         HAVING SUM(Charge) < 100000000",
+    )
+    .expect("valid SQL")
+}
+
+/// The paper's Example 1.1 view `V1` (monthly earnings per plan).
+pub fn telephony_v1() -> ViewDef {
+    ViewDef::new(
+        "V1",
+        parse_query(
+            "SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge) AS Monthly_Earnings \
+             FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id \
+             GROUP BY Calls.Plan_Id, Plan_Name, Month, Year",
+        )
+        .expect("valid SQL"),
+    )
+}
+
+/// `n` candidate views for the F3 sweep: the usable `V1` plus `n - 1`
+/// decoys that filter on years the query does not ask for (structurally
+/// similar, so the rewriter must actually reason to reject them).
+pub fn telephony_view_pool(n: usize) -> Vec<ViewDef> {
+    let mut views = vec![telephony_v1()];
+    for i in 1..n {
+        let year = 1900 + (i as i64 % 90);
+        views.push(ViewDef::new(
+            format!("Decoy{i}"),
+            parse_query(&format!(
+                "SELECT Calls.Plan_Id, Plan_Name, Month, SUM(Charge) AS E \
+                 FROM Calls, Calling_Plans \
+                 WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = {year} \
+                 GROUP BY Calls.Plan_Id, Plan_Name, Month"
+            ))
+            .expect("valid SQL"),
+        ));
+    }
+    views
+}
+
+/// Schema and query for the F4 sweep: `n` occurrences of one table in a
+/// join chain `t0.B = t1.A, t1.B = t2.A, ...` — self-joins maximize the
+/// condition-C1 mapping search space.
+pub fn chain_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("Link", ["A", "B", "P"]))
+        .expect("fresh catalog");
+    cat
+}
+
+/// The `n`-table chain query.
+pub fn chain_query(n: usize) -> Query {
+    assert!(n >= 1);
+    let from: Vec<String> = (0..n).map(|i| format!("Link t{i}")).collect();
+    let mut conds: Vec<String> = (1..n)
+        .map(|i| format!("t{}.B = t{}.A", i - 1, i))
+        .collect();
+    conds.push("t0.P = 1".to_string());
+    parse_query(&format!(
+        "SELECT t0.A, SUM(t{}.B) FROM {} WHERE {} GROUP BY t0.A",
+        n - 1,
+        from.join(", "),
+        conds.join(" AND ")
+    ))
+    .expect("valid SQL")
+}
+
+/// A two-link view usable inside the chain query.
+pub fn chain_view() -> ViewDef {
+    ViewDef::new(
+        "Pair",
+        parse_query(
+            "SELECT u0.A, u0.B, u0.P, u1.A AS A2, u1.B AS B2, u1.P AS P2 \
+             FROM Link u0, Link u1 WHERE u0.B = u1.A",
+        )
+        .expect("valid SQL"),
+    )
+}
+
+/// T5 ablation workload: pairs of (query, view), each tagged with whether
+/// the usability depends on implied-equality reasoning (the Example 1.1
+/// pattern) or is syntactically evident.
+pub fn t5_workload() -> Vec<(&'static str, Query, ViewDef, bool)> {
+    let cat = experiment_catalog();
+    let q = |sql: &str| {
+        let query = parse_query(sql).expect("valid SQL");
+        // Sanity: must resolve against the experiment catalog.
+        aggview_core::Canonical::from_query(&query, &cat).expect("resolves");
+        query
+    };
+    vec![
+        (
+            "verbatim-conjunctive",
+            q("SELECT A, B FROM R1 WHERE C = 1"),
+            ViewDef::new("W1", q("SELECT A, B, D FROM R1 WHERE C = 1")),
+            false,
+        ),
+        (
+            "verbatim-rollup",
+            q("SELECT A, SUM(C) FROM R1 GROUP BY A"),
+            ViewDef::new("W2", q("SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B")),
+            false,
+        ),
+        (
+            "equijoin-select-exposure",
+            q("SELECT A FROM R1, R2 WHERE A = E AND F = 2"),
+            ViewDef::new("W3", q("SELECT E, F FROM R1, R2 WHERE A = E")),
+            true,
+        ),
+        (
+            "equijoin-group-exposure",
+            q("SELECT A, SUM(F) FROM R1, R2 WHERE A = E GROUP BY A"),
+            ViewDef::new(
+                "W4",
+                q("SELECT E, SUM(F) AS SF, COUNT(F) AS N FROM R1, R2 WHERE A = E GROUP BY E"),
+            ),
+            true,
+        ),
+        (
+            "equijoin-agg-argument",
+            q("SELECT G, SUM(B) FROM R1, R3 WHERE B = H GROUP BY G"),
+            ViewDef::new("W5", q("SELECT G, H FROM R1, R3 WHERE B = H")),
+            true,
+        ),
+        (
+            "verbatim-minmax",
+            q("SELECT A, MIN(B), MAX(B) FROM R1 GROUP BY A"),
+            ViewDef::new(
+                "W6",
+                q("SELECT A, C, MIN(B) AS MN, MAX(B) AS MX FROM R1 GROUP BY A, C"),
+            ),
+            false,
+        ),
+        (
+            "constant-derived-equality",
+            q("SELECT A FROM R1 WHERE B = 3 AND C = 3"),
+            ViewDef::new("W7", q("SELECT A, C FROM R1 WHERE B = C")),
+            true,
+        ),
+        (
+            "verbatim-count",
+            q("SELECT A, COUNT(B) FROM R1 GROUP BY A"),
+            ViewDef::new("W8", q("SELECT A, D, COUNT(B) AS N FROM R1 GROUP BY A, D")),
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_parse_and_resolve() {
+        let _ = telephony_query();
+        let _ = telephony_v1();
+        assert_eq!(telephony_view_pool(8).len(), 8);
+        let cat = chain_catalog();
+        for n in 1..=6 {
+            let q = chain_query(n);
+            aggview_core::Canonical::from_query(&q, &cat).expect("chain query resolves");
+        }
+        aggview_core::Canonical::from_query(&chain_view().query, &cat)
+            .expect("chain view resolves");
+        assert_eq!(t5_workload().len(), 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! Functional dependencies and attribute-set closure.
+//!
+//! Attributes are identified by `usize` indexes into some column space (a
+//! single table's columns, or the concatenated column space of a query's
+//! core table). A functional dependency `X → Y` is stored as two index
+//! vectors. The closure algorithm is the standard linear fixpoint.
+
+use std::collections::BTreeSet;
+
+/// A functional dependency `lhs → rhs` over attribute indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant attribute set. Empty means "always" (constant columns).
+    pub lhs: Vec<usize>,
+    /// Determined attribute set.
+    pub rhs: Vec<usize>,
+}
+
+impl Fd {
+    /// Create a functional dependency.
+    pub fn new(lhs: impl Into<Vec<usize>>, rhs: impl Into<Vec<usize>>) -> Self {
+        Fd {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
+    }
+
+    /// Shift every attribute index by `offset` — used when embedding a
+    /// table's FDs into the concatenated column space of a core table.
+    pub fn offset(&self, offset: usize) -> Fd {
+        Fd {
+            lhs: self.lhs.iter().map(|&a| a + offset).collect(),
+            rhs: self.rhs.iter().map(|&a| a + offset).collect(),
+        }
+    }
+}
+
+/// Compute the closure of `start` under `fds` within an `n`-attribute space.
+///
+/// Returns a boolean membership vector of length `n`. Runs the textbook
+/// fixpoint: repeatedly fire any FD whose left side is covered. Complexity
+/// is O(|fds|² · width) which is ample for query-sized inputs.
+pub fn attr_closure(n: usize, fds: &[Fd], start: &[usize]) -> Vec<bool> {
+    let mut in_closure = vec![false; n];
+    for &a in start {
+        assert!(a < n, "attribute index {a} out of range {n}");
+        in_closure[a] = true;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.iter().all(|&a| in_closure[a]) {
+                for &b in &fd.rhs {
+                    if !in_closure[b] {
+                        in_closure[b] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    in_closure
+}
+
+/// Does `attrs` functionally determine every attribute (i.e., is it a
+/// superkey of the `n`-attribute relation described by `fds`)?
+pub fn is_superkey(n: usize, fds: &[Fd], attrs: &[usize]) -> bool {
+    attr_closure(n, fds, attrs).iter().all(|&b| b)
+}
+
+/// Enumerate the minimal keys of an `n`-attribute relation under `fds`.
+///
+/// Exponential in the worst case (as the problem demands); intended for the
+/// small attribute counts of single-block queries. Returns keys as sorted
+/// attribute vectors, smallest keys first.
+pub fn minimal_keys(n: usize, fds: &[Fd]) -> Vec<Vec<usize>> {
+    assert!(n <= 24, "minimal key enumeration limited to 24 attributes");
+    let mut keys: Vec<BTreeSet<usize>> = Vec::new();
+    // Breadth-first over subset sizes so supersets of found keys are skipped.
+    for size in 0..=n {
+        for combo in combinations(n, size) {
+            let set: BTreeSet<usize> = combo.iter().copied().collect();
+            if keys.iter().any(|k| k.is_subset(&set)) {
+                continue;
+            }
+            if is_superkey(n, fds, &combo) {
+                keys.push(set);
+            }
+        }
+    }
+    keys.into_iter().map(|k| k.into_iter().collect()).collect()
+}
+
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(n: usize, k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            if n - i < k - current.len() {
+                break;
+            }
+            current.push(i);
+            rec(n, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(n, k, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_key_is_everything() {
+        // R(A,B,C): A -> B, B -> C.
+        let fds = vec![Fd::new(vec![0], vec![1]), Fd::new(vec![1], vec![2])];
+        let c = attr_closure(3, &fds, &[0]);
+        assert_eq!(c, vec![true, true, true]);
+        assert!(is_superkey(3, &fds, &[0]));
+        assert!(!is_superkey(3, &fds, &[1]));
+    }
+
+    #[test]
+    fn closure_is_reflexive() {
+        let c = attr_closure(3, &[], &[1]);
+        assert_eq!(c, vec![false, true, false]);
+    }
+
+    #[test]
+    fn empty_lhs_fd_fires_unconditionally() {
+        // A constant column: {} -> {2}.
+        let fds = vec![Fd::new(Vec::<usize>::new(), vec![2])];
+        let c = attr_closure(3, &fds, &[]);
+        assert_eq!(c, vec![false, false, true]);
+    }
+
+    #[test]
+    fn offset_shifts_both_sides() {
+        let fd = Fd::new(vec![0], vec![1, 2]);
+        assert_eq!(fd.offset(10), Fd::new(vec![10], vec![11, 12]));
+    }
+
+    #[test]
+    fn transitive_key_inference() {
+        // Paper Section 5.1: "if column A functionally determines column B,
+        // and B is a key, then so is A." R(A,B,C): B -> {A,C} (B is a key),
+        // A -> B. Then A is also a key.
+        let fds = vec![Fd::new(vec![1], vec![0, 2]), Fd::new(vec![0], vec![1])];
+        assert!(is_superkey(3, &fds, &[0]));
+        assert!(is_superkey(3, &fds, &[1]));
+        assert!(!is_superkey(3, &fds, &[2]));
+    }
+
+    #[test]
+    fn minimal_keys_of_chain() {
+        // A -> B -> C: sole minimal key is {A}.
+        let fds = vec![Fd::new(vec![0], vec![1]), Fd::new(vec![1], vec![2])];
+        assert_eq!(minimal_keys(3, &fds), vec![vec![0]]);
+    }
+
+    #[test]
+    fn minimal_keys_of_two_key_relation() {
+        // A -> {B,C}, B -> {A,C}: keys {A} and {B}.
+        let fds = vec![Fd::new(vec![0], vec![1, 2]), Fd::new(vec![1], vec![0, 2])];
+        assert_eq!(minimal_keys(3, &fds), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn minimal_keys_trivial_when_no_fds() {
+        // With no FDs, only the full attribute set determines everything
+        // (closure is reflexive). Whether the relation is duplicate-free is
+        // a separate question tracked by `TableSchema::is_set`.
+        assert_eq!(minimal_keys(3, &[]), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn minimal_keys_composite() {
+        // {A,B} -> C and nothing else: the only key is {A,B}.
+        let fds = vec![Fd::new(vec![0, 1], vec![2])];
+        assert_eq!(minimal_keys(3, &fds), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent() {
+        let fds = vec![Fd::new(vec![0], vec![1]), Fd::new(vec![1, 2], vec![3])];
+        let small = attr_closure(4, &fds, &[0]);
+        let big = attr_closure(4, &fds, &[0, 2]);
+        // Monotone: closure of a superset contains the closure of the set.
+        for i in 0..4 {
+            if small[i] {
+                assert!(big[i]);
+            }
+        }
+        // Idempotent: closing the closure adds nothing.
+        let fixed: Vec<usize> = (0..4).filter(|&i| big[i]).collect();
+        assert_eq!(attr_closure(4, &fds, &fixed), big);
+    }
+
+    #[test]
+    fn combinations_counts() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Schema catalog for the `aggview` project.
+//!
+//! Holds what Section 2 of the paper calls *meta-information about the
+//! database schema*: table definitions, keys and functional dependencies.
+//! The rewriting conditions of Sections 3 and 4 do **not** require any of
+//! this (the paper explicitly avoids assuming it); Section 5 shows how keys
+//! and functional dependencies let the rewriter (a) conclude that query and
+//! view results are *sets* rather than multisets and (b) relax the 1-1
+//! column-mapping condition C1 to many-to-1 mappings.
+//!
+//! Modules:
+//! * [`schema`] — [`Catalog`], [`TableSchema`], column types and keys.
+//! * [`fd`] — functional dependencies and attribute-set closure.
+//! * [`setness`] — Propositions 5.1 and 5.2: when is a query's *core table*
+//!   (the FROM×WHERE intermediate) a set, and when is the query result one.
+
+pub mod fd;
+pub mod schema;
+pub mod setness;
+
+pub use fd::{attr_closure, is_superkey, minimal_keys, Fd};
+pub use schema::{Catalog, CatalogError, ColumnDef, ColumnType, SchemaSource, TableSchema};
+pub use setness::CoreDesc;

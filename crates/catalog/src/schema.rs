@@ -1,0 +1,363 @@
+//! Table schemas and the catalog.
+
+use crate::fd::Fd;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Column value domain. Used by the data generators and for diagnostics;
+/// the execution engine is dynamically typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    #[default]
+    Int,
+    /// Double-precision float.
+    Double,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Value domain.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// An integer column.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty: ColumnType::Int,
+        }
+    }
+
+    /// A column with an explicit type.
+    pub fn typed(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Schema of a base table: columns, declared keys, extra functional
+/// dependencies, and whether the table is known to be duplicate-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns, in order.
+    pub columns: Vec<ColumnDef>,
+    /// Declared keys, as sorted column-index vectors.
+    pub keys: Vec<Vec<usize>>,
+    /// Extra functional dependencies beyond the keys.
+    pub extra_fds: Vec<Fd>,
+    /// Declared set (duplicate-free) even without a key — e.g. the result of
+    /// a `SELECT DISTINCT` materialization.
+    pub declared_set: bool,
+}
+
+impl TableSchema {
+    /// Create a schema with integer-typed columns and no keys.
+    pub fn new<I, S>(name: impl Into<String>, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableSchema {
+            name: name.into(),
+            columns: columns.into_iter().map(|c| ColumnDef::new(c)).collect(),
+            keys: Vec::new(),
+            extra_fds: Vec::new(),
+            declared_set: false,
+        }
+    }
+
+    /// Create a schema with typed columns.
+    pub fn with_columns(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            keys: Vec::new(),
+            extra_fds: Vec::new(),
+            declared_set: false,
+        }
+    }
+
+    /// Declare a key by column names (builder style).
+    ///
+    /// # Panics
+    /// Panics if a named column does not exist.
+    pub fn with_key<I, S>(mut self, key: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut idx: Vec<usize> = key
+            .into_iter()
+            .map(|name| {
+                self.column_index(name.as_ref())
+                    .unwrap_or_else(|| panic!("no column `{}` in `{}`", name.as_ref(), self.name))
+            })
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        self.keys.push(idx);
+        self
+    }
+
+    /// Declare an extra functional dependency by column names.
+    ///
+    /// # Panics
+    /// Panics if a named column does not exist.
+    pub fn with_fd<I, J, S, T>(mut self, lhs: I, rhs: J) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = T>,
+        S: AsRef<str>,
+        T: AsRef<str>,
+    {
+        let resolve = |name: &str| -> usize {
+            self.column_index(name)
+                .unwrap_or_else(|| panic!("no column `{name}` in `{}`", self.name))
+        };
+        let l: Vec<usize> = lhs.into_iter().map(|c| resolve(c.as_ref())).collect();
+        let r: Vec<usize> = rhs.into_iter().map(|c| resolve(c.as_ref())).collect();
+        self.extra_fds.push(Fd::new(l, r));
+        self
+    }
+
+    /// Mark the table as duplicate-free even without a declared key.
+    pub fn as_set(mut self) -> Self {
+        self.declared_set = true;
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Is this table guaranteed to be a set (duplicate-free)?
+    pub fn is_set(&self) -> bool {
+        self.declared_set || !self.keys.is_empty()
+    }
+
+    /// All functional dependencies that hold on this table: each key
+    /// determines every column, plus the extra FDs.
+    pub fn all_fds(&self) -> Vec<Fd> {
+        let every: Vec<usize> = (0..self.arity()).collect();
+        let mut fds: Vec<Fd> = self
+            .keys
+            .iter()
+            .map(|k| Fd::new(k.clone(), every.clone()))
+            .collect();
+        fds.extend(self.extra_fds.iter().cloned());
+        fds
+    }
+}
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Two columns in one table share a name.
+    DuplicateColumn {
+        /// The table being defined.
+        table: String,
+        /// The repeated column name.
+        column: String,
+    },
+    /// A table definition with no columns.
+    EmptyTable(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(t) => write!(f, "table `{t}` already defined"),
+            CatalogError::DuplicateColumn { table, column } => {
+                write!(f, "column `{column}` defined twice in table `{table}`")
+            }
+            CatalogError::EmptyTable(t) => write!(f, "table `{t}` has no columns"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The catalog: a named collection of table schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a table schema, validating name and column uniqueness.
+    pub fn add_table(&mut self, schema: TableSchema) -> Result<&mut Self, CatalogError> {
+        if schema.columns.is_empty() {
+            return Err(CatalogError::EmptyTable(schema.name.clone()));
+        }
+        for (i, c) in schema.columns.iter().enumerate() {
+            if schema.columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(CatalogError::DuplicateColumn {
+                    table: schema.name.clone(),
+                    column: c.name.clone(),
+                });
+            }
+        }
+        if self.tables.contains_key(&schema.name) {
+            return Err(CatalogError::DuplicateTable(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), schema);
+        Ok(self)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Anything that can answer "what are the columns of table `name`?" —
+/// implemented by [`Catalog`] and by the engine's `Database` so the
+/// canonicalizer can resolve queries against either.
+pub trait SchemaSource {
+    /// Column names of the named table/view, or `None` if unknown.
+    fn table_columns(&self, name: &str) -> Option<Vec<String>>;
+}
+
+impl SchemaSource for Catalog {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.table(name).map(|t| t.column_names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> TableSchema {
+        TableSchema::new(
+            "Customer",
+            ["Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"],
+        )
+        .with_key(["Cust_Id"])
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.add_table(customer()).unwrap();
+        let t = cat.table("Customer").unwrap();
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.column_index("Area_Code"), Some(2));
+        assert!(t.is_set());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(customer()).unwrap();
+        assert_eq!(
+            cat.add_table(customer()).unwrap_err(),
+            CatalogError::DuplicateTable("Customer".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .add_table(TableSchema::new("T", ["a", "b", "a"]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CatalogError::DuplicateColumn {
+                table: "T".into(),
+                column: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .add_table(TableSchema::new("T", Vec::<String>::new()))
+            .unwrap_err();
+        assert_eq!(err, CatalogError::EmptyTable("T".into()));
+    }
+
+    #[test]
+    fn keyless_table_is_multiset_unless_declared() {
+        let t = TableSchema::new("T", ["a"]);
+        assert!(!t.is_set());
+        assert!(TableSchema::new("T", ["a"]).as_set().is_set());
+    }
+
+    #[test]
+    fn all_fds_include_keys_and_extras() {
+        let t = TableSchema::new("T", ["a", "b", "c"])
+            .with_key(["a"])
+            .with_fd(["b"], ["c"]);
+        let fds = t.all_fds();
+        assert_eq!(fds.len(), 2);
+        assert_eq!(fds[0], Fd::new(vec![0], vec![0, 1, 2]));
+        assert_eq!(fds[1], Fd::new(vec![1], vec![2]));
+    }
+
+    #[test]
+    fn schema_source_returns_columns() {
+        let mut cat = Catalog::new();
+        cat.add_table(customer()).unwrap();
+        assert_eq!(
+            cat.table_columns("Customer").unwrap(),
+            vec!["Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"]
+        );
+        assert!(cat.table_columns("Nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no column `zz`")]
+    fn with_key_panics_on_unknown_column() {
+        let _ = TableSchema::new("T", ["a"]).with_key(["zz"]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Set-ness inference — Propositions 5.1 and 5.2 of the paper.
+//!
+//! The paper divides query evaluation into two phases: the `FROM` and
+//! `WHERE` clauses build a single intermediate *core table*; `SELECT`,
+//! `GROUP BY` and `HAVING` then apply to it. With that view:
+//!
+//! * **Proposition 5.2** — the core table is a set iff every table in the
+//!   `FROM` clause is a set.
+//! * **Proposition 5.1** — the result of a conjunctive query is a set iff
+//!   the core table is a set *and* the `SELECT` list retains a key of the
+//!   core table.
+//!
+//! Keys of the core table are derived by functional-dependency reasoning:
+//! each `FROM` occurrence contributes its table's FDs (shifted into the
+//! concatenated column space), each equality `A = B` in the `WHERE` clause
+//! contributes `A → B` and `B → A`, and each constant equality `A = c`
+//! contributes `∅ → A`. The paper's foreign-key-join observation ("the key
+//! of the leading table suffices") falls out of this reasoning for free.
+
+use crate::fd::{attr_closure, is_superkey, minimal_keys, Fd};
+
+/// Description of a query's core table for set-ness reasoning.
+///
+/// Built by the canonicalizer in `aggview-core`: it knows which catalog
+/// tables occur in the `FROM` clause and which equalities the `WHERE`
+/// clause enforces; this type performs the FD reasoning.
+#[derive(Debug, Clone, Default)]
+pub struct CoreDesc {
+    n_cols: usize,
+    fds: Vec<Fd>,
+    all_from_sets: bool,
+    any_table: bool,
+}
+
+impl CoreDesc {
+    /// Start an empty description.
+    pub fn new() -> Self {
+        CoreDesc {
+            n_cols: 0,
+            fds: Vec::new(),
+            all_from_sets: true,
+            any_table: false,
+        }
+    }
+
+    /// Append a `FROM` occurrence with `arity` columns whose table-level
+    /// FDs are `fds` (in table-local indexes) and which is (not) known to
+    /// be a set. Returns the column offset assigned to the occurrence.
+    pub fn push_occurrence(&mut self, arity: usize, fds: &[Fd], is_set: bool) -> usize {
+        let offset = self.n_cols;
+        self.n_cols += arity;
+        self.fds.extend(fds.iter().map(|fd| fd.offset(offset)));
+        self.all_from_sets &= is_set;
+        self.any_table = true;
+        offset
+    }
+
+    /// Record an equality `col_a = col_b` from the `WHERE` clause
+    /// (indexes in the concatenated column space).
+    pub fn add_equality(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_cols && b < self.n_cols);
+        self.fds.push(Fd::new(vec![a], vec![b]));
+        self.fds.push(Fd::new(vec![b], vec![a]));
+    }
+
+    /// Record a constant binding `col = c` from the `WHERE` clause.
+    pub fn add_constant(&mut self, col: usize) {
+        assert!(col < self.n_cols);
+        self.fds.push(Fd::new(Vec::new(), vec![col]));
+    }
+
+    /// Total number of columns in the core table.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Proposition 5.2: the core table is a set iff every `FROM` table is.
+    pub fn core_is_set(&self) -> bool {
+        self.any_table && self.all_from_sets
+    }
+
+    /// Does `attrs` functionally determine the whole core table?
+    pub fn is_superkey(&self, attrs: &[usize]) -> bool {
+        is_superkey(self.n_cols, &self.fds, attrs)
+    }
+
+    /// The attribute closure of `attrs` under the core table's FDs.
+    pub fn closure(&self, attrs: &[usize]) -> Vec<bool> {
+        attr_closure(self.n_cols, &self.fds, attrs)
+    }
+
+    /// Proposition 5.1: the result of a conjunctive query that projects
+    /// `selected` is a set iff the core is a set and `selected` is a
+    /// superkey of the core.
+    pub fn conjunctive_result_is_set(&self, selected: &[usize]) -> bool {
+        self.core_is_set() && self.is_superkey(selected)
+    }
+
+    /// Set-ness of a grouped query's result: the output has one row per
+    /// group (distinct on `groups`), so it is duplicate-free whenever the
+    /// retained grouping columns determine all grouping columns — i.e.,
+    /// `col_sel` (the non-aggregate output columns) functionally determine
+    /// `groups` under the core FDs. This is conservative but sound; it does
+    /// not depend on the core being a set.
+    pub fn grouped_result_is_set(&self, col_sel: &[usize], groups: &[usize]) -> bool {
+        let cl = self.closure(col_sel);
+        groups.iter().all(|&g| cl[g])
+    }
+
+    /// Minimal keys of the core table (for diagnostics and tests).
+    pub fn minimal_keys(&self) -> Vec<Vec<usize>> {
+        minimal_keys(self.n_cols, &self.fds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    /// R1(A,B,C) keyed on A, R2(D,E) keyed on D, joined on B = D.
+    fn two_table_core() -> CoreDesc {
+        let r1 = TableSchema::new("R1", ["A", "B", "C"]).with_key(["A"]);
+        let r2 = TableSchema::new("R2", ["D", "E"]).with_key(["D"]);
+        let mut core = CoreDesc::new();
+        let o1 = core.push_occurrence(r1.arity(), &r1.all_fds(), r1.is_set());
+        let o2 = core.push_occurrence(r2.arity(), &r2.all_fds(), r2.is_set());
+        // B = D (foreign-key style join).
+        core.add_equality(o1 + 1, o2);
+        core
+    }
+
+    #[test]
+    fn foreign_key_join_key_is_leading_table_key() {
+        // Paper Section 5.1: in a foreign-key join the key of the leading
+        // table suffices as a key for the join result.
+        let core = two_table_core();
+        assert!(core.core_is_set());
+        // {A} determines B (A is key of R1), B = D, D is key of R2 → all.
+        assert!(core.is_superkey(&[0]));
+        assert_eq!(core.minimal_keys(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn cartesian_product_needs_both_keys() {
+        let r1 = TableSchema::new("R1", ["A", "B"]).with_key(["A"]);
+        let r2 = TableSchema::new("R2", ["C", "D"]).with_key(["C"]);
+        let mut core = CoreDesc::new();
+        core.push_occurrence(r1.arity(), &r1.all_fds(), r1.is_set());
+        core.push_occurrence(r2.arity(), &r2.all_fds(), r2.is_set());
+        assert!(!core.is_superkey(&[0]));
+        assert!(!core.is_superkey(&[2]));
+        assert!(core.is_superkey(&[0, 2]));
+        assert_eq!(core.minimal_keys(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn multiset_table_poisons_core() {
+        // Prop 5.2: one multiset table in FROM makes the core a multiset.
+        let r1 = TableSchema::new("R1", ["A"]).with_key(["A"]);
+        let bag = TableSchema::new("Bag", ["X"]);
+        let mut core = CoreDesc::new();
+        core.push_occurrence(r1.arity(), &r1.all_fds(), r1.is_set());
+        core.push_occurrence(bag.arity(), &bag.all_fds(), bag.is_set());
+        assert!(!core.core_is_set());
+        assert!(!core.conjunctive_result_is_set(&[0, 1]));
+    }
+
+    #[test]
+    fn empty_core_is_not_a_set() {
+        // Degenerate: no FROM tables — callers never build this, but the
+        // answer must be conservative.
+        assert!(!CoreDesc::new().core_is_set());
+    }
+
+    #[test]
+    fn constant_binding_shrinks_keys() {
+        // R(A,B) keyed on {A,B}; WHERE B = 3 makes {A} a key.
+        let r = TableSchema::new("R", ["A", "B"]).with_key(["A", "B"]);
+        let mut core = CoreDesc::new();
+        core.push_occurrence(r.arity(), &r.all_fds(), r.is_set());
+        core.add_constant(1);
+        assert!(core.is_superkey(&[0]));
+    }
+
+    #[test]
+    fn prop_5_1_requires_key_in_select() {
+        let core = two_table_core();
+        // Projecting only C (index 2) is not a superkey → result may have
+        // duplicates.
+        assert!(!core.conjunctive_result_is_set(&[2]));
+        // Projecting A is.
+        assert!(core.conjunctive_result_is_set(&[0]));
+    }
+
+    #[test]
+    fn grouped_result_setness() {
+        let core = two_table_core();
+        // GROUP BY A, B with ColSel = {A}: A determines B (key of R1), so
+        // one output row per A → set.
+        assert!(core.grouped_result_is_set(&[0], &[0, 1]));
+        // GROUP BY A, E with ColSel = {E}: E does not determine A → may
+        // emit duplicate E rows.
+        assert!(!core.grouped_result_is_set(&[4], &[0, 4]));
+    }
+
+    #[test]
+    fn equality_is_symmetric() {
+        let r = TableSchema::new("R", ["A", "B"]).with_key(["A"]);
+        let s = TableSchema::new("S", ["C"]).with_key(["C"]);
+        let mut core = CoreDesc::new();
+        core.push_occurrence(r.arity(), &r.all_fds(), r.is_set());
+        core.push_occurrence(s.arity(), &s.all_fds(), s.is_set());
+        core.add_equality(2, 0); // C = A, written backwards
+        assert!(core.is_superkey(&[2]));
+        assert!(core.is_superkey(&[0]));
+    }
+}

@@ -1,0 +1,1220 @@
+//! Aggregation queries and aggregation views — Section 4 of the paper.
+//!
+//! When the view itself has grouping and aggregation, two new difficulties
+//! arise (Section 4's intuition): an aggregated column is *partially
+//! projected out* (only its aggregate survives), and the `GROUP BY`
+//! *loses tuple multiplicities*. The conditions become:
+//!
+//! * **C2'** — grouping columns of `Q` in φ's image must be exposed as
+//!   *non-aggregation* view outputs (`ColSel(V)`),
+//! * **C3'** — as C3, but `Conds'` may additionally not constrain
+//!   `φ(AggSel(V))` (aggregated-away columns are not available),
+//! * **C4'** — each query aggregate must be computable: either the view
+//!   exposes the same aggregate (coalescing subgroups — Example 4.1 /
+//!   Example 1.1), or the raw column plus a `COUNT` column that recovers
+//!   the lost multiplicities (Example 4.2), with `SUM`/`COUNT` always
+//!   requiring a `COUNT` column when multiplicities matter.
+//!
+//! Two rewriting strategies are provided (see `DESIGN.md` for the analysis,
+//! including the over-counting pitfall in the paper's printed step S5'):
+//!
+//! * [`VaMode::Weighted`] — always-sound weighted aggregates:
+//!   `SUM(A) ↦ SUM(N·A)`, `COUNT(A) ↦ SUM(N)`, `AVG(A) ↦ SUM(N·A)/SUM(N)`.
+//! * [`VaMode::PaperVa`] — the paper's auxiliary-view construction
+//!   (steps S4'-1(b) and S5'): build `V^a` by summing the view's `COUNT`
+//!   column over `QV_Groups`, then scale (`Cnt_V^a · AGG(A)`). Applied only
+//!   when the view occurrence can be *pruned* in favour of `V^a` (the
+//!   condition under which the construction is multiset-correct); falls
+//!   back to the weighted form otherwise.
+//!
+//! Section 4.4 (AVG) uses the SUM/COUNT/AVG identities; Section 4.5 (an
+//! aggregation view can never answer a conjunctive query) is enforced by
+//! the caller routing in [`crate::rewrite`].
+
+use crate::canon::{AggExpr, AggSpec, Atom, Canonical, ColId, GAtom, GTerm, SelItem, Term};
+use crate::closure::PredClosure;
+use crate::conjunctive::derive_residual;
+use crate::explain::WhyNot;
+use crate::frame::Frame;
+use crate::mapping::Mapping;
+use aggview_sql::ast::AggFunc;
+use std::collections::{HashMap, HashSet};
+
+/// Which Section 4 rewriting strategy to use for multiplicity recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VaMode {
+    /// Weighted aggregates (`SUM(N·A)` etc.) — always sound.
+    #[default]
+    Weighted,
+    /// The paper's `V^a` auxiliary view where soundly applicable
+    /// (single weighted aggregate, view occurrence prunable); weighted
+    /// otherwise.
+    PaperVa,
+}
+
+/// Result of an aggregation-view rewriting.
+#[derive(Debug, Clone)]
+pub struct AggRewrite {
+    /// The rewritten query.
+    pub query: Canonical,
+    /// Auxiliary view definitions (`V^a`), to be materialized before the
+    /// query: `(name, definition-over-the-view, output column names)`.
+    pub aux_views: Vec<(String, Canonical, Vec<String>)>,
+    /// Whether the paper's `V^a` construction was used.
+    pub used_va: bool,
+}
+
+/// Abstract per-aggregate plan (phase 1: feasibility; materialized against
+/// the frame in phase 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Plan {
+    /// `AGG(view_col)` — same aggregate exposed by the view (S4'-1(a)),
+    /// or MIN/MAX over an exposed raw column, or `COUNT ↦ SUM(N)`.
+    ViewAgg { func: AggFunc, sel_idx: usize },
+    /// MIN/MAX/plain over a column outside the image (left unchanged).
+    External { func: AggFunc, col: Option<ColId> },
+    /// `SUM(N · B)` with both from the view.
+    WeightedView { count_idx: usize, val_idx: usize },
+    /// `SUM(N · A)` with `A` outside the image.
+    WeightedExt { count_idx: usize, col: ColId },
+    /// `SUM(num)/SUM(den)` over two view aggregate outputs (AVG).
+    Ratio { num_idx: usize, den_idx: usize },
+    /// `SUM(N·B)/SUM(N)` with both from the view (AVG).
+    WeightedAvgView { count_idx: usize, val_idx: usize },
+    /// `SUM(N·A)/SUM(N)` with `A` outside the image (AVG).
+    WeightedAvgExt { count_idx: usize, col: ColId },
+}
+
+impl Plan {
+    /// View SELECT positions this plan reads.
+    fn view_idxs(&self) -> Vec<usize> {
+        match self {
+            Plan::ViewAgg { sel_idx, .. } => vec![*sel_idx],
+            Plan::External { .. } => vec![],
+            Plan::WeightedView { count_idx, val_idx }
+            | Plan::WeightedAvgView { count_idx, val_idx } => vec![*count_idx, *val_idx],
+            Plan::WeightedExt { count_idx, .. } | Plan::WeightedAvgExt { count_idx, .. } => {
+                vec![*count_idx]
+            }
+            Plan::Ratio { num_idx, den_idx } => vec![*num_idx, *den_idx],
+        }
+    }
+
+    /// Does this plan need the multiplicity weighting that the paper's
+    /// `V^a` construction replaces?
+    fn is_weighted_sum(&self) -> bool {
+        matches!(self, Plan::WeightedView { .. } | Plan::WeightedExt { .. })
+    }
+}
+
+/// Check C2'–C4' for the given mapping and apply S1'–S5'.
+///
+/// Preconditions (enforced by the caller): `query` is an aggregation query
+/// with only plain aggregate forms; `view` is an aggregation view whose
+/// select items are plain; both are HAVING-normalized.
+#[allow(clippy::too_many_arguments)]
+pub fn rewrite_aggregate(
+    query: &Canonical,
+    view: &Canonical,
+    view_name: &str,
+    view_out_names: &[String],
+    mapping: &Mapping,
+    q_closure: &PredClosure,
+    mode: VaMode,
+    aux_name: &str,
+) -> Result<AggRewrite, WhyNot> {
+    debug_assert_eq!(view_out_names.len(), view.select.len());
+    if view.distinct {
+        return Err(WhyNot::Unsupported {
+            reason: "SELECT DISTINCT aggregation views".into(),
+        });
+    }
+    if !query.is_plain() {
+        return Err(WhyNot::Unsupported {
+            reason: "aggregation views cannot be applied to queries with derived aggregate \
+                     forms (apply them before conjunctive steps introduce those forms)"
+                .into(),
+        });
+    }
+
+    let image = mapping.image_cols(query);
+
+    // View output anatomy.
+    let mut colsel_syntactic: HashMap<ColId, usize> = HashMap::new(); // φ(B) -> sel idx
+    let mut count_idx: Option<usize> = None;
+    for (i, item) in view.select.iter().enumerate() {
+        match item {
+            SelItem::Col(b) => {
+                let qcol = mapping.map_col(view, query, *b);
+                colsel_syntactic.entry(qcol).or_insert(i);
+            }
+            SelItem::Agg(AggExpr::Plain(spec)) => {
+                if spec.func == AggFunc::Count && count_idx.is_none() {
+                    count_idx = Some(i);
+                }
+            }
+            SelItem::Agg(_) => {
+                return Err(WhyNot::Unsupported {
+                    reason: "view definitions with derived aggregate forms".into(),
+                })
+            }
+        }
+    }
+
+    // Equality-based exposure over ColSel(V) (for B_A substitutions).
+    let expose = |qcol: ColId| -> Option<usize> {
+        if let Some(&i) = colsel_syntactic.get(&qcol) {
+            return Some(i);
+        }
+        view.select.iter().enumerate().find_map(|(i, item)| {
+            let SelItem::Col(b) = item else { return None };
+            let mapped = mapping.map_col(view, query, *b);
+            q_closure.cols_equal(qcol, mapped).then_some(i)
+        })
+    };
+    // Aggregate exposure: the first view output `AGG(B)` with
+    // `Conds(Q) ⊨ A = φ(B)`.
+    let agg_expose = |qcol: ColId, func: AggFunc| -> Option<usize> {
+        view.select.iter().enumerate().find_map(|(i, item)| {
+            let SelItem::Agg(AggExpr::Plain(spec)) = item else {
+                return None;
+            };
+            if spec.func != func {
+                return None;
+            }
+            let b = spec.arg?;
+            let mapped = mapping.map_col(view, query, b);
+            q_closure.cols_equal(qcol, mapped).then_some(i)
+        })
+    };
+
+    // --- Condition C2' ---------------------------------------------------
+    let mut needed: Vec<ColId> = query.col_sel();
+    needed.extend(query.groups.iter().copied());
+    for &a in &needed {
+        if image[a] && expose(a).is_none() {
+            return Err(WhyNot::SelectColumnNotExposed {
+                column: query.columns[a].name.clone(),
+            });
+        }
+    }
+
+    // --- Condition C3' ---------------------------------------------------
+    let mapped_vconds: Vec<Atom> = view
+        .conds
+        .iter()
+        .map(|a| mapping.map_atom(view, query, a))
+        .collect();
+    for atom in &mapped_vconds {
+        if !q_closure.implies_atom(atom) {
+            return Err(WhyNot::ViewCondsNotImplied {
+                atom: format!("{atom:?}"),
+            });
+        }
+    }
+    let allowed = |t: &Term| match t {
+        Term::Col(c) => !image[*c] || colsel_syntactic.contains_key(c),
+        Term::Const(_) => true,
+    };
+    let residual = derive_residual(q_closure, &query.conds, &mapped_vconds, allowed)
+        .ok_or(WhyNot::NoResidual)?;
+
+    // --- Condition C4' ---------------------------------------------------
+    let plan_for = |spec: &AggSpec| -> Result<Plan, WhyNot> {
+        let fail = |missing: &str| WhyNot::AggregateNotComputable {
+            agg: format!("{spec:?}"),
+            missing: missing.to_string(),
+        };
+        let in_image = |c: ColId| image[c];
+        match (spec.func, spec.arg) {
+            (AggFunc::Count, arg) => {
+                // COUNT counts rows; with an aggregation view, each view
+                // row stands for COUNT-column-many original rows, in or out
+                // of the image alike (C4' parts 1(b) and 2).
+                let _ = arg;
+                let n = count_idx.ok_or_else(|| {
+                    fail("no COUNT column in the view to recover multiplicities")
+                })?;
+                Ok(Plan::ViewAgg {
+                    func: AggFunc::Sum,
+                    sel_idx: n,
+                })
+            }
+            (func, Some(a)) if in_image(a) => match func {
+                AggFunc::Min | AggFunc::Max => {
+                    if let Some(i) = agg_expose(a, func) {
+                        Ok(Plan::ViewAgg { func, sel_idx: i })
+                    } else if let Some(i) = expose(a) {
+                        Ok(Plan::ViewAgg { func, sel_idx: i })
+                    } else {
+                        Err(fail("neither the raw column nor its MIN/MAX is exposed"))
+                    }
+                }
+                AggFunc::Sum => {
+                    if let Some(i) = agg_expose(a, AggFunc::Sum) {
+                        Ok(Plan::ViewAgg {
+                            func: AggFunc::Sum,
+                            sel_idx: i,
+                        })
+                    } else if let (Some(raw), Some(n)) = (expose(a), count_idx) {
+                        Ok(Plan::WeightedView {
+                            count_idx: n,
+                            val_idx: raw,
+                        })
+                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx)
+                    {
+                        // SUM = Σ N·AVG (Section 4.4 identity).
+                        Ok(Plan::WeightedView {
+                            count_idx: n,
+                            val_idx: avg,
+                        })
+                    } else {
+                        Err(fail(
+                            "no SUM output, and no raw/AVG column plus COUNT to recover it",
+                        ))
+                    }
+                }
+                AggFunc::Avg => {
+                    if let (Some(s), Some(n)) = (agg_expose(a, AggFunc::Sum), count_idx) {
+                        Ok(Plan::Ratio {
+                            num_idx: s,
+                            den_idx: n,
+                        })
+                    } else if let (Some(raw), Some(n)) = (expose(a), count_idx) {
+                        Ok(Plan::WeightedAvgView {
+                            count_idx: n,
+                            val_idx: raw,
+                        })
+                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx)
+                    {
+                        Ok(Plan::WeightedAvgView {
+                            count_idx: n,
+                            val_idx: avg,
+                        })
+                    } else {
+                        Err(fail("AVG needs (SUM|raw|AVG) plus a COUNT column"))
+                    }
+                }
+                AggFunc::Count => unreachable!("handled above"),
+            },
+            (func, Some(a)) => {
+                // A outside the image (C4' part 2 / step S5').
+                match func {
+                    AggFunc::Min | AggFunc::Max => Ok(Plan::External { func, col: Some(a) }),
+                    AggFunc::Sum => {
+                        let n = count_idx.ok_or_else(|| {
+                            fail("SUM over an unmapped column needs a COUNT column (C4' part 2)")
+                        })?;
+                        Ok(Plan::WeightedExt {
+                            count_idx: n,
+                            col: a,
+                        })
+                    }
+                    AggFunc::Avg => {
+                        let n = count_idx.ok_or_else(|| {
+                            fail("AVG over an unmapped column needs a COUNT column")
+                        })?;
+                        Ok(Plan::WeightedAvgExt {
+                            count_idx: n,
+                            col: a,
+                        })
+                    }
+                    AggFunc::Count => unreachable!("handled above"),
+                }
+            }
+            (_, None) => unreachable!("only COUNT takes *, handled above"),
+        }
+    };
+
+    // Plans for every aggregate in Sel(Q) and GConds(Q).
+    let mut plans: HashMap<AggSpec, Plan> = HashMap::new();
+    for agg in query.agg_exprs() {
+        let AggExpr::Plain(spec) = agg else {
+            unreachable!("query.is_plain() checked");
+        };
+        if !plans.contains_key(spec) {
+            plans.insert(*spec, plan_for(spec)?);
+        }
+    }
+
+    // --- Section 4.3: the view's HAVING clause ---------------------------
+    // Conservative sound treatment: a view HAVING eliminates groups; if the
+    // query may coalesce several view groups (its grouping does not pin
+    // every view grouping column), reject. Otherwise the view's conditions
+    // must be entailed by the query's HAVING conditions, with a residual.
+    let gconds_out: Vec<GAtom> = if view.gconds.is_empty() {
+        query.gconds.clone()
+    } else {
+        // No-coalescing check: every φ(Groups(V)) column must be pinned by
+        // a query grouping column or a constant.
+        for &vg in &view.groups {
+            let qg = mapping.map_col(view, query, vg);
+            let pinned = q_closure.const_of(qg).is_some()
+                || query.groups.iter().any(|&g| q_closure.cols_equal(qg, g));
+            if !pinned {
+                return Err(WhyNot::ViewHavingWithCoalescing);
+            }
+        }
+        match_gconds(query, view, mapping, q_closure)?
+    };
+    // The residual HAVING may use canonicalized aggregate specs (argument
+    // replaced by an entailed-equal column) that differ from the query's
+    // literal specs — make sure each has a plan.
+    for g in &gconds_out {
+        for t in [&g.lhs, &g.rhs] {
+            if let GTerm::Agg(AggExpr::Plain(spec)) = t {
+                if !plans.contains_key(spec) {
+                    plans.insert(*spec, plan_for(spec)?);
+                }
+            }
+        }
+    }
+
+    // --- Steps S1'–S5' ----------------------------------------------------
+    // Optionally replace the whole view occurrence by the paper's V^a.
+    let weighted: Vec<&Plan> = plans.values().filter(|p| p.is_weighted_sum()).collect();
+    if mode == VaMode::PaperVa && weighted.len() == 1 && view.gconds.is_empty() {
+        let target = weighted[0].clone();
+        if let Some(out) = try_paper_va(
+            query,
+            view,
+            view_name,
+            view_out_names,
+            mapping,
+            q_closure,
+            &image,
+            &colsel_syntactic,
+            &expose,
+            &residual,
+            &gconds_out,
+            &plans,
+            &target,
+            aux_name,
+        ) {
+            return Ok(out);
+        }
+    }
+
+    // Weighted (default) construction.
+    let frame = Frame::build(query, &mapping.image_occs(), view_name, view_out_names);
+    let trans = |c: ColId| -> Option<ColId> {
+        if image[c] {
+            expose(c).map(|i| frame.view_col(i))
+        } else {
+            frame.trans_keep[c]
+        }
+    };
+    let trans_residual = |c: ColId| -> Option<ColId> {
+        if image[c] {
+            colsel_syntactic.get(&c).map(|&i| frame.view_col(i))
+        } else {
+            frame.trans_keep[c]
+        }
+    };
+    let materialize = |plan: &Plan| -> AggExpr {
+        match plan {
+            Plan::ViewAgg { func, sel_idx } => AggExpr::Plain(AggSpec {
+                func: *func,
+                arg: Some(frame.view_col(*sel_idx)),
+            }),
+            Plan::External { func, col } => AggExpr::Plain(AggSpec {
+                func: *func,
+                arg: col.map(|c| trans(c).expect("external column kept")),
+            }),
+            Plan::WeightedView { count_idx, val_idx } => AggExpr::WeightedSum {
+                weight: frame.view_col(*count_idx),
+                arg: frame.view_col(*val_idx),
+            },
+            Plan::WeightedExt { count_idx, col } => AggExpr::WeightedSum {
+                weight: frame.view_col(*count_idx),
+                arg: trans(*col).expect("external column kept"),
+            },
+            Plan::Ratio { num_idx, den_idx } => AggExpr::RatioOfSums {
+                num: frame.view_col(*num_idx),
+                den: frame.view_col(*den_idx),
+            },
+            Plan::WeightedAvgView { count_idx, val_idx } => AggExpr::WeightedAvg {
+                weight: frame.view_col(*count_idx),
+                arg: frame.view_col(*val_idx),
+            },
+            Plan::WeightedAvgExt { count_idx, col } => AggExpr::WeightedAvg {
+                weight: frame.view_col(*count_idx),
+                arg: trans(*col).expect("external column kept"),
+            },
+        }
+    };
+    let trans_agg = |a: &AggExpr| -> AggExpr {
+        let AggExpr::Plain(spec) = a else {
+            unreachable!("query.is_plain() checked");
+        };
+        materialize(&plans[spec])
+    };
+
+    let mut new_q = frame.new_q.clone();
+    new_q.select = query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelItem::Col(c) => SelItem::Col(trans(*c).expect("C2' checked")),
+            SelItem::Agg(a) => SelItem::Agg(trans_agg(a)),
+        })
+        .collect();
+    new_q.groups = query
+        .groups
+        .iter()
+        .map(|&c| trans(c).expect("C2' checked"))
+        .collect();
+    new_q.conds = residual
+        .iter()
+        .map(|a| {
+            let tt = |t: &Term| match t {
+                Term::Col(c) => Term::Col(trans_residual(*c).expect("allowed terms only")),
+                Term::Const(l) => Term::Const(l.clone()),
+            };
+            Atom::new(tt(&a.lhs), a.op, tt(&a.rhs))
+        })
+        .collect();
+    new_q.gconds = gconds_out
+        .iter()
+        .map(|g| GAtom {
+            lhs: trans_gterm(&g.lhs, &trans, &trans_agg),
+            op: g.op,
+            rhs: trans_gterm(&g.rhs, &trans, &trans_agg),
+        })
+        .collect();
+
+    Ok(AggRewrite {
+        query: new_q,
+        aux_views: Vec::new(),
+        used_va: false,
+    })
+}
+
+fn trans_gterm(
+    t: &GTerm,
+    trans: &dyn Fn(ColId) -> Option<ColId>,
+    trans_agg: &dyn Fn(&AggExpr) -> AggExpr,
+) -> GTerm {
+    match t {
+        GTerm::Col(c) => GTerm::Col(trans(*c).expect("grouping column translated")),
+        GTerm::Const(l) => GTerm::Const(l.clone()),
+        GTerm::Agg(a) => GTerm::Agg(trans_agg(a)),
+    }
+}
+
+/// Section 4.3 HAVING matching under the no-coalescing precondition:
+/// `GConds(Q) ≡ φ(GConds(V)) ∧ GConds'`, computed with the same closure
+/// machinery over a space where each aggregate term is a synthetic column.
+fn match_gconds(
+    query: &Canonical,
+    view: &Canonical,
+    mapping: &Mapping,
+    q_closure: &PredClosure,
+) -> Result<Vec<GAtom>, WhyNot> {
+    let base = query.n_cols();
+    let mut agg_terms: Vec<AggSpec> = Vec::new();
+    let mut from_query: HashSet<usize> = HashSet::new();
+
+    // Canonicalize a column to the least query column entailed equal.
+    let canon_col = |c: ColId| -> ColId {
+        (0..query.n_cols())
+            .find(|&d| q_closure.cols_equal(c, d))
+            .unwrap_or(c)
+    };
+    let mut intern_agg = |spec: &AggSpec| -> usize {
+        let canon = AggSpec {
+            func: spec.func,
+            arg: spec.arg.map(canon_col),
+        };
+        if let Some(i) = agg_terms.iter().position(|s| *s == canon) {
+            base + i
+        } else {
+            agg_terms.push(canon);
+            base + agg_terms.len() - 1
+        }
+    };
+
+    let mut encode = |g: &GAtom, map_view: bool| -> Result<Atom, WhyNot> {
+        let mut enc_term = |t: &GTerm| -> Result<Term, WhyNot> {
+            Ok(match t {
+                GTerm::Col(c) => {
+                    let qc = if map_view {
+                        mapping.map_col(view, query, *c)
+                    } else {
+                        *c
+                    };
+                    Term::Col(canon_col(qc))
+                }
+                GTerm::Const(l) => Term::Const(l.clone()),
+                GTerm::Agg(a) => {
+                    let AggExpr::Plain(spec) = a else {
+                        return Err(WhyNot::Unsupported {
+                            reason: "derived aggregate forms in HAVING".into(),
+                        });
+                    };
+                    let mapped = if map_view {
+                        AggSpec {
+                            func: spec.func,
+                            arg: spec.arg.map(|c| mapping.map_col(view, query, c)),
+                        }
+                    } else {
+                        *spec
+                    };
+                    Term::Col(intern_agg(&mapped))
+                }
+            })
+        };
+        Ok(Atom::new(enc_term(&g.lhs)?, g.op, enc_term(&g.rhs)?))
+    };
+
+    let mut q_atoms = Vec::new();
+    for g in &query.gconds {
+        let a = encode(g, false)?;
+        for t in [&a.lhs, &a.rhs] {
+            if let Term::Col(c) = t {
+                if *c >= base {
+                    from_query.insert(*c);
+                }
+            }
+        }
+        q_atoms.push(a);
+    }
+    let v_atoms: Vec<Atom> = view
+        .gconds
+        .iter()
+        .map(|g| encode(g, true))
+        .collect::<Result<_, _>>()?;
+
+    let mut universe: Vec<Term> = Vec::new();
+    for a in q_atoms.iter().chain(v_atoms.iter()) {
+        universe.push(a.lhs.clone());
+        universe.push(a.rhs.clone());
+    }
+    let gq = PredClosure::build(&q_atoms, &universe);
+    for a in &v_atoms {
+        if !gq.implies_atom(a) {
+            return Err(WhyNot::HavingMismatch {
+                reason: format!("view HAVING condition {a:?} not implied by the query's"),
+            });
+        }
+    }
+    // Residual over query-side aggregate terms and grouping columns.
+    let allowed = |t: &Term| match t {
+        Term::Col(c) if *c >= base => from_query.contains(c),
+        _ => true,
+    };
+    let residual =
+        derive_residual(&gq, &q_atoms, &v_atoms, allowed).ok_or(WhyNot::HavingMismatch {
+            reason: "no residual HAVING conditions reconstruct the query's".into(),
+        })?;
+
+    // Decode back to GAtoms in query space.
+    let decode_term = |t: &Term| -> GTerm {
+        match t {
+            Term::Const(l) => GTerm::Const(l.clone()),
+            Term::Col(c) if *c < base => GTerm::Col(*c),
+            Term::Col(c) => GTerm::Agg(AggExpr::Plain(agg_terms[*c - base])),
+        }
+    };
+    Ok(residual
+        .iter()
+        .map(|a| GAtom {
+            lhs: decode_term(&a.lhs),
+            op: a.op,
+            rhs: decode_term(&a.rhs),
+        })
+        .collect())
+}
+
+/// Attempt the paper's `V^a` construction for the single weighted plan.
+///
+/// `V^a` groups the view by `QV_Groups` (the exposed view grouping columns
+/// pinned by the query's grouping — plus `B_A` itself for the S4'-1(b)
+/// case) and sums the COUNT column. The construction is multiset-correct
+/// exactly when the view occurrence can be *pruned*: every view output the
+/// rewritten query still needs is part of `V^a`'s output. Returns `None`
+/// when that fails (caller falls back to the weighted form).
+#[allow(clippy::too_many_arguments)]
+fn try_paper_va(
+    query: &Canonical,
+    view: &Canonical,
+    view_name: &str,
+    view_out_names: &[String],
+    mapping: &Mapping,
+    q_closure: &PredClosure,
+    image: &[bool],
+    colsel_syntactic: &HashMap<ColId, usize>,
+    expose: &dyn Fn(ColId) -> Option<usize>,
+    residual: &[Atom],
+    gconds_out: &[GAtom],
+    plans: &HashMap<AggSpec, Plan>,
+    target: &Plan,
+    aux_name: &str,
+) -> Option<AggRewrite> {
+    // QV_Groups: view SELECT positions of non-aggregation outputs whose
+    // mapped column is pinned by the query's grouping (or a constant).
+    let mut qvg: Vec<usize> = Vec::new();
+    for (i, item) in view.select.iter().enumerate() {
+        let SelItem::Col(b) = item else { continue };
+        let qcol = mapping.map_col(view, query, *b);
+        let pinned = q_closure.const_of(qcol).is_some()
+            || query.groups.iter().any(|&g| q_closure.cols_equal(qcol, g));
+        if pinned {
+            qvg.push(i);
+        }
+    }
+    // S4'-1(b): the summed raw column joins the V^a grouping.
+    let (count_idx, extra_group, ext_col) = match target {
+        Plan::WeightedView { count_idx, val_idx } => (*count_idx, Some(*val_idx), None),
+        Plan::WeightedExt { count_idx, col } => (*count_idx, None, Some(*col)),
+        _ => return None,
+    };
+    let mut va_groups = qvg.clone();
+    if let Some(v) = extra_group {
+        if !va_groups.contains(&v) {
+            va_groups.push(v);
+        }
+    }
+
+    // Prunability: every view position used by anything (C2' exposures in
+    // SELECT/GROUP BY, the residual, other plans) must be in `va_groups`.
+    let mut needed: HashSet<usize> = HashSet::new();
+    let need_col = |c: ColId, needed: &mut HashSet<usize>| -> bool {
+        if image[c] {
+            match expose(c) {
+                Some(i) => {
+                    needed.insert(i);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            true
+        }
+    };
+    for item in &query.select {
+        if let SelItem::Col(c) = item {
+            if !need_col(*c, &mut needed) {
+                return None;
+            }
+        }
+    }
+    for &c in &query.groups {
+        if !need_col(c, &mut needed) {
+            return None;
+        }
+    }
+    for a in residual {
+        for t in [&a.lhs, &a.rhs] {
+            if let Term::Col(c) = t {
+                if image[*c] {
+                    needed.insert(*colsel_syntactic.get(c)?);
+                }
+            }
+        }
+    }
+    for g in gconds_out {
+        for t in [&g.lhs, &g.rhs] {
+            if let GTerm::Col(c) = t {
+                if !need_col(*c, &mut needed) {
+                    return None;
+                }
+            }
+        }
+    }
+    for plan in plans.values() {
+        if plan == target {
+            continue;
+        }
+        for i in plan.view_idxs() {
+            needed.insert(i);
+        }
+    }
+    if !needed.iter().all(|i| va_groups.contains(i)) {
+        return None;
+    }
+
+    // Build V^a over the (materialized) view.
+    let mut va = Canonical::empty();
+    va.add_table(view_name, view_out_names.to_vec());
+    let mut va_out_names: Vec<String> = Vec::new();
+    for &i in &va_groups {
+        va.select.push(SelItem::Col(i)); // view occ is table 0; ColId == sel pos
+        va.groups.push(i);
+        va_out_names.push(view_out_names[i].clone());
+    }
+    let agg_pos = va.select.len();
+    match extra_group {
+        Some(b) => {
+            // Sum_V^a = B · SUM(N).
+            va.select.push(SelItem::Agg(AggExpr::Scaled {
+                factor: b,
+                spec: AggSpec::on(AggFunc::Sum, count_idx),
+            }));
+            va_out_names.push("sum_va".to_string());
+        }
+        None => {
+            // Cnt_V^a = SUM(N).
+            va.select.push(SelItem::Agg(AggExpr::Plain(AggSpec::on(
+                AggFunc::Sum,
+                count_idx,
+            ))));
+            va_out_names.push("cnt_va".to_string());
+        }
+    }
+
+    // Build the main query over V^a (the view occurrence is pruned).
+    let frame = Frame::build(query, &mapping.image_occs(), aux_name, &va_out_names);
+    let va_pos_of_view_idx =
+        |i: usize| -> Option<usize> { va_groups.iter().position(|&g| g == i) };
+    let trans = |c: ColId| -> Option<ColId> {
+        if image[c] {
+            let i = expose(c)?;
+            Some(frame.view_col(va_pos_of_view_idx(i)?))
+        } else {
+            frame.trans_keep[c]
+        }
+    };
+    let materialize = |plan: &Plan| -> Option<AggExpr> {
+        if plan == target {
+            return Some(match extra_group {
+                // S4'-1(b): SUM(A) ↦ SUM(Sum_V^a).
+                Some(_) => AggExpr::Plain(AggSpec::on(AggFunc::Sum, frame.view_col(agg_pos))),
+                // S5': AGG(A) ↦ Cnt_V^a · AGG(A).
+                None => AggExpr::Scaled {
+                    factor: frame.view_col(agg_pos),
+                    spec: AggSpec {
+                        func: AggFunc::Sum,
+                        arg: Some(trans(ext_col.expect("ext target"))?),
+                    },
+                },
+            });
+        }
+        Some(match plan {
+            Plan::ViewAgg { func, sel_idx } => AggExpr::Plain(AggSpec {
+                func: *func,
+                // A pure aggregate surviving alongside V^a must read a
+                // va_groups column (prunability guaranteed it).
+                arg: Some(frame.view_col(va_pos_of_view_idx(*sel_idx)?)),
+            }),
+            Plan::External { func, col } => AggExpr::Plain(AggSpec {
+                func: *func,
+                arg: col.map(|c| trans(c).expect("external column kept")),
+            }),
+            _ => return None,
+        })
+    };
+
+    let mut new_q = frame.new_q.clone();
+    for item in &query.select {
+        let sel = match item {
+            SelItem::Col(c) => SelItem::Col(trans(*c)?),
+            SelItem::Agg(AggExpr::Plain(spec)) => SelItem::Agg(materialize(&plans[spec])?),
+            SelItem::Agg(_) => return None,
+        };
+        new_q.select.push(sel);
+    }
+    for &c in &query.groups {
+        new_q.groups.push(trans(c)?);
+    }
+    // S5' adds Cnt_V^a to Groups(Q) (but not to ColSel).
+    if extra_group.is_none() {
+        new_q.groups.push(frame.view_col(agg_pos));
+    }
+    for a in residual {
+        let tt = |t: &Term| -> Option<Term> {
+            Some(match t {
+                Term::Col(c) => Term::Col(trans(*c)?),
+                Term::Const(l) => Term::Const(l.clone()),
+            })
+        };
+        new_q.conds.push(Atom::new(tt(&a.lhs)?, a.op, tt(&a.rhs)?));
+    }
+    for g in gconds_out {
+        let tt = |t: &GTerm| -> Option<GTerm> {
+            Some(match t {
+                GTerm::Col(c) => GTerm::Col(trans(*c)?),
+                GTerm::Const(l) => GTerm::Const(l.clone()),
+                GTerm::Agg(AggExpr::Plain(spec)) => GTerm::Agg(materialize(&plans[spec])?),
+                GTerm::Agg(_) => return None,
+            })
+        };
+        new_q.gconds.push(GAtom {
+            lhs: tt(&g.lhs)?,
+            op: g.op,
+            rhs: tt(&g.rhs)?,
+        });
+    }
+
+    Some(AggRewrite {
+        query: new_q,
+        aux_views: vec![(aux_name.to_string(), va, va_out_names)],
+        used_va: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::enumerate_mappings;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
+            .unwrap();
+        cat.add_table(TableSchema::new("R2", ["E", "F"])).unwrap();
+        cat
+    }
+
+    fn canon(sql: &str) -> Canonical {
+        Canonical::from_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    fn rewrite_all(
+        q: &Canonical,
+        v: &Canonical,
+        name: &str,
+        outs: &[&str],
+        mode: VaMode,
+    ) -> Vec<AggRewrite> {
+        let out_names: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
+        let mut universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        for a in q.conds.iter().chain(v.conds.iter()) {
+            for t in [&a.lhs, &a.rhs] {
+                if matches!(t, Term::Const(_)) {
+                    universe.push(t.clone());
+                }
+            }
+        }
+        let cl = PredClosure::build(&q.conds, &universe);
+        enumerate_mappings(v, q, true, Some(&cl))
+            .into_iter()
+            .filter_map(|m| {
+                rewrite_aggregate(q, v, name, &out_names, &m, &cl, mode, "Va").ok()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn example_4_1_coalescing_subgroups() {
+        // Paper Example 4.1: COUNT of coarser groups = SUM of finer COUNTs.
+        let q = canon(
+            "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
+        );
+        let v = canon("SELECT A, C, COUNT(D) FROM R1 WHERE B = D GROUP BY A, C");
+        let rws = rewrite_all(&q, &v, "V1", &["A", "C", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        let sql = rws[0].query.to_query().to_string();
+        assert_eq!(
+            sql,
+            "SELECT V1.A, R2.E, SUM(V1.N) FROM R2, V1 WHERE V1.C = R2.F GROUP BY V1.A, R2.E"
+        );
+        assert!(rws[0].aux_views.is_empty());
+    }
+
+    #[test]
+    fn example_4_2_v1_fails_no_count() {
+        // Example 4.2: V1 (SUM only, no COUNT) cannot recover the lost
+        // multiplicities for SUM(E1).
+        let q = canon("SELECT A, SUM(E) FROM R1, R2 GROUP BY A");
+        let v1 = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B");
+        assert!(rewrite_all(&q, &v1, "V1", &["A", "B", "S"], VaMode::Weighted).is_empty());
+    }
+
+    #[test]
+    fn example_4_2_v2_weighted() {
+        // Example 4.2 with V2 (SUM + COUNT): weighted strategy.
+        let q = canon("SELECT A, SUM(E) FROM R1, R2 GROUP BY A");
+        let v2 = canon("SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v2, "V2", &["A", "B", "S", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        let sql = rws[0].query.to_query().to_string();
+        assert_eq!(
+            sql,
+            "SELECT V2.A, SUM(V2.N * R2.E) FROM R2, V2 GROUP BY V2.A"
+        );
+    }
+
+    #[test]
+    fn example_4_2_v2_paper_va() {
+        // Example 4.2 with the paper's V^a construction: the view is
+        // prunable (only A and the counts are needed), so V^a applies.
+        let q = canon("SELECT A, SUM(E) FROM R1, R2 GROUP BY A");
+        let v2 = canon("SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v2, "V2", &["A", "B", "S", "N"], VaMode::PaperVa);
+        assert_eq!(rws.len(), 1);
+        let rw = &rws[0];
+        assert!(rw.used_va);
+        assert_eq!(rw.aux_views.len(), 1);
+        let (name, va, outs) = &rw.aux_views[0];
+        assert_eq!(name, "Va");
+        assert_eq!(
+            va.to_query().to_string(),
+            "SELECT V2.A, SUM(V2.N) FROM V2 GROUP BY V2.A"
+        );
+        assert_eq!(outs, &vec!["A".to_string(), "cnt_va".to_string()]);
+        // Main query: Cnt_V^a · SUM(E), grouped by A and Cnt_V^a.
+        let sql = rw.query.to_query().to_string();
+        assert_eq!(
+            sql,
+            "SELECT Va.A, Va.cnt_va * SUM(R2.E) FROM R2, Va GROUP BY Va.A, Va.cnt_va"
+        );
+    }
+
+    #[test]
+    fn example_4_4_aggregated_column_cannot_be_constrained() {
+        // Paper Example 4.4: the query constrains B (B = F) but the view
+        // aggregates B away — condition C3' must fail.
+        let q = canon("SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E");
+        let v = canon("SELECT A, E, F, SUM(B) FROM R1, R2 GROUP BY A, E, F");
+        assert!(rewrite_all(&q, &v, "V", &["A", "E", "F", "S"], VaMode::Weighted).is_empty());
+        // Without the WHERE clause the view applies (sanity check).
+        let q2 = canon("SELECT A, E, SUM(B) FROM R1, R2 GROUP BY A, E");
+        let rws = rewrite_all(&q2, &v, "V", &["A", "E", "F", "S"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, V.E, SUM(V.S) FROM V GROUP BY V.A, V.E"
+        );
+    }
+
+    #[test]
+    fn sum_of_sums_direct() {
+        // Example 1.1 pattern: SUM rolled up over coalesced groups.
+        let q = canon("SELECT A, SUM(C) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "S"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.S) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn min_of_mins_and_max_of_maxes() {
+        let q = canon("SELECT A, MIN(C), MAX(D) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, B, MIN(C), MAX(D) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "MN", "MX"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, MIN(V.MN), MAX(V.MX) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn min_over_raw_grouping_column() {
+        // MIN over a column the view groups by (exposed raw).
+        let q = canon("SELECT A, MIN(B) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, MIN(V.B) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn sum_over_raw_grouping_column_needs_count() {
+        let q = canon("SELECT A, SUM(B) FROM R1 GROUP BY A");
+        // Without COUNT: unusable.
+        let v_nocount = canon("SELECT A, B FROM R1 GROUP BY A, B");
+        assert!(rewrite_all(&q, &v_nocount, "V", &["A", "B"], VaMode::Weighted).is_empty());
+        // With COUNT: weighted sum.
+        let v = canon("SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N * V.B) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn sum_over_raw_grouping_column_paper_va() {
+        // S4'-1(b): V^a groups by QV_Groups ∪ {B} and pre-multiplies.
+        let q = canon("SELECT A, SUM(B) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "N"], VaMode::PaperVa);
+        assert_eq!(rws.len(), 1);
+        let rw = &rws[0];
+        assert!(rw.used_va);
+        let (_, va, _) = &rw.aux_views[0];
+        assert_eq!(
+            va.to_query().to_string(),
+            "SELECT V.A, V.B, V.B * SUM(V.N) FROM V GROUP BY V.A, V.B"
+        );
+        assert_eq!(
+            rw.query.to_query().to_string(),
+            "SELECT Va.A, SUM(Va.sum_va) FROM Va GROUP BY Va.A"
+        );
+    }
+
+    #[test]
+    fn count_maps_to_sum_of_counts() {
+        let q = canon("SELECT A, COUNT(E) FROM R1, R2 GROUP BY A");
+        let v = canon("SELECT A, COUNT(B) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        // COUNT over R2's column still needs R2's multiplicity — the view
+        // contributes SUM(N)... no: COUNT(E) counts join rows. The plan is
+        // SUM(N) over the view side — but E is external, so each (v, r2)
+        // row stands for N(v) originals: SUM(N) counts exactly right.
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N) FROM R2, V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn avg_from_sum_and_count() {
+        let q = canon("SELECT A, AVG(C) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "S", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.S) / SUM(V.N) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn sum_from_avg_and_count() {
+        // Section 4.4: SUM = Σ N·AVG.
+        let q = canon("SELECT A, SUM(C) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, AVG(C), COUNT(C) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "Av", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N * V.Av) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn avg_without_count_fails() {
+        let q = canon("SELECT A, AVG(C) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, AVG(C) FROM R1 GROUP BY A");
+        assert!(rewrite_all(&q, &v, "V", &["A", "Av"], VaMode::Weighted).is_empty());
+    }
+
+    #[test]
+    fn view_having_requires_no_coalescing() {
+        // The view eliminates groups with HAVING; the query coalesces over
+        // B — unusable.
+        let q = canon("SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 5");
+        let v = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5");
+        assert!(rewrite_all(&q, &v, "V", &["A", "B", "S"], VaMode::Weighted).is_empty());
+    }
+
+    #[test]
+    fn view_having_matches_without_coalescing() {
+        // Same grouping, same HAVING: usable, residual HAVING empty.
+        let q = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5");
+        let v = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "S"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, V.B, SUM(V.S) FROM V GROUP BY V.A, V.B"
+        );
+    }
+
+    #[test]
+    fn view_having_stronger_than_query_fails() {
+        // View keeps only SUM > 10; query wants SUM > 5 — groups lost.
+        let q = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5");
+        let v = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 10");
+        assert!(rewrite_all(&q, &v, "V", &["A", "B", "S"], VaMode::Weighted).is_empty());
+    }
+
+    #[test]
+    fn query_having_stronger_than_view_leaves_residual() {
+        let q = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 10");
+        let v = canon("SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "S"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, V.B, SUM(V.S) FROM V GROUP BY V.A, V.B HAVING SUM(V.S) > 10"
+        );
+    }
+
+    #[test]
+    fn paper_va_falls_back_when_view_not_prunable() {
+        // The residual (B = F) references view column B, which is not
+        // pinned by the query's grouping — V^a cannot replace the view, so
+        // PaperVa mode must fall back to the weighted form.
+        let q = canon("SELECT A, SUM(E) FROM R1, R2 WHERE B = F GROUP BY A");
+        let v = canon("SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "N"], VaMode::PaperVa);
+        assert_eq!(rws.len(), 1);
+        assert!(!rws[0].used_va, "must fall back to the weighted strategy");
+        assert!(rws[0].aux_views.is_empty());
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N * R2.E) FROM R2, V WHERE V.B = R2.F GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn paper_va_applies_to_having_aggregate() {
+        // The weighted aggregate appears in HAVING only; V^a still applies
+        // (S4'/S5' are extended to GConds aggregates in Section 4.3).
+        let q = canon("SELECT A FROM R1, R2 GROUP BY A HAVING SUM(E) > 10");
+        let v = canon("SELECT A, COUNT(C) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "N"], VaMode::PaperVa);
+        assert_eq!(rws.len(), 1);
+        assert!(rws[0].used_va);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT Va.A FROM R2, Va GROUP BY Va.A, Va.cnt_va HAVING Va.cnt_va * SUM(R2.E) > 10"
+        );
+    }
+
+    #[test]
+    fn multiple_weighted_aggregates_disable_paper_va() {
+        // Two weighted aggregates: the single-V^a restriction falls back.
+        let q = canon("SELECT A, SUM(E), SUM(F) FROM R1, R2 GROUP BY A");
+        let v = canon("SELECT A, COUNT(C) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "N"], VaMode::PaperVa);
+        assert_eq!(rws.len(), 1);
+        assert!(!rws[0].used_va);
+    }
+
+    #[test]
+    fn avg_external_column() {
+        let q = canon("SELECT A, AVG(E) FROM R1, R2 GROUP BY A");
+        let v = canon("SELECT A, COUNT(C) FROM R1 GROUP BY A");
+        let rws = rewrite_all(&q, &v, "V", &["A", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N * R2.E) / SUM(V.N) FROM R2, V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn count_star_over_aggregated_view() {
+        let q = canon("SELECT A, COUNT(*) FROM R1 GROUP BY A");
+        let v = canon("SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B");
+        let rws = rewrite_all(&q, &v, "V", &["A", "B", "N"], VaMode::Weighted);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(
+            rws[0].query.to_query().to_string(),
+            "SELECT V.A, SUM(V.N) FROM V GROUP BY V.A"
+        );
+    }
+
+    #[test]
+    fn grouping_column_must_be_nonaggregated_output() {
+        // C2': A exposed only under an aggregate is not good enough.
+        let q = canon("SELECT A, SUM(C) FROM R1 GROUP BY A");
+        let v = canon("SELECT B, SUM(A), SUM(C), COUNT(C) FROM R1 GROUP BY B");
+        assert!(rewrite_all(&q, &v, "V", &["B", "SA", "SC", "N"], VaMode::Weighted).is_empty());
+    }
+}

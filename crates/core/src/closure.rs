@@ -1,0 +1,824 @@
+//! Closure of conjunctions of built-in predicates.
+//!
+//! The paper's usability conditions repeatedly ask questions of the form
+//! *"does `Conds(Q)` imply `A = φ(B)`?"* and *"is `Conds(Q)` equivalent to
+//! `φ(Conds(V)) ∧ Conds'`?"* (conditions C2–C4, C2'–C4'). Footnote 2
+//! observes that for conjunctions of `=, ≠, <, ≤, >, ≥` atoms over columns
+//! and constants, the closure (the set of all entailed atoms) is polynomial
+//! in the input. This module computes that closure:
+//!
+//! * equalities via union-find (including constant identification),
+//! * order atoms via transitive closure with strictness tracking
+//!   (`≤∘< ⊆ <`),
+//! * the strengthening rule `a ≤ b ∧ a ≠ b ⟹ a < b`,
+//! * derived equality `a ≤ b ∧ b ≤ a ⟹ a = b` (classes are merged and the
+//!   closure is rebuilt — this terminates because each merge reduces the
+//!   class count),
+//! * all order/disequality facts between distinct constants.
+//!
+//! Inference is sound for all the paper's domains and complete for dense
+//! total orders; over the integers, gap reasoning such as
+//! `A > 3 ∧ A < 5 ⟹ A = 4` is (knowingly) not performed — the paper's
+//! closure does not perform it either.
+
+use crate::canon::{Atom, ColId, Term};
+use aggview_sql::ast::{CmpOp, Literal};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+/// Compare two constants with SQL semantics (numeric coercion across
+/// int/double; strings and bools within their type). `None` means the
+/// constants are incomparable (different, non-coercible types).
+pub fn const_cmp(a: &Literal, b: &Literal) -> Option<Ordering> {
+    fn num(l: &Literal) -> Option<f64> {
+        match l {
+            Literal::Int(v) => Some(*v as f64),
+            Literal::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+    match (a, b) {
+        (Literal::Int(x), Literal::Int(y)) => Some(x.cmp(y)),
+        (Literal::Str(x), Literal::Str(y)) => Some(x.cmp(y)),
+        (Literal::Bool(x), Literal::Bool(y)) => Some(x.cmp(y)),
+        _ => {
+            let x = num(a)?;
+            let y = num(b)?;
+            x.partial_cmp(&y)
+        }
+    }
+}
+
+/// The computed closure of a conjunction of atoms over a term universe.
+///
+/// ```
+/// use aggview_core::canon::{Atom, Term};
+/// use aggview_core::PredClosure;
+/// use aggview_sql::{CmpOp, Literal};
+///
+/// // A = B ∧ B ≤ 5  entails  A ≤ 5 and A < 7.
+/// let atoms = vec![
+///     Atom::new(Term::Col(0), CmpOp::Eq, Term::Col(1)),
+///     Atom::new(Term::Col(1), CmpOp::Le, Term::Const(Literal::Int(5))),
+/// ];
+/// let closure = PredClosure::build(&atoms, &[Term::Const(Literal::Int(7))]);
+/// assert!(closure.satisfiable());
+/// assert!(closure.implies_atom(&Atom::new(
+///     Term::Col(0), CmpOp::Le, Term::Const(Literal::Int(5)))));
+/// assert!(closure.implies_atom(&Atom::new(
+///     Term::Col(0), CmpOp::Lt, Term::Const(Literal::Int(7)))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredClosure {
+    terms: Vec<Term>,
+    tindex: HashMap<Term, usize>,
+    /// Class id per term index.
+    class_of: Vec<usize>,
+    n_classes: usize,
+    /// `le[i][j]`: class `i ≤ j` is entailed.
+    le: Vec<Vec<bool>>,
+    /// `lt[i][j]`: class `i < j` is entailed.
+    lt: Vec<Vec<bool>>,
+    /// Entailed disequalities between classes (normalized pairs).
+    ne: HashSet<(usize, usize)>,
+    /// One constant per class that contains constants.
+    class_const: Vec<Option<Literal>>,
+    unsat: bool,
+}
+
+impl PredClosure {
+    /// Build the closure of `atoms`. The term universe is the atoms' terms
+    /// plus `extra_terms` (pass every term you intend to query).
+    pub fn build(atoms: &[Atom], extra_terms: &[Term]) -> PredClosure {
+        // Derived equalities (a ≤ b ∧ b ≤ a) force a class merge and a
+        // rebuild; each iteration strictly reduces the class count.
+        let mut extra_eqs: Vec<Atom> = Vec::new();
+        loop {
+            let (closure, new_eqs) = Self::build_once(atoms, extra_terms, &extra_eqs);
+            if new_eqs.is_empty() || closure.unsat {
+                return closure;
+            }
+            extra_eqs.extend(new_eqs);
+        }
+    }
+
+    fn build_once(
+        atoms: &[Atom],
+        extra_terms: &[Term],
+        extra_eqs: &[Atom],
+    ) -> (PredClosure, Vec<Atom>) {
+        // 1. Collect the term universe.
+        let mut terms: Vec<Term> = Vec::new();
+        let mut tindex: HashMap<Term, usize> = HashMap::new();
+        let intern = |t: &Term, terms: &mut Vec<Term>, tindex: &mut HashMap<Term, usize>| {
+            *tindex.entry(t.clone()).or_insert_with(|| {
+                terms.push(t.clone());
+                terms.len() - 1
+            })
+        };
+        for a in atoms.iter().chain(extra_eqs.iter()) {
+            intern(&a.lhs, &mut terms, &mut tindex);
+            intern(&a.rhs, &mut terms, &mut tindex);
+        }
+        for t in extra_terms {
+            intern(t, &mut terms, &mut tindex);
+        }
+        let n = terms.len();
+
+        // 2. Union-find over equalities (and equal constants).
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut [usize], a: usize, b: usize| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        for a in atoms.iter().chain(extra_eqs.iter()) {
+            if a.op == CmpOp::Eq {
+                let (i, j) = (tindex[&a.lhs], tindex[&a.rhs]);
+                union(&mut parent, i, j);
+            }
+        }
+        // Identify equal constants (e.g. `1` and `1.0`).
+        let const_idx: Vec<usize> = (0..n)
+            .filter(|&i| matches!(terms[i], Term::Const(_)))
+            .collect();
+        for (p, &i) in const_idx.iter().enumerate() {
+            for &j in &const_idx[p + 1..] {
+                let (Term::Const(a), Term::Const(b)) = (&terms[i], &terms[j]) else {
+                    unreachable!();
+                };
+                if const_cmp(a, b) == Some(Ordering::Equal) {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+
+        // 3. Number the classes.
+        let mut class_of = vec![usize::MAX; n];
+        let mut reps: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            if class_of[r] == usize::MAX {
+                class_of[r] = reps.len();
+                reps.push(r);
+            }
+            class_of[i] = class_of[r];
+        }
+        let m = reps.len();
+
+        // A constant per class, and immediate unsat when a class holds two
+        // different constants.
+        let mut class_const: Vec<Option<Literal>> = vec![None; m];
+        let mut unsat = false;
+        for i in 0..n {
+            if let Term::Const(c) = &terms[i] {
+                match &class_const[class_of[i]] {
+                    None => class_const[class_of[i]] = Some(c.clone()),
+                    Some(existing) => {
+                        if const_cmp(existing, c) != Some(Ordering::Equal) {
+                            unsat = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Seed the order matrices and disequalities.
+        let mut le = vec![vec![false; m]; m];
+        let mut lt = vec![vec![false; m]; m];
+        let mut ne: HashSet<(usize, usize)> = HashSet::new();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..m {
+            le[i][i] = true;
+        }
+        let add_ne = |ne: &mut HashSet<(usize, usize)>, a: usize, b: usize| {
+            ne.insert((a.min(b), a.max(b)));
+        };
+        for a in atoms {
+            let (ci, cj) = (class_of[tindex[&a.lhs]], class_of[tindex[&a.rhs]]);
+            match a.op {
+                CmpOp::Eq => {}
+                CmpOp::Ne => add_ne(&mut ne, ci, cj),
+                CmpOp::Lt => {
+                    lt[ci][cj] = true;
+                    le[ci][cj] = true;
+                }
+                CmpOp::Le => le[ci][cj] = true,
+                CmpOp::Gt => {
+                    lt[cj][ci] = true;
+                    le[cj][ci] = true;
+                }
+                CmpOp::Ge => le[cj][ci] = true,
+            }
+        }
+        // Relations between distinct constants.
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if let (Some(a), Some(b)) = (&class_const[i], &class_const[j]) {
+                    match const_cmp(a, b) {
+                        Some(Ordering::Less) => {
+                            lt[i][j] = true;
+                            le[i][j] = true;
+                        }
+                        Some(Ordering::Greater) => {
+                            lt[j][i] = true;
+                            le[j][i] = true;
+                        }
+                        Some(Ordering::Equal) => unreachable!("equal constants were unioned"),
+                        None => {}
+                    }
+                    add_ne(&mut ne, i, j); // distinct constants are unequal
+                }
+            }
+        }
+
+        // 5. Fixpoint: transitive closure + the ≤∧≠⇒< strengthening.
+        loop {
+            let mut changed = false;
+            for k in 0..m {
+                for i in 0..m {
+                    if !le[i][k] {
+                        continue;
+                    }
+                    for j in 0..m {
+                        if le[k][j] {
+                            if !le[i][j] {
+                                le[i][j] = true;
+                                changed = true;
+                            }
+                            if (lt[i][k] || lt[k][j]) && !lt[i][j] {
+                                lt[i][j] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            for &(a, b) in ne.iter() {
+                if le[a][b] && !lt[a][b] {
+                    lt[a][b] = true;
+                    changed = true;
+                }
+                if le[b][a] && !lt[b][a] {
+                    lt[b][a] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 6. Unsatisfiability and derived equalities.
+        let mut new_eqs: Vec<Atom> = Vec::new();
+        for i in 0..m {
+            if lt[i][i] {
+                unsat = true;
+            }
+            for j in (i + 1)..m {
+                if le[i][j] && le[j][i] {
+                    if ne.contains(&(i, j)) {
+                        unsat = true;
+                    } else {
+                        // Merge on the next build iteration.
+                        new_eqs.push(Atom::new(
+                            terms[reps[i]].clone(),
+                            CmpOp::Eq,
+                            terms[reps[j]].clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        if ne.iter().any(|&(a, b)| a == b) {
+            unsat = true;
+        }
+
+        let closure = PredClosure {
+            terms,
+            tindex,
+            class_of,
+            n_classes: m,
+            le,
+            lt,
+            ne,
+            class_const,
+            unsat,
+        };
+        (closure, if unsat { Vec::new() } else { new_eqs })
+    }
+
+    /// Is the conjunction satisfiable?
+    pub fn satisfiable(&self) -> bool {
+        !self.unsat
+    }
+
+    /// The term universe.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    fn class(&self, t: &Term) -> Option<usize> {
+        self.tindex.get(t).map(|&i| self.class_of[i])
+    }
+
+    /// Does the conjunction entail `atom`?
+    ///
+    /// An unsatisfiable conjunction entails everything. Atoms whose column
+    /// terms are outside the universe are reported as not entailed
+    /// (conservative); constant-constant atoms are decided directly.
+    pub fn implies_atom(&self, atom: &Atom) -> bool {
+        if self.unsat {
+            return true;
+        }
+        // Constant-constant atoms are decidable without the universe.
+        if let (Term::Const(a), Term::Const(b)) = (&atom.lhs, &atom.rhs) {
+            if let Some(v) = eval_const_atom(a, atom.op, b) {
+                return v;
+            }
+        }
+        let (Some(ci), Some(cj)) = (self.class(&atom.lhs), self.class(&atom.rhs)) else {
+            return false;
+        };
+        match atom.op {
+            CmpOp::Eq => ci == cj || (self.le[ci][cj] && self.le[cj][ci]),
+            CmpOp::Ne => {
+                self.ne.contains(&(ci.min(cj), ci.max(cj))) || self.lt[ci][cj] || self.lt[cj][ci]
+            }
+            CmpOp::Lt => self.lt[ci][cj],
+            CmpOp::Le => ci == cj || self.le[ci][cj],
+            CmpOp::Gt => self.lt[cj][ci],
+            CmpOp::Ge => ci == cj || self.le[cj][ci],
+        }
+    }
+
+    /// Does the conjunction entail every one of `atoms`?
+    pub fn implies_all<'i>(&self, atoms: impl IntoIterator<Item = &'i Atom>) -> bool {
+        atoms.into_iter().all(|a| self.implies_atom(a))
+    }
+
+    /// Are two columns entailed equal?
+    pub fn cols_equal(&self, a: ColId, b: ColId) -> bool {
+        a == b || self.implies_atom(&Atom::col_eq(a, b))
+    }
+
+    /// Universe terms entailed equal to `t` (including `t` itself).
+    pub fn equal_terms(&self, t: &Term) -> Vec<Term> {
+        let Some(c) = self.class(t) else {
+            return vec![t.clone()];
+        };
+        let mut out: Vec<Term> = self
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                let ci = self.class_of[i];
+                ci == c || (self.le[ci][c] && self.le[c][ci])
+            })
+            .map(|(_, t)| t.clone())
+            .collect();
+        if out.is_empty() {
+            out.push(t.clone());
+        }
+        out
+    }
+
+    /// The constant a column is bound to, if any.
+    pub fn const_of(&self, col: ColId) -> Option<Literal> {
+        let c = self.class(&Term::Col(col))?;
+        self.class_const[c].clone()
+    }
+
+    /// All entailed atoms between terms accepted by `allowed`, in a
+    /// non-redundant spanning form:
+    /// * per class: a chain of equalities over the allowed members plus a
+    ///   binding to the class constant,
+    /// * between classes: the strongest entailed relation, stated between
+    ///   one allowed representative of each class (constant-constant
+    ///   tautologies are skipped).
+    pub fn residual_atoms(&self, allowed: impl Fn(&Term) -> bool) -> Vec<Atom> {
+        let mut out = Vec::new();
+        // Allowed members per class (columns first so anchors are columns).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, t) in self.terms.iter().enumerate() {
+            if allowed(t) {
+                members[self.class_of[i]].push(i);
+            }
+        }
+        for m in &mut members {
+            m.sort_by_key(|&i| match self.terms[i] {
+                Term::Col(c) => (0, c),
+                Term::Const(_) => (1, i),
+            });
+        }
+
+        // Intra-class equalities.
+        for mem in &members {
+            if mem.len() < 2 {
+                continue;
+            }
+            let anchor = &self.terms[mem[0]];
+            for &other in &mem[1..] {
+                let t = &self.terms[other];
+                if matches!(anchor, Term::Const(_)) && matches!(t, Term::Const(_)) {
+                    continue;
+                }
+                out.push(Atom::new(anchor.clone(), CmpOp::Eq, t.clone()).normalized());
+            }
+        }
+
+        // Inter-class relations between anchors.
+        let anchors: Vec<Option<usize>> = members.iter().map(|m| m.first().copied()).collect();
+        for ci in 0..self.n_classes {
+            let Some(ai) = anchors[ci] else { continue };
+            for (cj, anchor_j) in anchors.iter().enumerate().skip(ci + 1) {
+                let Some(aj) = *anchor_j else { continue };
+                let (ti, tj) = (&self.terms[ai], &self.terms[aj]);
+                if matches!(ti, Term::Const(_)) && matches!(tj, Term::Const(_)) {
+                    continue;
+                }
+                let atom = if self.lt[ci][cj] {
+                    Some(Atom::new(ti.clone(), CmpOp::Lt, tj.clone()))
+                } else if self.lt[cj][ci] {
+                    Some(Atom::new(ti.clone(), CmpOp::Gt, tj.clone()))
+                } else if self.le[ci][cj] {
+                    Some(Atom::new(ti.clone(), CmpOp::Le, tj.clone()))
+                } else if self.le[cj][ci] {
+                    Some(Atom::new(ti.clone(), CmpOp::Ge, tj.clone()))
+                } else if self.ne.contains(&(ci.min(cj), ci.max(cj))) {
+                    Some(Atom::new(ti.clone(), CmpOp::Ne, tj.clone()))
+                } else {
+                    None
+                };
+                if let Some(a) = atom {
+                    out.push(a.normalized());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn eval_const_atom(a: &Literal, op: CmpOp, b: &Literal) -> Option<bool> {
+    let ord = const_cmp(a, b);
+    Some(match op {
+        CmpOp::Eq => ord? == Ordering::Equal,
+        // Different, incomparable types are simply unequal.
+        CmpOp::Ne => ord.map(|o| o != Ordering::Equal).unwrap_or(true),
+        CmpOp::Lt => ord? == Ordering::Less,
+        CmpOp::Le => ord? != Ordering::Greater,
+        CmpOp::Gt => ord? == Ordering::Greater,
+        CmpOp::Ge => ord? != Ordering::Less,
+    })
+}
+
+/// Are two conjunctions (over a shared implicit universe) equivalent?
+pub fn equivalent(a: &[Atom], b: &[Atom]) -> bool {
+    let mut universe: Vec<Term> = Vec::new();
+    for atom in a.iter().chain(b.iter()) {
+        universe.push(atom.lhs.clone());
+        universe.push(atom.rhs.clone());
+    }
+    let ca = PredClosure::build(a, &universe);
+    let cb = PredClosure::build(b, &universe);
+    ca.implies_all(b.iter()) && cb.implies_all(a.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(c: ColId) -> Term {
+        Term::Col(c)
+    }
+    fn k(v: i64) -> Term {
+        Term::Const(Literal::Int(v))
+    }
+    fn atom(l: Term, op: CmpOp, r: Term) -> Atom {
+        Atom::new(l, op, r)
+    }
+
+    #[test]
+    fn equality_is_transitive() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Eq, col(2)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(2))));
+        assert!(c.implies_atom(&atom(col(2), CmpOp::Eq, col(0))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Ne, col(2))));
+    }
+
+    #[test]
+    fn order_is_transitive_with_strictness() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Le, col(1)),
+            atom(col(1), CmpOp::Lt, col(2)),
+            atom(col(2), CmpOp::Le, col(3)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(3))));
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Le, col(3))));
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(3))));
+        assert!(c.implies_atom(&atom(col(3), CmpOp::Gt, col(0))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+    }
+
+    #[test]
+    fn equality_substitutes_into_order() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Lt, col(2)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(2))));
+    }
+
+    #[test]
+    fn antisymmetry_derives_equality() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Le, col(1)),
+            atom(col(1), CmpOp::Le, col(0)),
+            atom(col(1), CmpOp::Ne, col(2)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(1))));
+        // The derived equality must substitute: 0 = 1 ∧ 1 ≠ 2 ⟹ 0 ≠ 2.
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(2))));
+    }
+
+    #[test]
+    fn le_and_ne_strengthen_to_lt() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Le, col(1)),
+            atom(col(0), CmpOp::Ne, col(1)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+    }
+
+    #[test]
+    fn constants_are_ordered() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Le, k(3)),
+            atom(col(1), CmpOp::Ge, k(5)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(1))));
+    }
+
+    #[test]
+    fn int_and_double_constants_identify() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, k(3)),
+            atom(col(1), CmpOp::Eq, Term::Const(Literal::Double(3.0))),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(1))));
+    }
+
+    #[test]
+    fn contradiction_detected_via_cycle() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Lt, col(1)),
+            atom(col(1), CmpOp::Lt, col(0)),
+        ];
+        assert!(!PredClosure::build(&atoms, &[]).satisfiable());
+    }
+
+    #[test]
+    fn contradiction_detected_via_constants() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, k(3)),
+            atom(col(0), CmpOp::Eq, k(4)),
+        ];
+        assert!(!PredClosure::build(&atoms, &[]).satisfiable());
+        let atoms = vec![atom(col(0), CmpOp::Gt, k(5)), atom(col(0), CmpOp::Lt, k(2))];
+        assert!(!PredClosure::build(&atoms, &[]).satisfiable());
+    }
+
+    #[test]
+    fn contradiction_detected_via_ne_eq() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(0), CmpOp::Ne, col(1)),
+        ];
+        assert!(!PredClosure::build(&atoms, &[]).satisfiable());
+    }
+
+    #[test]
+    fn unsat_implies_everything() {
+        let atoms = vec![atom(k(1), CmpOp::Eq, k(2))];
+        let c = PredClosure::build(&atoms, &[col(0), col(1)]);
+        assert!(!c.satisfiable());
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(1))));
+    }
+
+    #[test]
+    fn const_const_atoms_decided_directly() {
+        let c = PredClosure::build(&[], &[]);
+        assert!(c.implies_atom(&atom(k(1), CmpOp::Lt, k(2))));
+        assert!(!c.implies_atom(&atom(k(2), CmpOp::Lt, k(1))));
+        assert!(c.implies_atom(&atom(
+            Term::Const(Literal::Str("a".into())),
+            CmpOp::Ne,
+            k(1)
+        )));
+    }
+
+    #[test]
+    fn unknown_columns_are_not_entailed() {
+        let c = PredClosure::build(&[], &[]);
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Eq, col(1))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Eq, col(0))));
+    }
+
+    #[test]
+    fn reflexive_entailments_hold_for_known_columns() {
+        let c = PredClosure::build(&[], &[col(0)]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(0))));
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Le, col(0))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Lt, col(0))));
+    }
+
+    #[test]
+    fn equal_terms_lists_class() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Eq, k(7)),
+            atom(col(2), CmpOp::Le, col(0)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        let mut eq = c.equal_terms(&col(0));
+        eq.sort_by_key(|t| format!("{t:?}"));
+        assert_eq!(eq.len(), 3);
+        assert_eq!(c.const_of(0), Some(Literal::Int(7)));
+        assert_eq!(c.const_of(2), None);
+    }
+
+    #[test]
+    fn residual_restricted_to_allowed_terms() {
+        // Conds: 0 = 1 ∧ 1 = 2 ∧ 3 < 4. Allowed: {0, 2, 3, 4} (and consts).
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Eq, col(2)),
+            atom(col(3), CmpOp::Lt, col(4)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        let allowed = |t: &Term| match t {
+            Term::Col(i) => [0usize, 2, 3, 4].contains(i),
+            Term::Const(_) => true,
+        };
+        let res = c.residual_atoms(allowed);
+        assert!(res.contains(&Atom::col_eq(0, 2)));
+        assert!(res.contains(&atom(col(3), CmpOp::Lt, col(4))));
+        // Column 1 must never appear.
+        for a in &res {
+            for t in [&a.lhs, &a.rhs] {
+                assert_ne!(t, &col(1), "column 1 leaked into residual: {res:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_reconstructs_original() {
+        // Example 3.1 shape: A=C ∧ B=6 ∧ D=6 with view enforcing A=C ∧ B=D.
+        // Allowed residual terms: {C, D} (the view's SELECT columns) and
+        // constants. Expected residual: D = 6 (or an equivalent).
+        let q_atoms = vec![
+            atom(col(0), CmpOp::Eq, col(2)),
+            atom(col(1), CmpOp::Eq, k(6)),
+            atom(col(3), CmpOp::Eq, k(6)),
+        ];
+        let v_atoms = vec![
+            atom(col(0), CmpOp::Eq, col(2)),
+            atom(col(1), CmpOp::Eq, col(3)),
+        ];
+        let cq = PredClosure::build(&q_atoms, &[]);
+        assert!(cq.implies_all(v_atoms.iter()));
+        let allowed = |t: &Term| match t {
+            Term::Col(i) => [2usize, 3].contains(i),
+            Term::Const(_) => true,
+        };
+        let residual = cq.residual_atoms(allowed);
+        // v_atoms ∧ residual must imply q_atoms (and vice versa holds by
+        // construction).
+        let mut combined = v_atoms.clone();
+        combined.extend(residual.clone());
+        let cc = PredClosure::build(&combined, &[]);
+        assert!(
+            cc.implies_all(q_atoms.iter()),
+            "residual {residual:?} too weak"
+        );
+    }
+
+    #[test]
+    fn equivalent_conjunctions() {
+        let a = vec![atom(col(0), CmpOp::Eq, col(1)), atom(col(1), CmpOp::Lt, k(5))];
+        let b = vec![atom(col(1), CmpOp::Eq, col(0)), atom(col(0), CmpOp::Lt, k(5))];
+        assert!(equivalent(&a, &b));
+        let c = vec![atom(col(0), CmpOp::Eq, col(1))];
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn string_constants_order() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, Term::Const(Literal::Str("apple".into()))),
+            atom(col(1), CmpOp::Eq, Term::Const(Literal::Str("pear".into()))),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(1))));
+    }
+
+    #[test]
+    fn incomparable_constants_are_ne_but_unordered() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, Term::Const(Literal::Str("x".into()))),
+            atom(col(1), CmpOp::Eq, k(5)),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(1))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+        assert!(!c.implies_atom(&atom(col(0), CmpOp::Gt, col(1))));
+    }
+
+    #[test]
+    fn boolean_constants() {
+        let t = Term::Const(Literal::Bool(true));
+        let f = Term::Const(Literal::Bool(false));
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, t.clone()),
+            atom(col(1), CmpOp::Eq, f.clone()),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.satisfiable());
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(1))));
+        // false < true under the boolean order.
+        assert!(c.implies_atom(&atom(col(1), CmpOp::Lt, col(0))));
+        // Contradiction: both booleans on one column.
+        let bad = vec![atom(col(0), CmpOp::Eq, t), atom(col(0), CmpOp::Eq, f)];
+        assert!(!PredClosure::build(&bad, &[]).satisfiable());
+    }
+
+    #[test]
+    fn double_constant_ordering() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Le, Term::Const(Literal::Double(2.5))),
+            atom(col(1), CmpOp::Ge, Term::Const(Literal::Double(2.75))),
+        ];
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
+        // Mixed int/double bound: 2 < 2.5.
+        assert!(c.implies_atom(&atom(
+            Term::Const(Literal::Int(2)),
+            CmpOp::Lt,
+            Term::Const(Literal::Double(2.5))
+        )));
+    }
+
+    #[test]
+    fn string_and_number_never_ordered() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, Term::Const(Literal::Str("x".into()))),
+            atom(col(0), CmpOp::Lt, Term::Const(Literal::Int(5))),
+        ];
+        // `x < 5` over a string-bound column is not refutable by the
+        // order reasoner (types are the engine's concern), but the
+        // incomparable constants stay unordered.
+        let c = PredClosure::build(&atoms, &[]);
+        assert!(!c.implies_atom(&atom(
+            Term::Const(Literal::Str("x".into())),
+            CmpOp::Lt,
+            Term::Const(Literal::Int(99))
+        )));
+    }
+
+    #[test]
+    fn chain_of_constants_cycle_unsat() {
+        // 0 ≤ 1, 1 ≤ 2, 2 ≤ 0, 0 = 1 is fine; adding 1 ≠ 2 is not: the
+        // cycle forces 0 = 1 = 2.
+        let base = vec![
+            atom(col(0), CmpOp::Le, col(1)),
+            atom(col(1), CmpOp::Le, col(2)),
+            atom(col(2), CmpOp::Le, col(0)),
+        ];
+        let c = PredClosure::build(&base, &[]);
+        assert!(c.satisfiable());
+        assert!(c.implies_atom(&atom(col(0), CmpOp::Eq, col(2))));
+        let mut bad = base.clone();
+        bad.push(atom(col(1), CmpOp::Ne, col(2)));
+        assert!(!PredClosure::build(&bad, &[]).satisfiable());
+    }
+}

@@ -1,0 +1,108 @@
+//! A simple cardinality-based cost model for ranking rewritings.
+//!
+//! The paper motivates view usage by cardinality ("the materialized view is
+//! likely to be orders of magnitude smaller than the `Calls` table"); this
+//! model captures exactly that signal. It is deliberately simple — the
+//! paper's future work points at integration with a cost-based optimizer
+//! \[CKPS95\]; here we only need a sensible ranking for the API and the
+//! benchmark harness.
+
+use aggview_sql::ast::Query;
+use std::collections::HashMap;
+
+/// Per-relation row counts used for cost estimation.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    rows: HashMap<String, usize>,
+}
+
+impl TableStats {
+    /// Empty stats (every table gets [`TableStats::DEFAULT_ROWS`]).
+    pub fn new() -> Self {
+        TableStats::default()
+    }
+
+    /// Assumed cardinality for tables without statistics.
+    pub const DEFAULT_ROWS: usize = 1000;
+
+    /// Record a row count.
+    pub fn set(&mut self, table: impl Into<String>, rows: usize) -> &mut Self {
+        self.rows.insert(table.into(), rows);
+        self
+    }
+
+    /// The recorded (or default) row count.
+    pub fn get(&self, table: &str) -> usize {
+        self.rows.get(table).copied().unwrap_or(Self::DEFAULT_ROWS)
+    }
+
+    /// Does the table have recorded statistics?
+    pub fn has(&self, table: &str) -> bool {
+        self.rows.contains_key(table)
+    }
+}
+
+/// Estimate the evaluation cost of a single-block query: the scan cost of
+/// its `FROM` relations plus an estimated join-output cardinality, where
+/// each equality conjunct contributes a selectivity factor of `0.1`.
+pub fn estimate_cost(query: &Query, stats: &TableStats) -> f64 {
+    let scan: f64 = query
+        .from
+        .iter()
+        .map(|t| stats.get(&t.table) as f64)
+        .sum();
+    let product: f64 = query
+        .from
+        .iter()
+        .map(|t| stats.get(&t.table) as f64)
+        .product();
+    let n_preds = query
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().len())
+        .unwrap_or(0);
+    let selectivity = 0.1f64.powi(n_preds.min(8) as i32);
+    scan + product * selectivity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_sql::parse_query;
+
+    #[test]
+    fn stats_lookup_with_default() {
+        let mut s = TableStats::new();
+        s.set("Calls", 1_000_000);
+        assert_eq!(s.get("Calls"), 1_000_000);
+        assert_eq!(s.get("Unknown"), TableStats::DEFAULT_ROWS);
+        assert!(s.has("Calls"));
+        assert!(!s.has("Unknown"));
+    }
+
+    #[test]
+    fn smaller_view_wins() {
+        let mut s = TableStats::new();
+        s.set("Calls", 1_000_000)
+            .set("Calling_Plans", 10)
+            .set("V1", 240);
+        let original = parse_query(
+            "SELECT Plan_Id, SUM(Charge) FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 GROUP BY Plan_Id",
+        )
+        .unwrap();
+        let rewritten = parse_query(
+            "SELECT Plan_Id, SUM(Monthly_Earnings) FROM V1 WHERE Year = 1995 GROUP BY Plan_Id",
+        )
+        .unwrap();
+        assert!(estimate_cost(&rewritten, &s) < estimate_cost(&original, &s));
+    }
+
+    #[test]
+    fn predicates_reduce_estimated_output() {
+        let s = TableStats::new();
+        let loose = parse_query("SELECT a FROM t, u").unwrap();
+        let tight = parse_query("SELECT a FROM t, u WHERE a = b").unwrap();
+        assert!(estimate_cost(&tight, &s) < estimate_cost(&loose, &s));
+    }
+}

@@ -1,0 +1,219 @@
+//! The "expand" extension — footnote 3 of the paper (Section 4.5).
+//!
+//! Section 4.5 proves that an aggregation view can never answer a
+//! conjunctive query under multiset semantics: grouping loses tuple
+//! multiplicities. Footnote 3 observes the escape hatch: *"if we assume the
+//! existence of an interpreted table `Nat(N)` which contains one copy of
+//! each of the natural numbers, then it is possible to write the desired
+//! SQL query"* — join the view with `Nat` on `Nat.k <= V.count` to
+//! replicate each view row `count` times (\[GHQ95\] calls this the *expand*
+//! operator).
+//!
+//! The implementation rests on an identity: the expansion of an
+//! aggregation view `V` (by its COUNT column) is multiset-identical to the
+//! conjunctive query `SELECT ColSel(V) FROM Tables(V) WHERE Conds(V)`.
+//! We therefore synthesize that conjunctive *pseudo-view*, run the
+//! Section 3 machinery (conditions C2–C4, steps S1–S4) against it, and
+//! then structurally transform the result: the pseudo-view occurrence
+//! becomes the real view joined with `Nat` on `k <= count`.
+//!
+//! The resulting rewriting requires the `Nat` relation to be present in
+//! the database, sized at least to the view's maximum COUNT value
+//! (`aggview::run::ensure_nat` provides it).
+
+use crate::canon::{AggExpr, AggSpec, Atom, Canonical, ColId, SelItem, Term};
+use crate::closure::PredClosure;
+use crate::conjunctive::rewrite_conjunctive;
+use crate::explain::WhyNot;
+use crate::mapping::Mapping;
+use aggview_sql::ast::{AggFunc, CmpOp};
+
+/// Name of the interpreted natural-numbers table.
+pub const NAT_TABLE: &str = "Nat";
+/// Name of its single column.
+pub const NAT_COLUMN: &str = "k";
+
+/// Rewrite a *conjunctive* query using an *aggregation* view via the
+/// footnote-3 expansion. Returns the rewritten query, which references
+/// both the view and the [`NAT_TABLE`] relation.
+pub fn rewrite_expand(
+    query: &Canonical,
+    view: &Canonical,
+    view_name: &str,
+    view_out_names: &[String],
+    mapping: &Mapping,
+    q_closure: &PredClosure,
+) -> Result<Canonical, WhyNot> {
+    if query.is_aggregation_query() {
+        return Err(WhyNot::Unsupported {
+            reason: "expand applies to conjunctive queries only".into(),
+        });
+    }
+    if !view.gconds.is_empty() || view.distinct {
+        return Err(WhyNot::Unsupported {
+            reason: "expand over views with HAVING or DISTINCT".into(),
+        });
+    }
+
+    // Locate the COUNT column and the non-aggregation outputs.
+    let mut count_idx: Option<usize> = None;
+    let mut colsel: Vec<(usize, ColId)> = Vec::new(); // (view sel idx, view col)
+    for (i, item) in view.select.iter().enumerate() {
+        match item {
+            SelItem::Col(b) => colsel.push((i, *b)),
+            SelItem::Agg(AggExpr::Plain(AggSpec {
+                func: AggFunc::Count,
+                ..
+            })) => {
+                if count_idx.is_none() {
+                    count_idx = Some(i);
+                }
+            }
+            SelItem::Agg(_) => {}
+        }
+    }
+    let count_idx = count_idx.ok_or(WhyNot::AggregateNotComputable {
+        agg: "expand".into(),
+        missing: "the view exposes no COUNT column to drive the expansion".into(),
+    })?;
+
+    // The conjunctive pseudo-view: SELECT ColSel(V) FROM Tables(V) WHERE
+    // Conds(V) — multiset-identical to expand(V).
+    let pseudo = Canonical {
+        distinct: false,
+        tables: view.tables.clone(),
+        columns: view.columns.clone(),
+        select: colsel.iter().map(|&(_, b)| SelItem::Col(b)).collect(),
+        conds: view.conds.clone(),
+        groups: Vec::new(),
+        gconds: Vec::new(),
+    };
+    let pseudo_out: Vec<String> = colsel
+        .iter()
+        .map(|&(i, _)| view_out_names[i].clone())
+        .collect();
+
+    let rewritten =
+        rewrite_conjunctive(query, &pseudo, view_name, &pseudo_out, mapping, q_closure)?;
+
+    // Structural transform: widen the pseudo-view occurrence (last table)
+    // back to the full view schema and append the Nat occurrence with the
+    // `k <= count` join.
+    let pseudo_occ = rewritten.tables.len() - 1;
+    let pseudo_first = rewritten.tables[pseudo_occ].first_col;
+
+    let mut out = Canonical::empty();
+    out.distinct = rewritten.distinct;
+    for t in &rewritten.tables[..pseudo_occ] {
+        let names: Vec<String> = t
+            .cols()
+            .map(|c| rewritten.columns[c].name.clone())
+            .collect();
+        out.add_table(t.base.clone(), names);
+    }
+    let view_occ = out.add_table(view_name, view_out_names.to_vec());
+    let nat_occ = out.add_table(NAT_TABLE, [NAT_COLUMN.to_string()]);
+
+    // Pseudo column j maps to the full view's SELECT position. Captured
+    // positions are computed up front so `out` stays mutable.
+    let view_first = out.tables[view_occ].first_col;
+    let nat_col = out.col_of(nat_occ, 0);
+    let count_col = out.col_of(view_occ, count_idx);
+    let remap = move |c: ColId| -> ColId {
+        if c < pseudo_first {
+            c
+        } else {
+            let j = c - pseudo_first;
+            view_first + colsel[j].0
+        }
+    };
+    let remap_term = |t: &Term| match t {
+        Term::Col(c) => Term::Col(remap(*c)),
+        Term::Const(l) => Term::Const(l.clone()),
+    };
+
+    out.select = rewritten
+        .select
+        .iter()
+        .map(|s| match s {
+            SelItem::Col(c) => SelItem::Col(remap(*c)),
+            SelItem::Agg(_) => unreachable!("conjunctive query"),
+        })
+        .collect();
+    out.conds = rewritten
+        .conds
+        .iter()
+        .map(|a| Atom::new(remap_term(&a.lhs), a.op, remap_term(&a.rhs)))
+        .collect();
+    // The expansion join: Nat.k <= V.count.
+    out.conds
+        .push(Atom::new(Term::Col(nat_col), CmpOp::Le, Term::Col(count_col)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::enumerate_mappings;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+        cat
+    }
+
+    fn canon(sql: &str) -> Canonical {
+        Canonical::from_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    fn try_expand(q: &Canonical, v: &Canonical, outs: &[&str]) -> Result<Canonical, WhyNot> {
+        let out_names: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
+        let universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        let cl = PredClosure::build(&q.conds, &universe);
+        let mappings = enumerate_mappings(v, q, true, Some(&cl));
+        assert_eq!(mappings.len(), 1);
+        rewrite_expand(q, v, "V1", &out_names, &mappings[0], &cl)
+    }
+
+    #[test]
+    fn example_4_5_with_nat_table() {
+        // The exact Example 4.5 pair, now rewritable via footnote 3.
+        let q = canon("SELECT A, B FROM R1");
+        let v = canon("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B");
+        let rw = try_expand(&q, &v, &["A", "B", "N"]).unwrap();
+        assert_eq!(
+            rw.to_query().to_string(),
+            "SELECT V1.A, V1.B FROM V1, Nat WHERE Nat.k <= V1.N"
+        );
+    }
+
+    #[test]
+    fn residual_conditions_survive_expansion() {
+        let q = canon("SELECT A FROM R1 WHERE B = 2");
+        let v = canon("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B");
+        let rw = try_expand(&q, &v, &["A", "B", "N"]).unwrap();
+        assert_eq!(
+            rw.to_query().to_string(),
+            "SELECT V1.A FROM V1, Nat WHERE V1.B = 2 AND Nat.k <= V1.N"
+        );
+    }
+
+    #[test]
+    fn needs_a_count_column() {
+        let q = canon("SELECT A FROM R1");
+        let v = canon("SELECT A, SUM(C) AS S FROM R1 GROUP BY A");
+        let err = try_expand(&q, &v, &["A", "S"]).unwrap_err();
+        assert!(matches!(err, WhyNot::AggregateNotComputable { .. }));
+    }
+
+    #[test]
+    fn projected_out_needed_column_still_fails() {
+        // Expansion does not resurrect projected-out columns: the query
+        // needs C but the view only groups by A, B.
+        let q = canon("SELECT A, C FROM R1");
+        let v = canon("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B");
+        assert!(try_expand(&q, &v, &["A", "B", "N"]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Diagnostics: why a view is, or is not, usable for a query.
+//!
+//! Every failed usability check maps to a [`WhyNot`] naming the violated
+//! paper condition, so callers (and the `repro` harness) can report *which*
+//! condition failed — mirroring how the paper walks through C1–C4 in its
+//! worked examples.
+
+use std::fmt;
+
+/// The reason a particular candidate (view, mapping) is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhyNot {
+    /// Section 4.5: the view has grouping/aggregation but the query is
+    /// conjunctive — tuple multiplicities are unrecoverable.
+    AggregationViewForConjunctiveQuery,
+    /// Condition C1: no (1-1) column mapping exists.
+    NoColumnMapping,
+    /// Condition C3 (first half): a mapped view condition is not entailed
+    /// by `Conds(Q)`.
+    ViewCondsNotImplied {
+        /// Rendering of the offending mapped atom.
+        atom: String,
+    },
+    /// Condition C3 (second half): no residual `Conds'` over the available
+    /// columns reconstructs `Conds(Q)`.
+    NoResidual,
+    /// Condition C2/C2': a needed `SELECT`/`GROUP BY` column is projected
+    /// out of the view.
+    SelectColumnNotExposed {
+        /// The query column (by name) with no equal view output column.
+        column: String,
+    },
+    /// Condition C4/C4': an aggregate required by the query cannot be
+    /// computed from the view's outputs.
+    AggregateNotComputable {
+        /// Rendering of the aggregate.
+        agg: String,
+        /// What was missing (e.g. "no COUNT column to recover multiplicities").
+        missing: String,
+    },
+    /// Section 4.3: the view's HAVING clause eliminates groups the query
+    /// may need to coalesce.
+    ViewHavingWithCoalescing,
+    /// Section 4.3: the view's (normalized) HAVING conditions are not
+    /// entailed by the query's, or no residual exists.
+    HavingMismatch {
+        /// Details.
+        reason: String,
+    },
+    /// The view's `SELECT DISTINCT` (or the query's) changes multiplicities
+    /// and keys were not provided to justify set semantics.
+    SetSemanticsRequired,
+    /// The candidate falls outside the implemented fragment (documented
+    /// restrictions).
+    Unsupported {
+        /// Details.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WhyNot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhyNot::AggregationViewForConjunctiveQuery => write!(
+                f,
+                "section 4.5: an aggregation view cannot answer a conjunctive query \
+                 under multiset semantics (multiplicities are lost)"
+            ),
+            WhyNot::NoColumnMapping => write!(f, "condition C1: no 1-1 column mapping"),
+            WhyNot::ViewCondsNotImplied { atom } => write!(
+                f,
+                "condition C3: mapped view condition `{atom}` is not implied by Conds(Q)"
+            ),
+            WhyNot::NoResidual => write!(
+                f,
+                "condition C3: Conds(Q) is not equivalent to the mapped view conditions \
+                 conjoined with any residual over the available columns"
+            ),
+            WhyNot::SelectColumnNotExposed { column } => write!(
+                f,
+                "condition C2: needed column `{column}` is projected out of the view"
+            ),
+            WhyNot::AggregateNotComputable { agg, missing } => {
+                write!(f, "condition C4: cannot compute `{agg}` from the view ({missing})")
+            }
+            WhyNot::ViewHavingWithCoalescing => write!(
+                f,
+                "section 4.3: the view's HAVING clause may eliminate groups that the \
+                 query needs to coalesce"
+            ),
+            WhyNot::HavingMismatch { reason } => {
+                write!(f, "section 4.3: HAVING clauses do not match ({reason})")
+            }
+            WhyNot::SetSemanticsRequired => write!(
+                f,
+                "section 5: this rewriting needs set semantics (keys or SELECT DISTINCT)"
+            ),
+            WhyNot::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+/// Which rewriting machinery a candidate went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateMode {
+    /// Sections 3/4 multiset rewriting.
+    Multiset,
+    /// Section 5 set semantics (many-to-1 mapping or DISTINCT).
+    SetSemantics,
+    /// Footnote-3 expansion via the `Nat` table.
+    Expand,
+}
+
+impl fmt::Display for CandidateMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CandidateMode::Multiset => "multiset",
+            CandidateMode::SetSemantics => "set semantics",
+            CandidateMode::Expand => "expand",
+        })
+    }
+}
+
+/// A per-candidate report from [`crate::Rewriter::explain`].
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// The view considered.
+    pub view: String,
+    /// The occurrence assignment tried (view occ → query occ), if any
+    /// mapping existed at all.
+    pub mapping: Option<Vec<usize>>,
+    /// The machinery this candidate went through.
+    pub mode: CandidateMode,
+    /// Either the rendered rewriting or the failure reason.
+    pub outcome: Result<String, WhyNot>,
+}
+
+impl fmt::Display for CandidateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view `{}`", self.view)?;
+        if let Some(m) = &self.mapping {
+            write!(f, " with mapping {m:?}")?;
+        }
+        if self.mode != CandidateMode::Multiset {
+            write!(f, " ({})", self.mode)?;
+        }
+        match &self.outcome {
+            Ok(sql) => write!(f, ": usable -> {sql}"),
+            Err(why) => write!(f, ": not usable -> {why}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_conditions() {
+        assert!(WhyNot::NoColumnMapping.to_string().contains("C1"));
+        assert!(WhyNot::NoResidual.to_string().contains("C3"));
+        assert!(WhyNot::SelectColumnNotExposed {
+            column: "A".into()
+        }
+        .to_string()
+        .contains("C2"));
+        assert!(WhyNot::AggregateNotComputable {
+            agg: "SUM(B)".into(),
+            missing: "no COUNT column".into()
+        }
+        .to_string()
+        .contains("C4"));
+        assert!(WhyNot::AggregationViewForConjunctiveQuery
+            .to_string()
+            .contains("4.5"));
+    }
+
+    #[test]
+    fn report_renders_both_outcomes() {
+        let ok = CandidateReport {
+            view: "V1".into(),
+            mapping: Some(vec![0, 1]),
+            mode: CandidateMode::Multiset,
+            outcome: Ok("SELECT ...".into()),
+        };
+        assert!(ok.to_string().contains("usable"));
+        let bad = CandidateReport {
+            view: "V2".into(),
+            mapping: None,
+            mode: CandidateMode::SetSemantics,
+            outcome: Err(WhyNot::NoColumnMapping),
+        };
+        assert!(bad.to_string().contains("not usable"));
+        assert!(bad.to_string().contains("set semantics"));
+    }
+}

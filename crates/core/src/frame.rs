@@ -1,0 +1,87 @@
+//! Shared machinery for building rewritten queries: the "frame" replaces
+//! the mapped occurrences φ(Tables(V)) by a single occurrence of the view
+//! (step S1/S1') and tracks how the surviving query columns renumber.
+
+use crate::canon::{Canonical, ColId};
+use std::collections::HashSet;
+
+/// The skeleton of a rewritten query: kept occurrences followed by the view
+/// occurrence, with a translation table for kept columns.
+pub(crate) struct Frame {
+    /// The rewritten query under construction (tables populated; select,
+    /// conds, groups, gconds still empty).
+    pub new_q: Canonical,
+    /// For each original query column: its id in the new query, if the
+    /// column survives (i.e. its occurrence was not replaced by the view).
+    pub trans_keep: Vec<Option<ColId>>,
+    /// Index of the view occurrence in the new query.
+    pub view_occ: usize,
+}
+
+impl Frame {
+    /// Build the skeleton: copy every query occurrence not in `image_occs`,
+    /// then append one occurrence of the view with output columns
+    /// `view_out_names`.
+    pub fn build(
+        query: &Canonical,
+        image_occs: &HashSet<usize>,
+        view_name: &str,
+        view_out_names: &[String],
+    ) -> Frame {
+        let mut new_q = Canonical::empty();
+        new_q.distinct = query.distinct;
+        let mut trans_keep: Vec<Option<ColId>> = vec![None; query.n_cols()];
+        for (qi, t) in query.tables.iter().enumerate() {
+            if image_occs.contains(&qi) {
+                continue;
+            }
+            let names: Vec<String> = t
+                .cols()
+                .map(|c| query.columns[c].name.clone())
+                .collect();
+            let new_occ = new_q.add_table(t.base.clone(), names);
+            for (pos, c) in t.cols().enumerate() {
+                trans_keep[c] = Some(new_q.col_of(new_occ, pos));
+            }
+        }
+        let view_occ = new_q.add_table(view_name.to_string(), view_out_names.to_vec());
+        Frame {
+            new_q,
+            trans_keep,
+            view_occ,
+        }
+    }
+
+    /// The new-query column id of the view's `sel_idx`-th output column.
+    pub fn view_col(&self, sel_idx: usize) -> ColId {
+        self.new_q.col_of(self.view_occ, sel_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    #[test]
+    fn frame_keeps_unmapped_occurrences_and_appends_view() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C"])).unwrap();
+        let q = Canonical::from_query(
+            &parse_query("SELECT A FROM R1, R2").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let image: HashSet<usize> = [0].into_iter().collect();
+        let f = Frame::build(&q, &image, "V", &["x".into(), "y".into()]);
+        // R2 kept as occ 0; V appended as occ 1.
+        assert_eq!(f.new_q.tables.len(), 2);
+        assert_eq!(f.new_q.tables[0].base, "R2");
+        assert_eq!(f.new_q.tables[1].base, "V");
+        assert_eq!(f.trans_keep, vec![None, None, Some(0)]);
+        assert_eq!(f.view_col(0), 1);
+        assert_eq!(f.view_col(1), 2);
+    }
+}

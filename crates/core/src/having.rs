@@ -1,0 +1,198 @@
+//! Predicate move-around normalization of `HAVING` clauses — Section 3.3.
+//!
+//! Before usability is checked, both the query and the view are normalized
+//! by *moving maximal sets of conditions from the `HAVING` clause to the
+//! `WHERE` clause*, strengthening `Conds(Q)` without changing the query's
+//! result. The paper cites the general predicate move-around machinery of
+//! [LMS94, RSSS95]; we implement the sound subset the paper itself uses in
+//! its examples:
+//!
+//! 1. A `HAVING` atom over *grouping columns and constants only* moves to
+//!    `WHERE` verbatim (it holds for every row of a group iff it holds for
+//!    the group).
+//! 2. `MAX(B) > c` (or `≥`) moves as `B > c`, and dually `MIN(B) < c` (or
+//!    `≤`) as `B < c`, **provided every aggregate expression in the query
+//!    is that same aggregate**. Removing the non-qualifying rows then (a)
+//!    eliminates exactly the groups the `HAVING` clause eliminated and (b)
+//!    leaves the surviving groups' `MAX`/`MIN` values unchanged — which is
+//!    only safe because no other aggregate observes the removed rows.
+//!
+//! The move both strengthens `Conds(Q)` (helping condition C3 find a
+//! residual) and removes the atom from `GConds(Q)`.
+
+use crate::canon::{Atom, Canonical, GAtom, GTerm, Term};
+use aggview_sql::ast::{AggFunc, CmpOp};
+
+use crate::canon::AggExpr;
+
+/// Normalize a canonical query by moving movable `HAVING` atoms into the
+/// `WHERE` clause. Returns the number of atoms moved.
+pub fn normalize_having(q: &mut Canonical) -> usize {
+    let mut moved = 0;
+    let mut remaining: Vec<GAtom> = Vec::with_capacity(q.gconds.len());
+    let gconds = std::mem::take(&mut q.gconds);
+    // `agg_exprs` must reflect the whole query, including atoms we keep.
+    let all_aggs: Vec<AggExpr> = {
+        let mut v: Vec<AggExpr> = Vec::new();
+        for s in &q.select {
+            if let crate::canon::SelItem::Agg(a) = s {
+                v.push(a.clone());
+            }
+        }
+        for g in &gconds {
+            for t in [&g.lhs, &g.rhs] {
+                if let GTerm::Agg(a) = t {
+                    v.push(a.clone());
+                }
+            }
+        }
+        v
+    };
+
+    for atom in gconds {
+        match movable(&atom, &all_aggs) {
+            Some(where_atom) => {
+                q.conds.push(where_atom);
+                moved += 1;
+            }
+            None => remaining.push(atom),
+        }
+    }
+    q.gconds = remaining;
+    moved
+}
+
+/// If `atom` may move to the `WHERE` clause, the `WHERE` atom it becomes.
+fn movable(atom: &GAtom, all_aggs: &[AggExpr]) -> Option<Atom> {
+    // Rule 1: grouping columns and constants only.
+    if let (Some(l), Some(r)) = (scalar_term(&atom.lhs), scalar_term(&atom.rhs)) {
+        return Some(Atom::new(l, atom.op, r));
+    }
+
+    // Rule 2: MAX(B) > c / MIN(B) < c, with the aggregate oriented left.
+    let (agg, op, konst) = match (&atom.lhs, &atom.rhs) {
+        (GTerm::Agg(a), GTerm::Const(c)) => (a, atom.op, c),
+        (GTerm::Const(c), GTerm::Agg(a)) => (a, atom.op.flip(), c),
+        _ => return None,
+    };
+    let AggExpr::Plain(spec) = agg else {
+        return None;
+    };
+    let arg = spec.arg?;
+    let applies = matches!(
+        (spec.func, op),
+        (AggFunc::Max, CmpOp::Gt) | (AggFunc::Max, CmpOp::Ge) | (AggFunc::Min, CmpOp::Lt) | (AggFunc::Min, CmpOp::Le)
+    );
+    if !applies {
+        return None;
+    }
+    // Every aggregate in the query must be this exact aggregate.
+    if !all_aggs.iter().all(|a| a == agg) {
+        return None;
+    }
+    Some(Atom::new(
+        Term::Col(arg),
+        op,
+        Term::Const(konst.clone()),
+    ))
+}
+
+fn scalar_term(t: &GTerm) -> Option<Term> {
+    match t {
+        GTerm::Col(c) => Some(Term::Col(*c)),
+        GTerm::Const(l) => Some(Term::Const(l.clone())),
+        GTerm::Agg(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::Canonical;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn canon(sql: &str) -> Canonical {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+        Canonical::from_query(&parse_query(sql).unwrap(), &cat).unwrap()
+    }
+
+    #[test]
+    fn grouping_column_atom_moves() {
+        let mut q = canon("SELECT A, SUM(B) FROM R GROUP BY A HAVING A > 5 AND SUM(B) < 100");
+        let moved = normalize_having(&mut q);
+        assert_eq!(moved, 1);
+        assert_eq!(q.gconds.len(), 1);
+        assert!(q
+            .conds
+            .contains(&Atom::new(Term::Col(0), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(5)))));
+    }
+
+    #[test]
+    fn max_gt_moves_when_sole_aggregate() {
+        let mut q = canon("SELECT A, MAX(B) FROM R GROUP BY A HAVING MAX(B) > 10");
+        let moved = normalize_having(&mut q);
+        assert_eq!(moved, 1);
+        assert!(q.gconds.is_empty());
+        assert!(q
+            .conds
+            .contains(&Atom::new(Term::Col(1), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(10)))));
+    }
+
+    #[test]
+    fn min_le_moves_when_sole_aggregate() {
+        let mut q = canon("SELECT A, MIN(B) FROM R GROUP BY A HAVING MIN(B) <= 3");
+        assert_eq!(normalize_having(&mut q), 1);
+        assert!(q.gconds.is_empty());
+    }
+
+    #[test]
+    fn flipped_constant_orientation_moves() {
+        let mut q = canon("SELECT A, MAX(B) FROM R GROUP BY A HAVING 10 < MAX(B)");
+        assert_eq!(normalize_having(&mut q), 1);
+        assert_eq!(
+            q.conds.last().unwrap(),
+            &Atom::new(Term::Col(1), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(10)))
+        );
+    }
+
+    #[test]
+    fn max_lt_does_not_move() {
+        // MAX(B) < 10 cannot become B < 10: it would keep groups whose max
+        // exceeds 10 (as truncated groups).
+        let mut q = canon("SELECT A, MAX(B) FROM R GROUP BY A HAVING MAX(B) < 10");
+        assert_eq!(normalize_having(&mut q), 0);
+        assert_eq!(q.gconds.len(), 1);
+    }
+
+    #[test]
+    fn max_gt_blocked_by_other_aggregates() {
+        // COUNT(C) would observe the rows removed by B > 10.
+        let mut q =
+            canon("SELECT A, MAX(B), COUNT(C) FROM R GROUP BY A HAVING MAX(B) > 10");
+        assert_eq!(normalize_having(&mut q), 0);
+    }
+
+    #[test]
+    fn repeated_same_aggregate_is_fine() {
+        // MAX(B) appears twice (SELECT and HAVING) — still the sole
+        // aggregate expression.
+        let mut q = canon("SELECT A, MAX(B) FROM R GROUP BY A HAVING MAX(B) > 10 AND MAX(B) >= 12");
+        // Both atoms qualify and both move.
+        assert_eq!(normalize_having(&mut q), 2);
+        assert!(q.gconds.is_empty());
+    }
+
+    #[test]
+    fn sum_predicates_never_move() {
+        let mut q = canon("SELECT A, SUM(B) FROM R GROUP BY A HAVING SUM(B) > 10");
+        assert_eq!(normalize_having(&mut q), 0);
+    }
+
+    #[test]
+    fn agg_to_agg_comparison_stays() {
+        let mut q = canon("SELECT A, MAX(B) FROM R GROUP BY A HAVING MAX(B) > MIN(B)");
+        assert_eq!(normalize_having(&mut q), 0);
+    }
+}

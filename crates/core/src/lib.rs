@@ -1,0 +1,46 @@
+//! The rewriting engine of *"Reasoning with Aggregation Constraints in
+//! Views"* (Dar, Jagadish, Levy, Srivastava, 1996).
+//!
+//! Given a single-block SQL query `Q` and a set of materialized view
+//! definitions, this crate finds rewritings `Q'` that (a) mention views in
+//! their `FROM` clause and (b) are *multiset-equivalent* to `Q`.
+//!
+//! Module map (paper section → module):
+//!
+//! | Paper | Module | What it implements |
+//! |---|---|---|
+//! | §2 | [`canon`] | Canonical query form with globally unique column identities (the paper's renaming convention) |
+//! | §2, §3 (footnote 2) | [`closure`] | Closure of conjunctions of built-in predicates; satisfiability, implication, equivalence, residual `Conds'` computation |
+//! | §3 C1 | [`mapping`] | Enumeration of 1-1 (and, for §5, many-to-1) column mappings |
+//! | §3.3 | [`having`] | Predicate move-around normalization of `HAVING` clauses |
+//! | §3 | [`conjunctive`] | Conditions C1–C4 and rewriting steps S1–S4 (conjunctive views) |
+//! | §4 | [`aggregate`] | Conditions C2'–C4', steps S1'–S5' incl. the auxiliary view `V^a`, AVG (§4.4), the §4.5 impossibility |
+//! | §5 | [`set_mode`] | Set-semantics rewriting with many-to-1 mappings under key reasoning |
+//! | §3.2 | [`rewrite`] | Iterative multi-view rewriting (sound, Church-Rosser, complete for equalities) and the top-level [`Rewriter`] |
+//! | §7 (future work) | [`advisor`] | View selection: synthesize + validate candidate summary views |
+//! | — | [`cost`] | A simple cardinality cost model for ranking rewritings |
+//! | — | [`explain`] | Diagnostics: why a view is / is not usable |
+
+pub mod advisor;
+pub mod aggregate;
+pub mod canon;
+mod frame;
+pub mod closure;
+pub mod conjunctive;
+pub mod cost;
+pub mod expand;
+pub mod explain;
+pub mod having;
+pub mod mapping;
+pub mod rewrite;
+pub mod set_mode;
+pub mod simplify;
+
+pub use advisor::{suggest_views, ViewSuggestion};
+pub use canon::{AggExpr, AggSpec, Atom, CanonError, Canonical, ColId, GAtom, GTerm, SelItem, Term};
+pub use closure::PredClosure;
+pub use cost::{estimate_cost, TableStats};
+pub use explain::{CandidateMode, CandidateReport, WhyNot};
+pub use mapping::Mapping;
+pub use rewrite::{RewriteError, RewriteOptions, Rewriter, Rewriting, Strategy, ViewDef};
+pub use simplify::{simplify_conditions, Simplification};

@@ -1,0 +1,315 @@
+//! Column mappings (Definition 2.1) and their enumeration.
+//!
+//! A column mapping φ from view `V` to query `Q` maps every `FROM`
+//! occurrence of `V` to an occurrence of `Q` over the *same base table*,
+//! carrying columns positionally. Condition C1 requires φ to be 1-1
+//! (distinct view occurrences map to distinct query occurrences); Section 5
+//! relaxes this to many-to-1 under set semantics.
+//!
+//! Enumeration is a backtracking search over occurrence assignments with an
+//! optional semantic pruning hook: a partial assignment is abandoned as
+//! soon as a fully-mapped view condition atom is *not* entailed by
+//! `Conds(Q)` — mapped view conditions must be entailed in any usable
+//! rewriting (the first half of condition C3), so this prunes without
+//! losing completeness.
+
+use crate::canon::{Atom, Canonical, ColId, Term};
+use crate::closure::PredClosure;
+
+/// A column mapping φ, represented by its occurrence assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// `occ_map[v]` = the query occurrence that view occurrence `v` maps to.
+    pub occ_map: Vec<usize>,
+}
+
+impl Mapping {
+    /// Is this mapping 1-1 on occurrences?
+    pub fn is_one_to_one(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.occ_map.iter().all(|&q| seen.insert(q))
+    }
+
+    /// φ applied to a view column.
+    pub fn map_col(&self, view: &Canonical, query: &Canonical, vcol: ColId) -> ColId {
+        let info = &view.columns[vcol];
+        query.col_of(self.occ_map[info.occ], info.pos)
+    }
+
+    /// φ applied to a term.
+    pub fn map_term(&self, view: &Canonical, query: &Canonical, t: &Term) -> Term {
+        match t {
+            Term::Col(c) => Term::Col(self.map_col(view, query, *c)),
+            Term::Const(l) => Term::Const(l.clone()),
+        }
+    }
+
+    /// φ applied to an atom.
+    pub fn map_atom(&self, view: &Canonical, query: &Canonical, a: &Atom) -> Atom {
+        Atom::new(
+            self.map_term(view, query, &a.lhs),
+            a.op,
+            self.map_term(view, query, &a.rhs),
+        )
+    }
+
+    /// The set of query occurrences in the image of φ.
+    pub fn image_occs(&self) -> std::collections::HashSet<usize> {
+        self.occ_map.iter().copied().collect()
+    }
+
+    /// The set of query columns in φ(Cols(V)).
+    pub fn image_cols(&self, query: &Canonical) -> Vec<bool> {
+        let mut image = vec![false; query.n_cols()];
+        for &qocc in &self.occ_map {
+            for c in query.tables[qocc].cols() {
+                image[c] = true;
+            }
+        }
+        image
+    }
+}
+
+/// Enumerate the column mappings from `view` to `query`.
+///
+/// `one_to_one` selects condition C1 (true) or the Section 5 relaxation
+/// (false). `prune` supplies the closure of `Conds(Q)`; when given, partial
+/// assignments whose fully-mapped view atoms are not entailed are cut.
+pub fn enumerate_mappings(
+    view: &Canonical,
+    query: &Canonical,
+    one_to_one: bool,
+    prune: Option<&PredClosure>,
+) -> Vec<Mapping> {
+    let nv = view.tables.len();
+    // Candidate query occurrences per view occurrence.
+    let candidates: Vec<Vec<usize>> = view
+        .tables
+        .iter()
+        .map(|vt| {
+            query
+                .tables
+                .iter()
+                .enumerate()
+                .filter(|(_, qt)| qt.base == vt.base && qt.arity == vt.arity)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(|c| c.is_empty()) {
+        return Vec::new();
+    }
+
+    // Index view atoms by the highest view occurrence they mention, so each
+    // atom is checked exactly once — when its last occurrence is assigned.
+    // Atoms mentioning no view column (constant-constant) are checked up
+    // front.
+    let mut atoms_by_last: Vec<Vec<&Atom>> = vec![Vec::new(); nv];
+    for a in &view.conds {
+        let mut last: Option<usize> = None;
+        for t in [&a.lhs, &a.rhs] {
+            if let Term::Col(c) = t {
+                let occ = view.columns[*c].occ;
+                last = Some(last.map_or(occ, |l: usize| l.max(occ)));
+            }
+        }
+        match last {
+            Some(occ) => atoms_by_last[occ].push(a),
+            None => {
+                if let Some(cl) = prune {
+                    if !cl.implies_atom(a) {
+                        return Vec::new();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut assignment = vec![usize::MAX; nv];
+    let mut used = vec![false; query.tables.len()];
+    search(
+        0,
+        &mut assignment,
+        &mut used,
+        &candidates,
+        &atoms_by_last,
+        view,
+        query,
+        one_to_one,
+        prune,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    v: usize,
+    assignment: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    candidates: &[Vec<usize>],
+    atoms_by_last: &[Vec<&Atom>],
+    view: &Canonical,
+    query: &Canonical,
+    one_to_one: bool,
+    prune: Option<&PredClosure>,
+    out: &mut Vec<Mapping>,
+) {
+    if v == candidates.len() {
+        out.push(Mapping {
+            occ_map: assignment.clone(),
+        });
+        return;
+    }
+    for &q in &candidates[v] {
+        if one_to_one && used[q] {
+            continue;
+        }
+        assignment[v] = q;
+        // Semantic pruning: atoms fully mapped by now must be entailed.
+        let ok = match prune {
+            None => true,
+            Some(cl) => {
+                let partial = Mapping {
+                    occ_map: assignment[..=v].to_vec(),
+                };
+                atoms_by_last[v].iter().all(|a| {
+                    // Safe: every column of `a` lives in occurrences ≤ v.
+                    cl.implies_atom(&map_prefix_atom(&partial, view, query, a))
+                })
+            }
+        };
+        if ok {
+            used[q] = true;
+            search(
+                v + 1,
+                assignment,
+                used,
+                candidates,
+                atoms_by_last,
+                view,
+                query,
+                one_to_one,
+                prune,
+                out,
+            );
+            used[q] = false;
+        }
+        assignment[v] = usize::MAX;
+    }
+}
+
+fn map_prefix_atom(prefix: &Mapping, view: &Canonical, query: &Canonical, a: &Atom) -> Atom {
+    let map_term = |t: &Term| match t {
+        Term::Col(c) => {
+            let info = &view.columns[*c];
+            Term::Col(query.col_of(prefix.occ_map[info.occ], info.pos))
+        }
+        Term::Const(l) => Term::Const(l.clone()),
+    };
+    Atom::new(map_term(&a.lhs), a.op, map_term(&a.rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C", "D"])).unwrap();
+        cat
+    }
+
+    fn canon(sql: &str) -> Canonical {
+        Canonical::from_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn single_table_mapping() {
+        let q = canon("SELECT A FROM R1, R2");
+        let v = canon("SELECT A FROM R1");
+        let ms = enumerate_mappings(&v, &q, true, None);
+        assert_eq!(ms, vec![Mapping { occ_map: vec![0] }]);
+        assert_eq!(ms[0].map_col(&v, &q, 0), 0);
+        assert_eq!(ms[0].map_col(&v, &q, 1), 1);
+    }
+
+    #[test]
+    fn no_mapping_when_base_missing() {
+        let q = canon("SELECT A FROM R1");
+        let v = canon("SELECT C FROM R2");
+        assert!(enumerate_mappings(&v, &q, true, None).is_empty());
+    }
+
+    #[test]
+    fn self_join_enumerates_permutations() {
+        let q = canon("SELECT x.A FROM R1 x, R1 y");
+        let v = canon("SELECT u.A FROM R1 u, R1 w");
+        let ms = enumerate_mappings(&v, &q, true, None);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&Mapping {
+            occ_map: vec![0, 1]
+        }));
+        assert!(ms.contains(&Mapping {
+            occ_map: vec![1, 0]
+        }));
+        assert!(ms.iter().all(|m| m.is_one_to_one()));
+    }
+
+    #[test]
+    fn many_to_one_allows_collapsing() {
+        let q = canon("SELECT A FROM R1");
+        let v = canon("SELECT u.A FROM R1 u, R1 w");
+        assert!(enumerate_mappings(&v, &q, true, None).is_empty());
+        let ms = enumerate_mappings(&v, &q, false, None);
+        assert_eq!(
+            ms,
+            vec![Mapping {
+                occ_map: vec![0, 0]
+            }]
+        );
+        assert!(!ms[0].is_one_to_one());
+    }
+
+    #[test]
+    fn pruning_rejects_unentailed_view_conditions() {
+        let q = canon("SELECT A FROM R1, R2 WHERE A = C");
+        let v_ok = canon("SELECT A FROM R1, R2 WHERE A = C");
+        let v_bad = canon("SELECT A FROM R1, R2 WHERE B = D");
+        let universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        let cl = PredClosure::build(&q.conds, &universe);
+        assert_eq!(enumerate_mappings(&v_ok, &q, true, Some(&cl)).len(), 1);
+        assert!(enumerate_mappings(&v_bad, &q, true, Some(&cl)).is_empty());
+        // Without pruning the structural mapping still exists.
+        assert_eq!(enumerate_mappings(&v_bad, &q, true, None).len(), 1);
+    }
+
+    #[test]
+    fn image_cols_marks_mapped_occurrences() {
+        let q = canon("SELECT A FROM R1, R2");
+        let v = canon("SELECT C FROM R2");
+        let ms = enumerate_mappings(&v, &q, true, None);
+        let image = ms[0].image_cols(&q);
+        assert_eq!(image, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn map_atom_carries_constants() {
+        let q = canon("SELECT A FROM R1, R2");
+        let v = canon("SELECT A FROM R1 WHERE B = 5");
+        let ms = enumerate_mappings(&v, &q, true, None);
+        let mapped = ms[0].map_atom(&v, &q, &v.conds[0]);
+        assert_eq!(
+            mapped,
+            Atom::new(
+                Term::Col(1),
+                aggview_sql::CmpOp::Eq,
+                Term::Const(aggview_sql::Literal::Int(5))
+            )
+        );
+    }
+}

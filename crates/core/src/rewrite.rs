@@ -1,0 +1,984 @@
+//! The top-level rewriter and multi-view iteration — Section 3.2.
+//!
+//! [`Rewriter::rewrite`] finds **all** rewritings of a query using any
+//! number of the given materialized views, by iterating single-view
+//! substitutions: each successive rewriting treats previously incorporated
+//! views as database tables. Theorem 3.2 guarantees that, for conjunctive
+//! views with equality predicates, this iteration is sound, Church-Rosser
+//! (order-independent) and complete. States are deduplicated by their
+//! *application set* — which view was applied to which (provenance-labeled)
+//! occurrences — which is exactly the invariant the Church-Rosser property
+//! provides.
+//!
+//! Routing per candidate (query state, view):
+//! * conjunctive view → Section 3 ([`crate::conjunctive`]),
+//! * aggregation view + aggregation query → Section 4
+//!   ([`crate::aggregate`]),
+//! * aggregation view + conjunctive query → rejected (Section 4.5),
+//! * conjunctive view + conjunctive query, both provably sets → Section 5
+//!   many-to-1 mappings ([`crate::set_mode`]) in addition to the 1-1 ones.
+
+use crate::aggregate::{rewrite_aggregate, VaMode};
+use crate::canon::{CanonError, Canonical, Term};
+use crate::closure::PredClosure;
+use crate::conjunctive::{is_conjunctive, is_conjunctive_core, rewrite_conjunctive};
+use crate::cost::{estimate_cost, TableStats};
+use crate::expand::rewrite_expand;
+use crate::explain::{CandidateMode, CandidateReport, WhyNot};
+use crate::having::normalize_having;
+use crate::mapping::{enumerate_mappings, Mapping};
+use crate::set_mode::{result_is_set, rewrite_set_mode};
+use aggview_catalog::{Catalog, SchemaSource};
+use aggview_sql::ast::Query;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A materialized view: a name and its defining query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// The view's name (how rewritten queries reference it).
+    pub name: String,
+    /// The defining query.
+    pub query: Query,
+}
+
+impl ViewDef {
+    /// Create a view definition.
+    pub fn new(name: impl Into<String>, query: Query) -> Self {
+        ViewDef {
+            name: name.into(),
+            query,
+        }
+    }
+
+    /// The view's output column names (see [`Query::output_names`]).
+    pub fn output_names(&self) -> Vec<String> {
+        self.query.output_names()
+    }
+}
+
+/// Rewriting strategy for the Section 4 multiplicity machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Weighted aggregates (`SUM(N·A)` …) — always sound, no auxiliary
+    /// views. The default.
+    #[default]
+    Weighted,
+    /// The paper's `V^a` auxiliary-view construction where it is sound
+    /// (see `DESIGN.md`), weighted aggregates otherwise.
+    PaperFaithful,
+}
+
+/// Options controlling the rewriter.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// Section 4 strategy.
+    pub strategy: Strategy,
+    /// Enable Section 5 many-to-1 rewritings (needs catalog keys).
+    pub enable_set_mode: bool,
+    /// Iterate to find multi-view rewritings (Section 3.2); otherwise only
+    /// single-view rewritings are produced.
+    pub multi_view: bool,
+    /// Stop after this many rewritings.
+    pub max_rewritings: usize,
+    /// Maximum number of view applications per rewriting.
+    pub max_depth: usize,
+    /// Apply the Section 3.3 HAVING move-around normalization before
+    /// checking usability (on by default; off only for ablation studies).
+    pub normalize_having: bool,
+    /// Enable the footnote-3 "expand" extension: answer *conjunctive*
+    /// queries from aggregation views by joining with the interpreted
+    /// `Nat` table on `Nat.k <= count`. Rewritings produced this way set
+    /// [`Rewriting::requires_nat`] and need the `Nat` relation at
+    /// execution time (`aggview::run::ensure_nat`).
+    pub enable_expand: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            strategy: Strategy::Weighted,
+            enable_set_mode: true,
+            multi_view: true,
+            max_rewritings: 64,
+            max_depth: 8,
+            normalize_having: true,
+            enable_expand: false,
+        }
+    }
+}
+
+/// A rewriting of the input query that uses one or more views.
+#[derive(Debug, Clone)]
+pub struct Rewriting {
+    /// The rewritten query (references views by name in its `FROM`).
+    pub query: Query,
+    /// Canonical form of the rewritten query.
+    pub canonical: Canonical,
+    /// Auxiliary views (`V^a`) to materialize, in order, before `query`.
+    pub aux_views: Vec<ViewDef>,
+    /// Names of the views used, in application order.
+    pub views_used: Vec<String>,
+    /// Whether the paper's `V^a` construction was used anywhere.
+    pub used_paper_va: bool,
+    /// Whether the rewriting relies on Section 5 set semantics (its
+    /// guarantee is then set-equivalence; both sides are provably sets).
+    pub set_semantics: bool,
+    /// Whether the rewriting joins the interpreted `Nat` table (the
+    /// footnote-3 expansion) — the executing database must contain it.
+    pub requires_nat: bool,
+}
+
+impl Rewriting {
+    /// A one-line human-readable summary of how this rewriting answers the
+    /// query (used by the CLI and the examples).
+    pub fn description(&self) -> String {
+        let mut parts = vec![format!("uses {:?}", self.views_used)];
+        if self.used_paper_va {
+            parts.push("via the paper's V^a auxiliary view".to_string());
+        }
+        if !self.aux_views.is_empty() {
+            parts.push(format!(
+                "materializes {} auxiliary view(s)",
+                self.aux_views.len()
+            ));
+        }
+        if self.set_semantics {
+            parts.push("set semantics (Section 5)".to_string());
+        }
+        if self.requires_nat {
+            parts.push("requires the Nat table (footnote 3)".to_string());
+        }
+        parts.join("; ")
+    }
+
+    /// Estimated evaluation cost (main query plus auxiliary views).
+    pub fn cost(&self, stats: &TableStats) -> f64 {
+        let aux: f64 = self
+            .aux_views
+            .iter()
+            .map(|v| estimate_cost(&v.query, stats))
+            .sum();
+        aux + estimate_cost(&self.query, stats)
+    }
+}
+
+/// Errors from [`Rewriter::rewrite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The input query failed to canonicalize.
+    Query(CanonError),
+    /// A view definition failed to canonicalize.
+    View {
+        /// The offending view.
+        view: String,
+        /// The underlying error.
+        error: CanonError,
+    },
+    /// Two views (or a view and a base table) share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Query(e) => write!(f, "query: {e}"),
+            RewriteError::View { view, error } => write!(f, "view `{view}`: {error}"),
+            RewriteError::DuplicateName(n) => write!(f, "duplicate relation name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// The rewriting engine.
+pub struct Rewriter<'a> {
+    catalog: &'a Catalog,
+    options: RewriteOptions,
+}
+
+struct PreparedView {
+    name: String,
+    canonical: Canonical,
+    out_names: Vec<String>,
+    conjunctive: bool,
+    /// Conjunctive up to DISTINCT (eligible for Section 5 set semantics).
+    conjunctive_core: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ApplyMode {
+    /// Sections 3/4 multiset rewriting.
+    Multiset,
+    /// Section 5 set-semantics rewriting (many-to-1 mapping).
+    SetSemantics,
+    /// Footnote-3 expansion (conjunctive query, aggregation view).
+    Expand,
+}
+
+struct State {
+    canonical: Canonical,
+    labels: Vec<String>,
+    apps: BTreeSet<String>,
+    aux: Vec<ViewDef>,
+    used: Vec<String>,
+    used_va: bool,
+    set_semantics: bool,
+    requires_nat: bool,
+}
+
+impl<'a> Rewriter<'a> {
+    /// A rewriter with default options.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Rewriter {
+            catalog,
+            options: RewriteOptions::default(),
+        }
+    }
+
+    /// A rewriter with explicit options.
+    pub fn with_options(catalog: &'a Catalog, options: RewriteOptions) -> Self {
+        Rewriter { catalog, options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &RewriteOptions {
+        &self.options
+    }
+
+    fn prepare(
+        &self,
+        query: &Query,
+        views: &[ViewDef],
+    ) -> Result<(Canonical, Vec<PreparedView>), RewriteError> {
+        // View schemas are visible to later views and to the query.
+        let mut view_schemas: HashMap<String, Vec<String>> = HashMap::new();
+        let mut prepared = Vec::with_capacity(views.len());
+        for v in views {
+            if self.catalog.table(&v.name).is_some() || view_schemas.contains_key(&v.name) {
+                return Err(RewriteError::DuplicateName(v.name.clone()));
+            }
+            let schemas = Chain {
+                first: &view_schemas,
+                second: self.catalog,
+            };
+            let mut canonical =
+                Canonical::from_query(&v.query, &schemas).map_err(|error| RewriteError::View {
+                    view: v.name.clone(),
+                    error,
+                })?;
+            if self.options.normalize_having {
+                normalize_having(&mut canonical);
+            }
+            let out_names = v.output_names();
+            view_schemas.insert(v.name.clone(), out_names.clone());
+            let conjunctive = is_conjunctive(&canonical);
+            let conjunctive_core = is_conjunctive_core(&canonical);
+            prepared.push(PreparedView {
+                name: v.name.clone(),
+                canonical,
+                out_names,
+                conjunctive,
+                conjunctive_core,
+            });
+        }
+        let schemas = Chain {
+            first: &view_schemas,
+            second: self.catalog,
+        };
+        let mut q = Canonical::from_query(query, &schemas).map_err(RewriteError::Query)?;
+        if self.options.normalize_having {
+            normalize_having(&mut q);
+        }
+        Ok((q, prepared))
+    }
+
+    /// Find rewritings of `query` that use the given views. Returns every
+    /// rewriting found (possibly none), up to the configured cap.
+    pub fn rewrite(
+        &self,
+        query: &Query,
+        views: &[ViewDef],
+    ) -> Result<Vec<Rewriting>, RewriteError> {
+        let (root, prepared) = self.prepare(query, views)?;
+        let const_universe = collect_const_terms(&root, &prepared);
+
+        let mut results: Vec<Rewriting> = Vec::new();
+        let mut seen: HashSet<BTreeSet<String>> = HashSet::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+        let mut aux_counter = 0usize;
+        queue.push_back(State {
+            labels: (0..root.tables.len()).map(|i| format!("q{i}")).collect(),
+            canonical: root,
+            apps: BTreeSet::new(),
+            aux: Vec::new(),
+            used: Vec::new(),
+            used_va: false,
+            set_semantics: false,
+            requires_nat: false,
+        });
+        seen.insert(BTreeSet::new());
+
+        while let Some(state) = queue.pop_front() {
+            if results.len() >= self.options.max_rewritings {
+                break;
+            }
+            if state.apps.len() >= self.options.max_depth {
+                continue;
+            }
+            if !state.canonical.is_plain() {
+                continue; // terminal: derived aggregate forms
+            }
+            if !self.options.multi_view && !state.apps.is_empty() {
+                continue;
+            }
+
+            let mut universe: Vec<Term> =
+                (0..state.canonical.n_cols()).map(Term::Col).collect();
+            universe.extend(const_universe.iter().cloned());
+            let closure = PredClosure::build(&state.canonical.conds, &universe);
+
+            for view in &prepared {
+                for (mapping, mode) in
+                    self.candidate_mappings(&state, view, &closure)
+                {
+                    let attempt = self.apply(
+                        &state,
+                        view,
+                        &mapping,
+                        &closure,
+                        mode,
+                        &mut aux_counter,
+                    );
+                    let Ok(next) = attempt else { continue };
+                    if seen.insert(next.apps.clone()) {
+                        results.push(Rewriting {
+                            query: next.canonical.to_query(),
+                            canonical: next.canonical.clone(),
+                            aux_views: next.aux.clone(),
+                            views_used: next.used.clone(),
+                            used_paper_va: next.used_va,
+                            set_semantics: next.set_semantics,
+                            requires_nat: next.requires_nat,
+                        });
+                        if results.len() >= self.options.max_rewritings {
+                            return Ok(results);
+                        }
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// All mappings to try for (state, view): 1-1 always; many-to-1 extras
+    /// when Section 5 applies; expansion mappings when footnote 3 applies.
+    fn candidate_mappings(
+        &self,
+        state: &State,
+        view: &PreparedView,
+        closure: &PredClosure,
+    ) -> Vec<(Mapping, ApplyMode)> {
+        let mut out: Vec<(Mapping, ApplyMode)> = Vec::new();
+
+        // Sections 3/4 multiset machinery: duplicate-preserving conjunctive
+        // views work for any query; (non-DISTINCT) aggregation views for
+        // aggregation queries. A DISTINCT view changes multiplicities and
+        // never enters the multiset path. Section 4.5 leaves aggregation
+        // view + conjunctive query to the footnote-3 expansion (opt-in).
+        let aggregation_view = !view.conjunctive_core && !view.canonical.distinct;
+        if view.conjunctive || (aggregation_view && state.canonical.is_aggregation_query()) {
+            for m in enumerate_mappings(&view.canonical, &state.canonical, true, Some(closure)) {
+                out.push((m, ApplyMode::Multiset));
+            }
+        } else if aggregation_view
+            && !state.canonical.is_aggregation_query()
+            && self.options.enable_expand
+        {
+            for m in enumerate_mappings(&view.canonical, &state.canonical, true, Some(closure)) {
+                out.push((m, ApplyMode::Expand));
+            }
+        }
+
+        // Section 5 set semantics: conjunctive-core query and view, both
+        // provably sets (keys/FDs, or DISTINCT by definition). Many-to-1
+        // mappings always; 1-1 mappings too when the multiset path was
+        // closed (DISTINCT views).
+        if self.options.enable_set_mode
+            && view.conjunctive_core
+            && is_conjunctive_core(&state.canonical)
+            && result_is_set(&state.canonical, self.catalog)
+            && result_is_set(&view.canonical, self.catalog)
+        {
+            for m in enumerate_mappings(&view.canonical, &state.canonical, false, Some(closure))
+            {
+                if !m.is_one_to_one() || !view.conjunctive {
+                    out.push((m, ApplyMode::SetSemantics));
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        state: &State,
+        view: &PreparedView,
+        mapping: &Mapping,
+        closure: &PredClosure,
+        mode: ApplyMode,
+        aux_counter: &mut usize,
+    ) -> Result<State, WhyNot> {
+        let app_label = {
+            let mapped: Vec<&str> = mapping
+                .occ_map
+                .iter()
+                .map(|&q| state.labels[q].as_str())
+                .collect();
+            format!("{}({})", view.name, mapped.join(","))
+        };
+
+        let mut aux = state.aux.clone();
+        let mut used_va = state.used_va;
+        let mut requires_nat = state.requires_nat;
+        let canonical = if mode == ApplyMode::Expand {
+            requires_nat = true;
+            rewrite_expand(
+                &state.canonical,
+                &view.canonical,
+                &view.name,
+                &view.out_names,
+                mapping,
+                closure,
+            )?
+        } else if mode == ApplyMode::SetSemantics {
+            rewrite_set_mode(
+                &state.canonical,
+                &view.canonical,
+                &view.name,
+                &view.out_names,
+                mapping,
+                closure,
+                self.catalog,
+            )?
+        } else if view.conjunctive {
+            rewrite_conjunctive(
+                &state.canonical,
+                &view.canonical,
+                &view.name,
+                &view.out_names,
+                mapping,
+                closure,
+            )?
+        } else {
+            *aux_counter += 1;
+            let aux_name = format!("{}_va{}", view.name, aux_counter);
+            let mode = match self.options.strategy {
+                Strategy::Weighted => VaMode::Weighted,
+                Strategy::PaperFaithful => VaMode::PaperVa,
+            };
+            let out = rewrite_aggregate(
+                &state.canonical,
+                &view.canonical,
+                &view.name,
+                &view.out_names,
+                mapping,
+                closure,
+                mode,
+                &aux_name,
+            )?;
+            for (name, def, out_names) in &out.aux_views {
+                let mut ast = def.to_query();
+                for (item, n) in ast.select.iter_mut().zip(out_names) {
+                    item.alias = Some(n.clone());
+                }
+                aux.push(ViewDef::new(name.clone(), ast));
+            }
+            used_va |= out.used_va;
+            out.query
+        };
+
+        // Provenance labels for the new state: kept occurrences keep their
+        // labels (in order); the view (or V^a) occurrence gets the
+        // application label.
+        let image = mapping.image_occs();
+        let mut labels: Vec<String> = (0..state.canonical.tables.len())
+            .filter(|i| !image.contains(i))
+            .map(|i| state.labels[i].clone())
+            .collect();
+        labels.push(app_label.clone());
+        if mode == ApplyMode::Expand {
+            labels.push(format!("Nat:{app_label}"));
+        }
+        debug_assert_eq!(labels.len(), canonical.tables.len());
+
+        let mut apps = state.apps.clone();
+        apps.insert(app_label);
+        let mut used = state.used.clone();
+        used.push(view.name.clone());
+
+        Ok(State {
+            canonical,
+            labels,
+            apps,
+            aux,
+            used,
+            used_va,
+            set_semantics: state.set_semantics || mode == ApplyMode::SetSemantics,
+            requires_nat,
+        })
+    }
+
+    /// Explain, for each view, every candidate single-step mapping on the
+    /// original query: the rewriting it yields or the condition it fails.
+    pub fn explain(
+        &self,
+        query: &Query,
+        views: &[ViewDef],
+    ) -> Result<Vec<CandidateReport>, RewriteError> {
+        let (root, prepared) = self.prepare(query, views)?;
+        let const_universe = collect_const_terms(&root, &prepared);
+        let mut universe: Vec<Term> = (0..root.tables.len())
+            .flat_map(|i| root.tables[i].cols())
+            .map(Term::Col)
+            .collect();
+        universe.extend(const_universe);
+        let closure = PredClosure::build(&root.conds, &universe);
+        let state = State {
+            labels: (0..root.tables.len()).map(|i| format!("q{i}")).collect(),
+            canonical: root,
+            apps: BTreeSet::new(),
+            aux: Vec::new(),
+            used: Vec::new(),
+            used_va: false,
+            set_semantics: false,
+            requires_nat: false,
+        };
+
+        let mut reports = Vec::new();
+        let mut aux_counter = 0usize;
+        for view in &prepared {
+            let aggregation_view = !view.conjunctive_core && !view.canonical.distinct;
+            let conjunctive_query = !state.canonical.is_aggregation_query();
+            if aggregation_view && conjunctive_query && !self.options.enable_expand {
+                reports.push(CandidateReport {
+                    view: view.name.clone(),
+                    mapping: None,
+                    mode: CandidateMode::Multiset,
+                    outcome: Err(WhyNot::AggregationViewForConjunctiveQuery),
+                });
+                continue;
+            }
+            // Unpruned enumeration so failures are reported per mapping.
+            let one_to_one = enumerate_mappings(&view.canonical, &state.canonical, true, None);
+            let mode = if aggregation_view && conjunctive_query {
+                ApplyMode::Expand
+            } else {
+                ApplyMode::Multiset
+            };
+            let mut any = false;
+            if view.conjunctive || aggregation_view {
+                for m in &one_to_one {
+                    any = true;
+                    let outcome = self
+                        .apply(&state, view, m, &closure, mode, &mut aux_counter)
+                        .map(|s| s.canonical.to_query().to_string());
+                    reports.push(CandidateReport {
+                        view: view.name.clone(),
+                        mapping: Some(m.occ_map.clone()),
+                        mode: match mode {
+                            ApplyMode::Expand => CandidateMode::Expand,
+                            _ => CandidateMode::Multiset,
+                        },
+                        outcome,
+                    });
+                }
+            }
+            // Section 5 candidates (many-to-1; 1-1 too for DISTINCT views).
+            if self.options.enable_set_mode
+                && view.conjunctive_core
+                && is_conjunctive_core(&state.canonical)
+            {
+                for m in enumerate_mappings(&view.canonical, &state.canonical, false, None) {
+                    if m.is_one_to_one() && view.conjunctive {
+                        continue; // already reported on the multiset path
+                    }
+                    any = true;
+                    let outcome = self
+                        .apply(&state, view, &m, &closure, ApplyMode::SetSemantics, &mut aux_counter)
+                        .map(|s| s.canonical.to_query().to_string());
+                    reports.push(CandidateReport {
+                        view: view.name.clone(),
+                        mapping: Some(m.occ_map.clone()),
+                        mode: CandidateMode::SetSemantics,
+                        outcome,
+                    });
+                }
+            }
+            if !any {
+                reports.push(CandidateReport {
+                    view: view.name.clone(),
+                    mapping: None,
+                    mode: CandidateMode::Multiset,
+                    outcome: Err(WhyNot::NoColumnMapping),
+                });
+            }
+        }
+        Ok(reports)
+    }
+}
+
+fn collect_const_terms(root: &Canonical, views: &[PreparedView]) -> Vec<Term> {
+    let mut consts: Vec<Term> = Vec::new();
+    let mut push = |t: &Term| {
+        if matches!(t, Term::Const(_)) && !consts.contains(t) {
+            consts.push(t.clone());
+        }
+    };
+    for a in &root.conds {
+        push(&a.lhs);
+        push(&a.rhs);
+    }
+    for v in views {
+        for a in &v.canonical.conds {
+            push(&a.lhs);
+            push(&a.rhs);
+        }
+    }
+    consts
+}
+
+/// Schema chaining: view outputs first, catalog second.
+struct Chain<'a> {
+    first: &'a HashMap<String, Vec<String>>,
+    second: &'a Catalog,
+}
+
+impl SchemaSource for Chain<'_> {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.first
+            .get(name)
+            .cloned()
+            .or_else(|| self.second.table_columns(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::TableSchema;
+    use aggview_sql::parse_query;
+
+    fn telephony_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableSchema::new("Calling_Plans", ["Plan_Id", "Plan_Name"]).with_key(["Plan_Id"]),
+        )
+        .unwrap();
+        cat.add_table(
+            TableSchema::new(
+                "Calls",
+                ["Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge"],
+            )
+            .with_key(["Call_Id"]),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn v1() -> ViewDef {
+        ViewDef::new(
+            "V1",
+            parse_query(
+                "SELECT Calls.Plan_Id, Plan_Name, Month, Year, \
+                 SUM(Charge) AS Monthly_Earnings \
+                 FROM Calls, Calling_Plans \
+                 WHERE Calls.Plan_Id = Calling_Plans.Plan_Id \
+                 GROUP BY Calls.Plan_Id, Plan_Name, Month, Year",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_1_1_motivating() {
+        // The paper's motivating example, end to end.
+        let cat = telephony_catalog();
+        let q = parse_query(
+            "SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge) \
+             FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 \
+             GROUP BY Calling_Plans.Plan_Id, Plan_Name \
+             HAVING SUM(Charge) < 1000000",
+        )
+        .unwrap();
+        let rewriter = Rewriter::new(&cat);
+        let rws = rewriter.rewrite(&q, &[v1()]).unwrap();
+        assert_eq!(rws.len(), 1);
+        let rw = &rws[0];
+        assert_eq!(rw.views_used, vec!["V1"]);
+        assert!(rw.aux_views.is_empty());
+        assert_eq!(
+            rw.query.to_string(),
+            "SELECT V1.Plan_Id, V1.Plan_Name, SUM(V1.Monthly_Earnings) FROM V1 \
+             WHERE V1.Year = 1995 GROUP BY V1.Plan_Id, V1.Plan_Name \
+             HAVING SUM(V1.Monthly_Earnings) < 1000000"
+        );
+    }
+
+    #[test]
+    fn view_must_not_cover_the_query_conditions_it_lacks() {
+        // A view missing the join condition is unusable.
+        let cat = telephony_catalog();
+        let bad_view = ViewDef::new(
+            "B",
+            parse_query(
+                "SELECT Calls.Plan_Id, Plan_Name, Year, SUM(Charge) AS S \
+                 FROM Calls, Calling_Plans \
+                 WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1994 \
+                 GROUP BY Calls.Plan_Id, Plan_Name, Year",
+            )
+            .unwrap(),
+        );
+        let q = parse_query(
+            "SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge) \
+             FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 \
+             GROUP BY Calling_Plans.Plan_Id, Plan_Name",
+        )
+        .unwrap();
+        let rewriter = Rewriter::new(&cat);
+        assert!(rewriter.rewrite(&q, &[bad_view]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiple_views_iterate_in_any_order() {
+        // Two conjunctive views covering disjoint parts of the query;
+        // iteration must find the combined rewriting regardless of order.
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C", "D"])).unwrap();
+        let q = parse_query("SELECT A, C FROM R1, R2 WHERE B = 1 AND D = 2").unwrap();
+        let va = ViewDef::new("VA", parse_query("SELECT A FROM R1 WHERE B = 1").unwrap());
+        let vb = ViewDef::new("VB", parse_query("SELECT C FROM R2 WHERE D = 2").unwrap());
+        let rewriter = Rewriter::new(&cat);
+        let order1 = rewriter.rewrite(&q, &[va.clone(), vb.clone()]).unwrap();
+        let order2 = rewriter.rewrite(&q, &[vb, va]).unwrap();
+        // Three rewritings each: {VA}, {VB}, {VA,VB}.
+        assert_eq!(order1.len(), 3);
+        assert_eq!(order2.len(), 3);
+        let sigs = |rws: &[Rewriting]| -> BTreeSet<BTreeSet<String>> {
+            rws.iter()
+                .map(|r| r.views_used.iter().cloned().collect())
+                .collect()
+        };
+        assert_eq!(sigs(&order1), sigs(&order2));
+        // The two-view rewriting mentions both views and no base tables.
+        let combined = order1
+            .iter()
+            .find(|r| r.views_used.len() == 2)
+            .expect("combined rewriting");
+        assert!(combined
+            .query
+            .from
+            .iter()
+            .all(|t| t.table == "VA" || t.table == "VB"));
+    }
+
+    #[test]
+    fn same_view_used_twice() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        let q = parse_query("SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.B").unwrap();
+        let v = ViewDef::new("V", parse_query("SELECT A, B FROM R1").unwrap());
+        let rewriter = Rewriter::new(&cat);
+        let rws = rewriter.rewrite(&q, &[v]).unwrap();
+        // V can replace x, y, or both (both assignments of a single
+        // replacement are distinct apps; the double use collapses to one
+        // canonical app set per pairing).
+        let double = rws
+            .iter()
+            .filter(|r| r.views_used.len() == 2)
+            .collect::<Vec<_>>();
+        assert!(!double.is_empty());
+        for r in &double {
+            assert!(r.query.from.iter().all(|t| t.table == "V"));
+        }
+    }
+
+    #[test]
+    fn explain_reports_reasons() {
+        let cat = telephony_catalog();
+        let q = parse_query(
+            "SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id",
+        )
+        .unwrap();
+        // This view groups by Month only and lacks Year — unusable; the
+        // report should say why (C2: Plan_Id... actually Year residual).
+        let v = ViewDef::new(
+            "VM",
+            parse_query("SELECT Month, SUM(Charge) AS S FROM Calls GROUP BY Month").unwrap(),
+        );
+        let rewriter = Rewriter::new(&cat);
+        let reports = rewriter.explain(&q, &[v]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].outcome.is_err());
+    }
+
+    #[test]
+    fn duplicate_view_name_rejected() {
+        let cat = telephony_catalog();
+        let q = parse_query("SELECT Plan_Id FROM Calls").unwrap();
+        let v = ViewDef::new("Calls", parse_query("SELECT Plan_Id FROM Calls").unwrap());
+        let rewriter = Rewriter::new(&cat);
+        assert_eq!(
+            rewriter.rewrite(&q, &[v]).unwrap_err(),
+            RewriteError::DuplicateName("Calls".into())
+        );
+    }
+
+    #[test]
+    fn single_view_mode_stops_at_depth_one() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C", "D"])).unwrap();
+        let q = parse_query("SELECT A, C FROM R1, R2").unwrap();
+        let va = ViewDef::new("VA", parse_query("SELECT A FROM R1").unwrap());
+        let vb = ViewDef::new("VB", parse_query("SELECT C FROM R2").unwrap());
+        let opts = RewriteOptions {
+            multi_view: false,
+            ..RewriteOptions::default()
+        };
+        let rewriter = Rewriter::with_options(&cat, opts);
+        let rws = rewriter.rewrite(&q, &[va, vb]).unwrap();
+        assert_eq!(rws.len(), 2);
+        assert!(rws.iter().all(|r| r.views_used.len() == 1));
+    }
+
+    #[test]
+    fn view_over_view_chains() {
+        // VB is defined over VA; rewriting can chain through both.
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        let q = parse_query("SELECT A FROM R1 WHERE B = 3").unwrap();
+        let va = ViewDef::new("VA", parse_query("SELECT A, B FROM R1").unwrap());
+        let vb = ViewDef::new("VB", parse_query("SELECT A FROM VA WHERE B = 3").unwrap());
+        let rewriter = Rewriter::new(&cat);
+        let rws = rewriter.rewrite(&q, &[va, vb]).unwrap();
+        // {VA}, then {VA,VB} via mapping VB onto the VA occurrence.
+        let sigs: BTreeSet<Vec<String>> =
+            rws.iter().map(|r| r.views_used.clone()).collect();
+        assert!(sigs.contains(&vec!["VA".to_string()]));
+        assert!(sigs.contains(&vec!["VA".to_string(), "VB".to_string()]));
+    }
+
+    #[test]
+    fn set_mode_rewriting_via_rewriter() {
+        // Example 5.1 through the public API.
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"]).with_key(["A"]))
+            .unwrap();
+        let q = parse_query("SELECT A FROM R1 WHERE B = C").unwrap();
+        let v = ViewDef::new(
+            "V1",
+            parse_query("SELECT u.A AS A1, w.A AS A2 FROM R1 u, R1 w WHERE u.B = w.C").unwrap(),
+        );
+        let rewriter = Rewriter::new(&cat);
+        let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
+        let set_rw = rws.iter().find(|r| r.set_semantics).expect("set rewriting");
+        assert_eq!(
+            set_rw.query.to_string(),
+            "SELECT V1.A1 FROM V1 WHERE V1.A1 = V1.A2"
+        );
+        // Without keys, no rewriting exists at all.
+        let mut cat2 = Catalog::new();
+        cat2.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+        let rewriter2 = Rewriter::new(&cat2);
+        assert!(rewriter2.rewrite(&q, &[v]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_va_strategy_produces_aux_views() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
+            .unwrap();
+        cat.add_table(TableSchema::new("R2", ["E", "F"])).unwrap();
+        let q = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A").unwrap();
+        let v = ViewDef::new(
+            "V2",
+            parse_query(
+                "SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B",
+            )
+            .unwrap(),
+        );
+        let opts = RewriteOptions {
+            strategy: Strategy::PaperFaithful,
+            ..RewriteOptions::default()
+        };
+        let rewriter = Rewriter::with_options(&cat, opts);
+        let rws = rewriter.rewrite(&q, &[v]).unwrap();
+        assert_eq!(rws.len(), 1);
+        assert!(rws[0].used_paper_va);
+        assert_eq!(rws[0].aux_views.len(), 1);
+        // The aux view aliases its output columns.
+        let aux = &rws[0].aux_views[0];
+        assert_eq!(aux.query.output_names(), vec!["A", "cnt_va"]);
+    }
+
+    #[test]
+    fn description_summarizes() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        let q = parse_query("SELECT A FROM R1 WHERE B = 1").unwrap();
+        let v = ViewDef::new("V", parse_query("SELECT A, B FROM R1").unwrap());
+        let rewriter = Rewriter::new(&cat);
+        let rws = rewriter.rewrite(&q, &[v]).unwrap();
+        let d = rws[0].description();
+        assert!(d.contains("uses [\"V\"]"), "{d}");
+    }
+
+    #[test]
+    fn no_views_no_rewritings() {
+        let cat = telephony_catalog();
+        let q = parse_query("SELECT Plan_Id FROM Calls").unwrap();
+        let rewriter = Rewriter::new(&cat);
+        assert!(rewriter.rewrite(&q, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aggregation_view_rejected_for_conjunctive_query() {
+        // Section 4.5 via the public API.
+        let cat = telephony_catalog();
+        let q = parse_query("SELECT Plan_Id, Charge FROM Calls").unwrap();
+        let v = ViewDef::new(
+            "VC",
+            parse_query(
+                "SELECT Plan_Id, Charge, COUNT(Call_Id) AS N FROM Calls GROUP BY Plan_Id, Charge",
+            )
+            .unwrap(),
+        );
+        let rewriter = Rewriter::new(&cat);
+        assert!(rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+        let reports = rewriter.explain(&q, &[v]).unwrap();
+        assert_eq!(
+            reports[0].outcome,
+            Err(WhyNot::AggregationViewForConjunctiveQuery)
+        );
+    }
+
+    #[test]
+    fn max_rewritings_cap_respected() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        let q = parse_query("SELECT x.A, y.A, z.A FROM R1 x, R1 y, R1 z").unwrap();
+        let v = ViewDef::new("V", parse_query("SELECT A, B FROM R1").unwrap());
+        let opts = RewriteOptions {
+            max_rewritings: 3,
+            ..RewriteOptions::default()
+        };
+        let rewriter = Rewriter::with_options(&cat, opts);
+        let rws = rewriter.rewrite(&q, &[v]).unwrap();
+        assert_eq!(rws.len(), 3);
+    }
+}

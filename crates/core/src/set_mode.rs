@@ -1,0 +1,292 @@
+//! Set semantics and keys — Section 5 of the paper.
+//!
+//! When both the query's and the view's results are provably *sets* (via
+//! keys/FDs per Propositions 5.1–5.2, or `SELECT DISTINCT`), condition C1
+//! relaxes: the column mapping may be **many-to-1**. Collapsing two view
+//! occurrences onto one query occurrence is then compensated by equating a
+//! *key* of the collapsed table across the two view images — given the key
+//! equality, the two range variables necessarily denote the same tuple
+//! (Example 5.1).
+
+use crate::canon::{Atom, Canonical, SelItem, Term};
+use crate::closure::PredClosure;
+use crate::conjunctive::{is_conjunctive_core, rewrite_conjunctive};
+use crate::explain::WhyNot;
+use crate::mapping::Mapping;
+use aggview_catalog::{Catalog, CoreDesc};
+use std::collections::HashMap;
+
+/// Is the result of this (canonical) query provably a set?
+///
+/// * `SELECT DISTINCT` — yes by definition.
+/// * Conjunctive — Proposition 5.1: the core table is a set (every `FROM`
+///   table has a key or is declared a set — Proposition 5.2) and the
+///   `SELECT` list retains a key of the core table.
+/// * Grouped — one row per group; a set whenever the retained grouping
+///   columns functionally determine all grouping columns.
+///
+/// Conservative: `FROM` tables not in the catalog (e.g. views) make the
+/// answer `false`.
+pub fn result_is_set(q: &Canonical, catalog: &Catalog) -> bool {
+    if q.distinct {
+        return true;
+    }
+    let Some(core) = core_desc(q, catalog) else {
+        return false;
+    };
+    if q.is_aggregation_query() {
+        if q.groups.is_empty() {
+            // A single output row at most.
+            return true;
+        }
+        return core.grouped_result_is_set(&q.col_sel(), &q.groups);
+    }
+    core.conjunctive_result_is_set(&q.col_sel())
+}
+
+/// Build the Section 5 core-table description of a canonical query.
+fn core_desc(q: &Canonical, catalog: &Catalog) -> Option<CoreDesc> {
+    let mut core = CoreDesc::new();
+    for t in &q.tables {
+        let schema = catalog.table(&t.base)?;
+        if schema.arity() != t.arity {
+            return None;
+        }
+        let offset = core.push_occurrence(schema.arity(), &schema.all_fds(), schema.is_set());
+        // Canonical column ids coincide with core offsets by construction.
+        debug_assert_eq!(offset, t.first_col);
+    }
+    for a in &q.conds {
+        if a.op != aggview_sql::CmpOp::Eq {
+            continue;
+        }
+        match (&a.lhs, &a.rhs) {
+            (Term::Col(x), Term::Col(y)) => core.add_equality(*x, *y),
+            (Term::Col(x), Term::Const(_)) | (Term::Const(_), Term::Col(x)) => {
+                core.add_constant(*x)
+            }
+            (Term::Const(_), Term::Const(_)) => {}
+        }
+    }
+    Some(core)
+}
+
+/// Section 5 rewriting: conjunctive query, conjunctive view, both results
+/// proven sets, many-to-1 mapping allowed.
+///
+/// Checks C2/C3 (via the multiset machinery) and the key-coincidence
+/// condition for collapsed occurrences, then appends the key equalities to
+/// the rewritten `WHERE` clause. The result is *set*-equivalent to the
+/// query (and both are sets, so multiset-equivalent too).
+pub fn rewrite_set_mode(
+    query: &Canonical,
+    view: &Canonical,
+    view_name: &str,
+    view_out_names: &[String],
+    mapping: &Mapping,
+    q_closure: &PredClosure,
+    catalog: &Catalog,
+) -> Result<Canonical, WhyNot> {
+    if !is_conjunctive_core(query) || !is_conjunctive_core(view) {
+        return Err(WhyNot::Unsupported {
+            reason: "set-semantics rewriting applies to conjunctive queries and views".into(),
+        });
+    }
+    if !result_is_set(query, catalog) || !result_is_set(view, catalog) {
+        return Err(WhyNot::SetSemanticsRequired);
+    }
+
+    // Which view SELECT position exposes each view column?
+    let sel_pos_of: HashMap<usize, usize> = view
+        .select
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            SelItem::Col(c) => Some((*c, i)),
+            SelItem::Agg(_) => None,
+        })
+        .collect();
+
+    // For every pair of view occurrences collapsed onto one query
+    // occurrence, find a key of the base table exposed on both sides.
+    let mut key_equalities: Vec<(usize, usize)> = Vec::new(); // (sel idx, sel idx)
+    let n = view.tables.len();
+    for o1 in 0..n {
+        for o2 in (o1 + 1)..n {
+            if mapping.occ_map[o1] != mapping.occ_map[o2] {
+                continue;
+            }
+            let base = &view.tables[o1].base;
+            let schema = catalog
+                .table(base)
+                .ok_or(WhyNot::SetSemanticsRequired)?;
+            let mut found = false;
+            'key: for key in &schema.keys {
+                let mut pairs = Vec::with_capacity(key.len());
+                for &pos in key {
+                    let c1 = view.col_of(o1, pos);
+                    let c2 = view.col_of(o2, pos);
+                    match (sel_pos_of.get(&c1), sel_pos_of.get(&c2)) {
+                        (Some(&i1), Some(&i2)) => pairs.push((i1, i2)),
+                        _ => continue 'key,
+                    }
+                }
+                key_equalities.extend(pairs);
+                found = true;
+                break;
+            }
+            if !found {
+                return Err(WhyNot::Unsupported {
+                    reason: format!(
+                        "collapsed occurrences of `{base}` expose no common key in Sel(V)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // C2/C3 and steps S1–S3 via the shared conjunctive machinery (it
+    // handles many-to-1 images transparently).
+    let mut rewritten =
+        rewrite_conjunctive(query, view, view_name, view_out_names, mapping, q_closure)?;
+
+    // The view occurrence is the last table of the rewritten query.
+    let view_occ = rewritten.tables.len() - 1;
+    for (i1, i2) in key_equalities {
+        let c1 = rewritten.col_of(view_occ, i1);
+        let c2 = rewritten.col_of(view_occ, i2);
+        if c1 != c2 {
+            rewritten.conds.push(Atom::col_eq(c1, c2));
+        }
+    }
+    Ok(rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::enumerate_mappings;
+    use aggview_catalog::TableSchema;
+    use aggview_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"]).with_key(["A"]))
+            .unwrap();
+        cat.add_table(TableSchema::new("Bag", ["X", "Y"])).unwrap();
+        cat
+    }
+
+    fn canon(sql: &str) -> Canonical {
+        Canonical::from_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn keyed_projection_is_set() {
+        let cat = catalog();
+        assert!(result_is_set(&canon("SELECT A, B FROM R1"), &cat));
+        // Projecting away the key loses set-ness.
+        assert!(!result_is_set(&canon("SELECT B FROM R1"), &cat));
+        // DISTINCT restores it.
+        assert!(result_is_set(&canon("SELECT DISTINCT B FROM R1"), &cat));
+        // A keyless table is a multiset.
+        assert!(!result_is_set(&canon("SELECT X FROM Bag"), &cat));
+    }
+
+    #[test]
+    fn constant_binding_helps_setness() {
+        let cat = catalog();
+        // B = 5 does not make B a key...
+        assert!(!result_is_set(&canon("SELECT B FROM R1 WHERE B = 5"), &cat));
+        // ...but binding the key by a constant makes any projection a set
+        // (at most one tuple survives).
+        assert!(result_is_set(&canon("SELECT B FROM R1 WHERE A = 5"), &cat));
+    }
+
+    #[test]
+    fn grouped_setness() {
+        let cat = catalog();
+        assert!(result_is_set(
+            &canon("SELECT A, COUNT(B) FROM R1 GROUP BY A"),
+            &cat
+        ));
+        // ColSel {B} does not determine grouping column A.
+        assert!(!result_is_set(
+            &canon("SELECT B, COUNT(C) FROM R1 GROUP BY B, A"),
+            &cat
+        ));
+        // ColSel {A} determines B (A is a key).
+        assert!(result_is_set(
+            &canon("SELECT A, COUNT(C) FROM R1 GROUP BY A, B"),
+            &cat
+        ));
+    }
+
+    #[test]
+    fn example_5_1() {
+        // Paper Example 5.1: many-to-1 mapping justified by key A.
+        let cat = catalog();
+        let q = canon("SELECT A FROM R1 WHERE B = C");
+        let v = canon("SELECT u.A, w.A FROM R1 u, R1 w WHERE u.B = w.C");
+        let universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        let cl = PredClosure::build(&q.conds, &universe);
+        // No 1-1 mapping can work (the view has two occurrences, the query
+        // one); many-to-1 enumeration finds the collapse.
+        let mappings = enumerate_mappings(&v, &q, false, Some(&cl));
+        assert_eq!(mappings.len(), 1);
+        let out_names = vec!["A1".to_string(), "A2".to_string()];
+        let rw = rewrite_set_mode(&q, &v, "V1", &out_names, &mappings[0], &cl, &cat).unwrap();
+        assert_eq!(
+            rw.to_query().to_string(),
+            "SELECT V1.A1 FROM V1 WHERE V1.A1 = V1.A2"
+        );
+    }
+
+    #[test]
+    fn set_mode_requires_set_results() {
+        // Same shapes over the keyless table: rejected.
+        let cat = catalog();
+        let q = canon("SELECT X FROM Bag WHERE X = Y");
+        let v = canon("SELECT u.X, w.X FROM Bag u, Bag w WHERE u.X = w.Y");
+        let universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        let cl = PredClosure::build(&q.conds, &universe);
+        let mappings = enumerate_mappings(&v, &q, false, Some(&cl));
+        assert!(!mappings.is_empty());
+        let out_names = vec!["X1".to_string(), "X2".to_string()];
+        assert_eq!(
+            rewrite_set_mode(&q, &v, "V", &out_names, &mappings[0], &cl, &cat).unwrap_err(),
+            WhyNot::SetSemanticsRequired
+        );
+    }
+
+    #[test]
+    fn collapsed_occurrences_need_exposed_key() {
+        // The view collapses two R1 occurrences but exposes no *common*
+        // key: it exposes key A of the first occurrence and key B of the
+        // second (R1 here has two keys so the view is still a set).
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableSchema::new("R1", ["A", "B", "C"])
+                .with_key(["A"])
+                .with_key(["B"]),
+        )
+        .unwrap();
+        let q = Canonical::from_query(
+            &parse_query("SELECT A FROM R1 WHERE B = C").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let v = Canonical::from_query(
+            &parse_query("SELECT u.A, w.B FROM R1 u, R1 w WHERE u.B = w.C").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+        let cl = PredClosure::build(&q.conds, &universe);
+        let mappings = enumerate_mappings(&v, &q, false, Some(&cl));
+        assert_eq!(mappings.len(), 1);
+        let out_names = vec!["A1".to_string(), "B2".to_string()];
+        let err = rewrite_set_mode(&q, &v, "V", &out_names, &mappings[0], &cl, &cat).unwrap_err();
+        assert!(matches!(err, WhyNot::Unsupported { .. }), "got {err:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Condition simplification — a small consumer of the closure reasoner.
+//!
+//! The paper's footnote 2 machinery (the predicate closure) supports more
+//! than the usability checks: it detects *unsatisfiable* queries and
+//! *redundant* conjuncts. This module exposes both as a standalone
+//! preprocessing utility: `WHERE A = B AND B = C AND A = C` loses its
+//! third atom; `WHERE A < B AND B < A` becomes the canonical `FALSE`
+//! predicate (`0 = 1`), letting an executor skip evaluation entirely.
+
+use crate::canon::{Atom, Canonical, Term};
+use crate::closure::PredClosure;
+use aggview_sql::ast::{CmpOp, Literal};
+
+/// What [`simplify_conditions`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Simplification {
+    /// The conditions were satisfiable; this many redundant atoms were
+    /// dropped.
+    Simplified {
+        /// Number of removed conjuncts.
+        removed: usize,
+    },
+    /// The conditions are unsatisfiable; the `WHERE` clause was replaced by
+    /// the canonical `FALSE` atom (`0 = 1`).
+    Unsatisfiable,
+}
+
+/// Remove redundant `WHERE` conjuncts (atoms entailed by the remaining
+/// ones) and collapse unsatisfiable conjunctions to `FALSE`.
+///
+/// Sound under multiset semantics: dropping an entailed conjunct keeps the
+/// satisfying rows identical; an unsatisfiable conjunction selects no rows
+/// at all.
+pub fn simplify_conditions(q: &mut Canonical) -> Simplification {
+    // The universe carries every constant of the original conjunction, so
+    // closures rebuilt after removals can still order candidate atoms'
+    // constants against the surviving ones (`A < 5` must keep entailing
+    // `A <= 9` after `A <= 9` is dropped).
+    let mut universe: Vec<Term> = (0..q.n_cols()).map(Term::Col).collect();
+    for a in &q.conds {
+        for t in [&a.lhs, &a.rhs] {
+            if matches!(t, Term::Const(_)) && !universe.contains(t) {
+                universe.push(t.clone());
+            }
+        }
+    }
+    let closure = PredClosure::build(&q.conds, &universe);
+    if !closure.satisfiable() {
+        q.conds = vec![Atom::new(
+            Term::Const(Literal::Int(0)),
+            CmpOp::Eq,
+            Term::Const(Literal::Int(1)),
+        )];
+        return Simplification::Unsatisfiable;
+    }
+
+    // Greedy removal: drop an atom if the others still entail it.
+    let mut kept = q.conds.clone();
+    let mut removed = 0;
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept.remove(i);
+        let rest = PredClosure::build(&kept, &universe);
+        if rest.implies_atom(&candidate) {
+            removed += 1;
+        } else {
+            kept.insert(i, candidate);
+            i += 1;
+        }
+    }
+    q.conds = kept;
+    Simplification::Simplified { removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn canon(sql: &str) -> Canonical {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+        Canonical::from_query(&parse_query(sql).unwrap(), &cat).unwrap()
+    }
+
+    #[test]
+    fn drops_transitive_equality() {
+        let mut q = canon("SELECT A FROM R WHERE A = B AND B = C AND A = C");
+        let s = simplify_conditions(&mut q);
+        assert_eq!(s, Simplification::Simplified { removed: 1 });
+        assert_eq!(q.conds.len(), 2);
+    }
+
+    #[test]
+    fn drops_implied_inequality() {
+        let mut q = canon("SELECT A FROM R WHERE A < B AND B < C AND A < C");
+        let s = simplify_conditions(&mut q);
+        assert_eq!(s, Simplification::Simplified { removed: 1 });
+    }
+
+    #[test]
+    fn keeps_independent_atoms() {
+        let mut q = canon("SELECT A FROM R WHERE A = 1 AND B = 2");
+        let s = simplify_conditions(&mut q);
+        assert_eq!(s, Simplification::Simplified { removed: 0 });
+        assert_eq!(q.conds.len(), 2);
+    }
+
+    #[test]
+    fn collapses_unsatisfiable() {
+        let mut q = canon("SELECT A FROM R WHERE A < B AND B < A");
+        assert_eq!(simplify_conditions(&mut q), Simplification::Unsatisfiable);
+        assert_eq!(q.conds.len(), 1);
+        // The canonical FALSE atom renders and executes as expected.
+        assert!(q.to_query().to_string().contains("0 = 1"));
+    }
+
+    #[test]
+    fn weaker_bound_is_dropped() {
+        let mut q = canon("SELECT A FROM R WHERE A < 5 AND A <= 9");
+        let s = simplify_conditions(&mut q);
+        assert_eq!(s, Simplification::Simplified { removed: 1 });
+        assert_eq!(q.conds.len(), 1);
+        assert!(q.to_query().to_string().contains("< 5"));
+    }
+
+    #[test]
+    fn empty_where_is_noop() {
+        let mut q = canon("SELECT A FROM R");
+        assert_eq!(
+            simplify_conditions(&mut q),
+            Simplification::Simplified { removed: 0 }
+        );
+    }
+}

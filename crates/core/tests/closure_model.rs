@@ -1,0 +1,149 @@
+//! Model-checking the predicate-closure reasoner: on random conjunctions
+//! over a small integer domain, everything the closure *entails* must hold
+//! in every satisfying assignment (soundness of implication), and whenever
+//! a satisfying assignment exists the closure must report satisfiable
+//! (soundness of the unsat verdict).
+//!
+//! Completeness over the integers is deliberately not claimed: the
+//! reasoner works in dense-order semantics (no gap reasoning like
+//! `A > 3 ∧ A < 5 ⟹ A = 4`), matching the paper's closure.
+
+use aggview_core::canon::{Atom, Term};
+use aggview_core::PredClosure;
+use aggview_sql::{CmpOp, Literal};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_COLS: usize = 4;
+const DOMAIN: i64 = 5;
+
+fn random_atoms(seed: u64, n: usize) -> Vec<Atom> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lhs = Term::Col(rng.random_range(0..N_COLS));
+            let op = match rng.random_range(0..6) {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            let rhs = if rng.random_bool(0.5) {
+                Term::Col(rng.random_range(0..N_COLS))
+            } else {
+                Term::Const(Literal::Int(rng.random_range(0..DOMAIN)))
+            };
+            Atom::new(lhs, op, rhs)
+        })
+        .collect()
+}
+
+fn holds(atom: &Atom, assignment: &[i64]) -> bool {
+    let val = |t: &Term| -> i64 {
+        match t {
+            Term::Col(c) => assignment[*c],
+            Term::Const(Literal::Int(v)) => *v,
+            Term::Const(other) => panic!("integer model only, got {other:?}"),
+        }
+    };
+    let (a, b) = (val(&atom.lhs), val(&atom.rhs));
+    match atom.op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<i64>> {
+    (0..(DOMAIN as usize).pow(N_COLS as u32)).map(|mut code| {
+        (0..N_COLS)
+            .map(|_| {
+                let v = (code % DOMAIN as usize) as i64;
+                code /= DOMAIN as usize;
+                v
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn implication_is_sound(seed in any::<u64>(), n_atoms in 1usize..6) {
+        let atoms = random_atoms(seed, n_atoms);
+        let universe: Vec<Term> = (0..N_COLS).map(Term::Col).collect();
+        let closure = PredClosure::build(&atoms, &universe);
+
+        let satisfying: Vec<Vec<i64>> = assignments()
+            .filter(|a| atoms.iter().all(|atom| holds(atom, a)))
+            .collect();
+
+        // Unsat verdict soundness: a model refutes "unsatisfiable".
+        if !satisfying.is_empty() {
+            prop_assert!(
+                closure.satisfiable(),
+                "closure says unsat but {satisfying:?} satisfies {atoms:?}"
+            );
+        }
+
+        // Implication soundness: every entailed candidate atom must hold in
+        // every satisfying assignment.
+        if !satisfying.is_empty() {
+            let mut candidates: Vec<Atom> = Vec::new();
+            for i in 0..N_COLS {
+                for j in 0..N_COLS {
+                    for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                        candidates.push(Atom::new(Term::Col(i), op, Term::Col(j)));
+                    }
+                }
+                for v in 0..DOMAIN {
+                    for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le] {
+                        candidates.push(Atom::new(
+                            Term::Col(i),
+                            op,
+                            Term::Const(Literal::Int(v)),
+                        ));
+                    }
+                }
+            }
+            for cand in &candidates {
+                if closure.implies_atom(cand) {
+                    for a in &satisfying {
+                        prop_assert!(
+                            holds(cand, a),
+                            "closure of {atoms:?} claims {cand:?}, violated by {a:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The residual atoms the closure derives are themselves entailed —
+    /// they must hold in every satisfying assignment.
+    #[test]
+    fn residuals_are_entailed(seed in any::<u64>(), n_atoms in 1usize..6) {
+        let atoms = random_atoms(seed, n_atoms);
+        let universe: Vec<Term> = (0..N_COLS).map(Term::Col).collect();
+        let closure = PredClosure::build(&atoms, &universe);
+        if !closure.satisfiable() {
+            return Ok(());
+        }
+        let residual = closure.residual_atoms(|_| true);
+        for a in assignments().filter(|a| atoms.iter().all(|atom| holds(atom, a))) {
+            for r in &residual {
+                prop_assert!(
+                    holds(r, &a),
+                    "residual {r:?} of {atoms:?} violated by {a:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Aggregate accumulators.
+
+use crate::error::{EngineError, EngineResult};
+use crate::value::{self, Value};
+use aggview_sql::AggFunc;
+
+/// Running state of one aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// `MIN`
+    Min(Option<Value>),
+    /// `MAX`
+    Max(Option<Value>),
+    /// `SUM` (int-preserving, promoted to double on demand)
+    Sum(Option<Value>),
+    /// `COUNT` — rows in the group (the model is NULL-free, so `COUNT(A)`
+    /// equals `COUNT(*)`).
+    Count(i64),
+    /// `AVG` — running double sum and count.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Rows seen.
+        count: i64,
+    },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate function.
+    pub fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Sum => Accumulator::Sum(None),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Fold one input value into the accumulator. `COUNT` ignores the value.
+    pub fn update(&mut self, v: &Value) -> EngineResult<()> {
+        match self {
+            Accumulator::Min(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.cmp_sql(c).ok_or_else(|| {
+                            EngineError::TypeError(format!(
+                                "MIN over mixed types {} and {}",
+                                v.type_name(),
+                                c.type_name()
+                            ))
+                        })?;
+                        ord == std::cmp::Ordering::Less
+                    }
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Max(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.cmp_sql(c).ok_or_else(|| {
+                            EngineError::TypeError(format!(
+                                "MAX over mixed types {} and {}",
+                                v.type_name(),
+                                c.type_name()
+                            ))
+                        })?;
+                        ord == std::cmp::Ordering::Greater
+                    }
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Sum(cur) => {
+                if !matches!(v, Value::Int(_) | Value::Double(_)) {
+                    return Err(EngineError::TypeError(format!(
+                        "SUM over non-numeric {}",
+                        v.type_name()
+                    )));
+                }
+                *cur = Some(match cur.take() {
+                    None => v.clone(),
+                    Some(acc) => value::add(&acc, v).expect("numeric add"),
+                });
+            }
+            Accumulator::Count(n) => {
+                *n += 1;
+            }
+            Accumulator::Avg { sum, count } => {
+                let x = v.as_f64().ok_or_else(|| {
+                    EngineError::TypeError(format!("AVG over non-numeric {}", v.type_name()))
+                })?;
+                *sum += x;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the accumulator. Groups are never empty (a group
+    /// exists only because at least one row fell into it), so `MIN`, `MAX`,
+    /// `SUM` and `AVG` always have a value.
+    pub fn finish(&self) -> Value {
+        match self {
+            Accumulator::Min(v) | Accumulator::Max(v) | Accumulator::Sum(v) => {
+                v.clone().expect("aggregate over non-empty group")
+            }
+            Accumulator::Count(n) => Value::Int(*n),
+            Accumulator::Avg { sum, count } => Value::Double(*sum / *count as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, values: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func);
+        for v in values {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn min_max() {
+        let vs = [Value::Int(5), Value::Int(2), Value::Int(9)];
+        assert_eq!(run(AggFunc::Min, &vs), Value::Int(2));
+        assert_eq!(run(AggFunc::Max, &vs), Value::Int(9));
+    }
+
+    #[test]
+    fn min_max_across_numeric_types() {
+        let vs = [Value::Int(5), Value::Double(2.5)];
+        assert_eq!(run(AggFunc::Min, &vs), Value::Double(2.5));
+        assert_eq!(run(AggFunc::Max, &vs), Value::Int(5));
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let vs = [Value::Str("pear".into()), Value::Str("apple".into())];
+        assert_eq!(run(AggFunc::Min, &vs), Value::Str("apple".into()));
+        assert_eq!(run(AggFunc::Max, &vs), Value::Str("pear".into()));
+    }
+
+    #[test]
+    fn sum_stays_int_when_int() {
+        let vs = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(run(AggFunc::Sum, &vs), Value::Int(6));
+    }
+
+    #[test]
+    fn sum_promotes_with_doubles() {
+        let vs = [Value::Int(1), Value::Double(0.5)];
+        assert_eq!(run(AggFunc::Sum, &vs), Value::Double(1.5));
+    }
+
+    #[test]
+    fn count_counts_rows() {
+        let vs = [Value::Str("a".into()), Value::Str("b".into())];
+        assert_eq!(run(AggFunc::Count, &vs), Value::Int(2));
+    }
+
+    #[test]
+    fn avg_is_double() {
+        let vs = [Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Avg, &vs), Value::Double(1.5));
+    }
+
+    #[test]
+    fn sum_of_string_errors() {
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        assert!(acc.update(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn min_mixed_string_int_errors() {
+        let mut acc = Accumulator::new(AggFunc::Min);
+        acc.update(&Value::Int(1)).unwrap();
+        assert!(acc.update(&Value::Str("x".into())).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! A named collection of relations: base tables plus materialized views.
+
+use crate::error::{EngineError, EngineResult};
+use crate::relation::Relation;
+use aggview_catalog::SchemaSource;
+use std::collections::BTreeMap;
+
+/// A database instance. Materialized views are stored exactly like base
+/// tables — the paper's rewritten queries reference them by name in their
+/// `FROM` clause.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
+        self.relations.insert(name.into(), relation);
+        self
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> EngineResult<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Does the database contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation (e.g. a temporary auxiliary view).
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl SchemaSource for Database {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.relations.get(name).map(|r| r.columns.clone())
+    }
+}
+
+/// A [`SchemaSource`] that looks in two sources in order — used to resolve
+/// queries that mix base tables (in the catalog) with materialized views
+/// (known only by their definitions).
+pub struct ChainedSchemas<'a> {
+    sources: Vec<&'a dyn SchemaSource>,
+}
+
+impl<'a> ChainedSchemas<'a> {
+    /// Chain the given sources; earlier sources win.
+    pub fn new(sources: Vec<&'a dyn SchemaSource>) -> Self {
+        ChainedSchemas { sources }
+    }
+}
+
+impl SchemaSource for ChainedSchemas<'_> {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.sources.iter().find_map(|s| s.table_columns(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::rel_of_ints;
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a"], &[&[1]]));
+        assert_eq!(db.get("T").unwrap().len(), 1);
+        assert_eq!(
+            db.get("U").unwrap_err(),
+            EngineError::UnknownTable("U".into())
+        );
+    }
+
+    #[test]
+    fn schema_source_impl() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a", "b"], &[]));
+        assert_eq!(db.table_columns("T").unwrap(), vec!["a", "b"]);
+        assert!(db.table_columns("U").is_none());
+    }
+
+    #[test]
+    fn chained_schemas_prefer_earlier() {
+        let mut db1 = Database::new();
+        db1.insert("T", rel_of_ints(["x"], &[]));
+        let mut db2 = Database::new();
+        db2.insert("T", rel_of_ints(["y"], &[]));
+        db2.insert("U", rel_of_ints(["z"], &[]));
+        let chained = ChainedSchemas::new(vec![&db1, &db2]);
+        assert_eq!(chained.table_columns("T").unwrap(), vec!["x"]);
+        assert_eq!(chained.table_columns("U").unwrap(), vec!["z"]);
+        assert!(chained.table_columns("V").is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors produced while binding or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A `FROM` table that is not in the database.
+    UnknownTable(String),
+    /// A column reference that resolves to nothing.
+    UnknownColumn(String),
+    /// A column reference that resolves to more than one `FROM` column.
+    AmbiguousColumn(String),
+    /// Two `FROM` occurrences share a binding name.
+    DuplicateBinding(String),
+    /// A non-aggregated, non-grouped column in `SELECT` or `HAVING`.
+    NonGroupedColumn(String),
+    /// An aggregate call where none is allowed (`WHERE`, `GROUP BY`,
+    /// nested inside another aggregate).
+    MisplacedAggregate,
+    /// Type error at runtime (e.g. `'a' + 1`, comparison of string to int).
+    TypeError(String),
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            EngineError::DuplicateBinding(b) => {
+                write!(f, "duplicate FROM binding `{b}` (add an alias)")
+            }
+            EngineError::NonGroupedColumn(c) => write!(
+                f,
+                "column `{c}` must appear in GROUP BY or inside an aggregate"
+            ),
+            EngineError::MisplacedAggregate => {
+                write!(f, "aggregate call not allowed in this clause")
+            }
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias.
+pub type EngineResult<T> = Result<T, EngineError>;

@@ -1,0 +1,1039 @@
+//! Query evaluation under multiset semantics.
+//!
+//! Evaluation follows the paper's two-phase conceptual model (Section 5.1):
+//! the `FROM` and `WHERE` clauses produce the *core table*, then `SELECT`,
+//! `GROUP BY` and `HAVING` apply to it. The core table is built with a
+//! greedy hash-join plan over the equality predicates so that the benchmark
+//! sweeps (millions of `Calls` rows) run in sensible time; all other
+//! predicates are applied as soon as their columns are bound.
+
+use crate::agg::Accumulator;
+use crate::database::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::relation::Relation;
+use crate::value::{self, Value};
+use aggview_sql::ast::{AggFunc, ArithOp, BoolExpr, CmpOp, ColumnRef, Expr, Literal, Query};
+use std::collections::HashMap;
+
+/// Execute `query` against `db`, returning the result relation.
+///
+/// ```
+/// use aggview_engine::{execute, Database, Relation, Value};
+/// use aggview_sql::parse_query;
+///
+/// let mut db = Database::new();
+/// db.insert("T", Relation::new(
+///     ["a", "b"],
+///     vec![
+///         vec![Value::Int(1), Value::Int(10)],
+///         vec![Value::Int(1), Value::Int(20)],
+///         vec![Value::Int(2), Value::Int(30)],
+///     ],
+/// ));
+/// let q = parse_query("SELECT a, SUM(b) FROM T GROUP BY a").unwrap();
+/// let out = execute(&q, &db).unwrap();
+/// assert_eq!(out.sorted_rows(), vec![
+///     vec![Value::Int(1), Value::Int(30)],
+///     vec![Value::Int(2), Value::Int(30)],
+/// ]);
+/// ```
+pub fn execute(query: &Query, db: &Database) -> EngineResult<Relation> {
+    Executor::new(query, db)?.run()
+}
+
+/// Compiled scalar expression with resolved column slots (core-table
+/// indexes) and aggregate references.
+#[derive(Debug, Clone)]
+enum CExpr {
+    /// Core-table column.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary arithmetic.
+    Bin(Box<CExpr>, ArithOp, Box<CExpr>),
+    /// Negation.
+    Neg(Box<CExpr>),
+    /// Reference to aggregate slot `i` (grouped evaluation only).
+    AggRef(usize),
+}
+
+/// A compiled comparison predicate.
+#[derive(Debug, Clone)]
+struct CPred {
+    lhs: CExpr,
+    op: CmpOp,
+    rhs: CExpr,
+}
+
+/// One aggregate to compute: the function and its compiled argument
+/// (`None` = `COUNT(*)`).
+#[derive(Debug)]
+struct AggSlot {
+    func: AggFunc,
+    arg: Option<CExpr>,
+}
+
+struct Occurrence<'a> {
+    binding: String,
+    relation: &'a Relation,
+    offset: usize,
+}
+
+struct Executor<'a> {
+    query: &'a Query,
+    occurrences: Vec<Occurrence<'a>>,
+    n_core_cols: usize,
+    grouped: bool,
+    group_exprs: Vec<usize>, // core indexes of GROUP BY columns
+    agg_slots: Vec<AggSlot>,
+    select: Vec<CExpr>,
+    having: Vec<CPred>,
+    where_preds: Vec<CPred>,
+}
+
+impl<'a> Executor<'a> {
+    fn new(query: &'a Query, db: &'a Database) -> EngineResult<Self> {
+        // Bind FROM occurrences.
+        let mut occurrences: Vec<Occurrence<'a>> = Vec::with_capacity(query.from.len());
+        let mut offset = 0usize;
+        for tref in &query.from {
+            let binding = tref.binding_name().to_string();
+            if occurrences.iter().any(|o| o.binding == binding) {
+                return Err(EngineError::DuplicateBinding(binding));
+            }
+            let relation = db.get(&tref.table)?;
+            occurrences.push(Occurrence {
+                binding,
+                relation,
+                offset,
+            });
+            offset += relation.arity();
+        }
+        let n_core_cols = offset;
+
+        let mut ex = Executor {
+            query,
+            occurrences,
+            n_core_cols,
+            grouped: false,
+            group_exprs: Vec::new(),
+            agg_slots: Vec::new(),
+            select: Vec::new(),
+            having: Vec::new(),
+            where_preds: Vec::new(),
+        };
+
+        // Grouping columns.
+        for c in &query.group_by {
+            let idx = ex.resolve(c)?;
+            ex.group_exprs.push(idx);
+        }
+
+        let any_select_agg = query.select.iter().any(|s| s.expr.contains_aggregate());
+        ex.grouped = !query.group_by.is_empty() || any_select_agg || query.having.is_some();
+
+        // Compile WHERE (no aggregates allowed).
+        if let Some(w) = &query.where_clause {
+            for atom in w.conjuncts() {
+                let BoolExpr::Cmp { lhs, op, rhs } = atom else {
+                    unreachable!("conjuncts() yields comparisons");
+                };
+                if lhs.contains_aggregate() || rhs.contains_aggregate() {
+                    return Err(EngineError::MisplacedAggregate);
+                }
+                let p = CPred {
+                    lhs: ex.compile_scalar(lhs)?,
+                    op: *op,
+                    rhs: ex.compile_scalar(rhs)?,
+                };
+                ex.where_preds.push(p);
+            }
+        }
+
+        // Compile SELECT.
+        for item in &query.select {
+            let compiled = if ex.grouped {
+                ex.compile_grouped(&item.expr)?
+            } else {
+                ex.compile_scalar(&item.expr)?
+            };
+            ex.select.push(compiled);
+        }
+
+        // Compile HAVING.
+        if let Some(h) = &query.having {
+            for atom in h.conjuncts() {
+                let BoolExpr::Cmp { lhs, op, rhs } = atom else {
+                    unreachable!("conjuncts() yields comparisons");
+                };
+                let p = CPred {
+                    lhs: ex.compile_grouped(lhs)?,
+                    op: *op,
+                    rhs: ex.compile_grouped(rhs)?,
+                };
+                ex.having.push(p);
+            }
+        }
+
+        Ok(ex)
+    }
+
+    /// Resolve a column reference to a core-table index.
+    fn resolve(&self, c: &ColumnRef) -> EngineResult<usize> {
+        match &c.table {
+            Some(binding) => {
+                let occ = self
+                    .occurrences
+                    .iter()
+                    .find(|o| o.binding == *binding)
+                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
+                let pos = occ
+                    .relation
+                    .column_index(&c.column)
+                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
+                Ok(occ.offset + pos)
+            }
+            None => {
+                let mut found = None;
+                for occ in &self.occurrences {
+                    if let Some(pos) = occ.relation.column_index(&c.column) {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(c.column.clone()));
+                        }
+                        found = Some(occ.offset + pos);
+                    }
+                }
+                found.ok_or_else(|| EngineError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// Compile a scalar (aggregate-free) expression.
+    fn compile_scalar(&self, e: &Expr) -> EngineResult<CExpr> {
+        match e {
+            Expr::Column(c) => Ok(CExpr::Col(self.resolve(c)?)),
+            Expr::Literal(l) => Ok(CExpr::Lit(lit_value(l))),
+            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
+                Box::new(self.compile_scalar(lhs)?),
+                *op,
+                Box::new(self.compile_scalar(rhs)?),
+            )),
+            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_scalar(inner)?))),
+            Expr::Agg(_) => Err(EngineError::MisplacedAggregate),
+        }
+    }
+
+    /// Compile an expression appearing in a grouped context (`SELECT` or
+    /// `HAVING` of a grouped query): aggregate calls become slot
+    /// references, and bare columns must be grouping columns.
+    fn compile_grouped(&mut self, e: &Expr) -> EngineResult<CExpr> {
+        match e {
+            Expr::Column(c) => {
+                let idx = self.resolve(c)?;
+                if !self.grouped || self.group_exprs.contains(&idx) {
+                    Ok(CExpr::Col(idx))
+                } else {
+                    Err(EngineError::NonGroupedColumn(c.to_string()))
+                }
+            }
+            Expr::Literal(l) => Ok(CExpr::Lit(lit_value(l))),
+            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
+                Box::new(self.compile_grouped(lhs)?),
+                *op,
+                Box::new(self.compile_grouped(rhs)?),
+            )),
+            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_grouped(inner)?))),
+            Expr::Agg(agg) => {
+                let arg = match &agg.arg {
+                    None => None,
+                    Some(a) => {
+                        if a.contains_aggregate() {
+                            return Err(EngineError::MisplacedAggregate);
+                        }
+                        Some(self.compile_scalar(a)?)
+                    }
+                };
+                let slot = self.agg_slots.len();
+                self.agg_slots.push(AggSlot {
+                    func: agg.func,
+                    arg,
+                });
+                Ok(CExpr::AggRef(slot))
+            }
+        }
+    }
+
+    fn run(mut self) -> EngineResult<Relation> {
+        let core = self.build_core()?;
+        let names = self.query.output_names();
+
+        if !self.grouped {
+            let mut out = Relation::empty(names);
+            for row in &core {
+                let mut cells = Vec::with_capacity(self.select.len());
+                for e in &self.select {
+                    cells.push(eval(e, row, &[])?);
+                }
+                out.push(cells);
+            }
+            if self.query.distinct {
+                dedup(&mut out);
+            }
+            return Ok(out);
+        }
+
+        // Grouped evaluation. Key = values of GROUP BY columns (the whole
+        // input is one group when GROUP BY is empty and there is at least
+        // one row).
+        let mut groups: HashMap<Vec<Value>, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
+        let mut group_order: Vec<Vec<Value>> = Vec::new();
+        for row in &core {
+            let key: Vec<Value> = self
+                .group_exprs
+                .iter()
+                .map(|&i| row[i].clone())
+                .collect();
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                group_order.push(key);
+                (
+                    row.clone(),
+                    self.agg_slots
+                        .iter()
+                        .map(|s| Accumulator::new(s.func))
+                        .collect(),
+                )
+            });
+            for (slot, acc) in self.agg_slots.iter().zip(entry.1.iter_mut()) {
+                match &slot.arg {
+                    None => acc.update(&Value::Int(0))?, // COUNT(*): value ignored
+                    Some(arg) => {
+                        let v = eval(arg, row, &[])?;
+                        acc.update(&v)?;
+                    }
+                }
+            }
+        }
+
+        let mut out = Relation::empty(names);
+        'group: for key in &group_order {
+            let (rep, accs) = &groups[key];
+            let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+            for pred in &self.having {
+                if !eval_pred(pred, rep, &agg_values)? {
+                    continue 'group;
+                }
+            }
+            let mut cells = Vec::with_capacity(self.select.len());
+            for e in &self.select {
+                cells.push(eval(e, rep, &agg_values)?);
+            }
+            out.push(cells);
+        }
+        if self.query.distinct {
+            dedup(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Build the core table (FROM × WHERE) with a greedy hash-join plan.
+    /// Returns rows in the *core column space* (concatenation of FROM
+    /// occurrences in declaration order).
+    fn build_core(&mut self) -> EngineResult<Vec<Vec<Value>>> {
+        let n_occ = self.occurrences.len();
+
+        // Classify predicates.
+        let mut applied = vec![false; self.where_preds.len()];
+        let mut local: Vec<Vec<usize>> = vec![Vec::new(); n_occ]; // per-occurrence preds
+        let mut equi: Vec<(usize, usize, usize)> = Vec::new(); // (pred, core_l, core_r)
+        for (pi, p) in self.where_preds.iter().enumerate() {
+            let mut cols = Vec::new();
+            collect_cols(&p.lhs, &mut cols);
+            collect_cols(&p.rhs, &mut cols);
+            let occs: Vec<usize> = {
+                let mut v: Vec<usize> = cols.iter().map(|&c| self.occ_of(c)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            match occs.len() {
+                0 => {
+                    // Constant predicate: evaluate once; a false constant
+                    // predicate empties the result.
+                    if !eval_pred(p, &[], &[])? {
+                        return Ok(Vec::new());
+                    }
+                    applied[pi] = true;
+                }
+                1 => {
+                    local[occs[0]].push(pi);
+                    applied[pi] = true; // applied during the scan below
+                }
+                _ => {
+                    // Pure column-to-column equality between two
+                    // occurrences is a hash-join candidate.
+                    if p.op == CmpOp::Eq {
+                        if let (CExpr::Col(a), CExpr::Col(b)) = (&p.lhs, &p.rhs) {
+                            equi.push((pi, *a, *b));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scan and locally filter each occurrence.
+        let mut scans: Vec<Vec<Vec<Value>>> = Vec::with_capacity(n_occ);
+        for (oi, occ) in self.occurrences.iter().enumerate() {
+            let mut rows = Vec::new();
+            'row: for r in &occ.relation.rows {
+                // Local predicates reference core indexes; build a sparse
+                // core row view for this occurrence.
+                for &pi in &local[oi] {
+                    let p = &self.where_preds[pi];
+                    if !eval_pred_offset(p, r, occ.offset)? {
+                        continue 'row;
+                    }
+                }
+                rows.push(r.clone());
+            }
+            scans.push(rows);
+        }
+
+        // Greedy join order: start with the smallest scan, then repeatedly
+        // join the smallest occurrence connected by an equi predicate
+        // (falling back to the smallest unconnected — a cross product).
+        let mut remaining: Vec<usize> = (0..n_occ).collect();
+        remaining.sort_by_key(|&oi| scans[oi].len());
+        let first = remaining.remove(0);
+
+        // `layout[oi] = Some(offset in intermediate row)` once joined.
+        let mut layout: Vec<Option<usize>> = vec![None; n_occ];
+        layout[first] = Some(0);
+        let mut width = self.occurrences[first].relation.arity();
+        let mut inter: Vec<Vec<Value>> = scans[first].clone();
+
+        while !remaining.is_empty() {
+            // Choose the next occurrence: connected and smallest.
+            let connected_pos = remaining
+                .iter()
+                .position(|&oi| {
+                    equi.iter().any(|&(pi, a, b)| {
+                        !applied[pi] && {
+                            let (oa, ob) = (self.occ_of(a), self.occ_of(b));
+                            (oa == oi && layout[ob].is_some())
+                                || (ob == oi && layout[oa].is_some())
+                        }
+                    })
+                })
+                .unwrap_or(0);
+            let next = remaining.remove(connected_pos);
+
+            // Keys: every unapplied equi predicate between `next` and the
+            // current layout.
+            let mut build_cols = Vec::new(); // local to `next`
+            let mut probe_cols = Vec::new(); // positions in intermediate
+            for &(pi, a, b) in &equi {
+                if applied[pi] {
+                    continue;
+                }
+                let (oa, ob) = (self.occ_of(a), self.occ_of(b));
+                let (nc, ic) = if oa == next && layout[ob].is_some() {
+                    (a, b)
+                } else if ob == next && layout[oa].is_some() {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                build_cols.push(nc - self.occurrences[next].offset);
+                probe_cols
+                    .push(layout[self.occ_of(ic)].unwrap() + (ic - self.occurrences[self.occ_of(ic)].offset));
+                applied[pi] = true;
+            }
+
+            let next_rows = &scans[next];
+            let mut joined: Vec<Vec<Value>> = Vec::new();
+            if build_cols.is_empty() {
+                // Cross product.
+                joined.reserve(inter.len().saturating_mul(next_rows.len()));
+                for l in &inter {
+                    for r in next_rows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        joined.push(row);
+                    }
+                }
+            } else {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(next_rows.len());
+                for (ri, r) in next_rows.iter().enumerate() {
+                    let key: Vec<Value> = build_cols.iter().map(|&c| r[c].clone()).collect();
+                    table.entry(key).or_default().push(ri);
+                }
+                for l in &inter {
+                    let key: Vec<Value> = probe_cols.iter().map(|&c| l[c].clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for &ri in matches {
+                            let mut row = l.clone();
+                            row.extend(next_rows[ri].iter().cloned());
+                            joined.push(row);
+                        }
+                    }
+                }
+            }
+            layout[next] = Some(width);
+            width += self.occurrences[next].relation.arity();
+            inter = joined;
+
+            // Apply any not-yet-applied predicates whose columns are all
+            // bound now (non-equi joins, redundant equalities, ...).
+            let bound_preds: Vec<usize> = (0..self.where_preds.len())
+                .filter(|&pi| {
+                    !applied[pi] && {
+                        let p = &self.where_preds[pi];
+                        let mut cols = Vec::new();
+                        collect_cols(&p.lhs, &mut cols);
+                        collect_cols(&p.rhs, &mut cols);
+                        cols.iter().all(|&c| layout[self.occ_of(c)].is_some())
+                    }
+                })
+                .collect();
+            if !bound_preds.is_empty() {
+                let remap = self.remap_for(&layout);
+                let mut filtered = Vec::with_capacity(inter.len());
+                'jrow: for row in inter {
+                    for &pi in &bound_preds {
+                        let p = &self.where_preds[pi];
+                        if !eval_pred_remap(p, &row, &remap)? {
+                            continue 'jrow;
+                        }
+                    }
+                    filtered.push(row);
+                }
+                for pi in bound_preds {
+                    applied[pi] = true;
+                }
+                inter = filtered;
+            }
+        }
+
+        // Permute intermediate rows into core-column order.
+        let remap = self.remap_for(&layout);
+        let identity = remap.iter().enumerate().all(|(i, &p)| i == p);
+        if identity {
+            return Ok(inter);
+        }
+        Ok(inter
+            .into_iter()
+            .map(|row| remap.iter().map(|&p| row[p].clone()).collect())
+            .collect())
+    }
+
+    /// Map core index → occurrence index.
+    fn occ_of(&self, core: usize) -> usize {
+        // Occurrences are few; a linear scan beats a binary search here.
+        self.occurrences
+            .iter()
+            .rposition(|o| o.offset <= core)
+            .expect("core index within range")
+    }
+
+    /// Map core index → position in the intermediate layout. Columns of
+    /// occurrences not yet joined map to `usize::MAX` — callers only
+    /// evaluate predicates whose columns are all bound.
+    fn remap_for(&self, layout: &[Option<usize>]) -> Vec<usize> {
+        let mut remap = vec![usize::MAX; self.n_core_cols];
+        for (oi, occ) in self.occurrences.iter().enumerate() {
+            let Some(base) = layout[oi] else { continue };
+            for k in 0..occ.relation.arity() {
+                remap[occ.offset + k] = base + k;
+            }
+        }
+        remap
+    }
+}
+
+fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Double(v) => Value::Double(*v),
+        Literal::Str(v) => Value::Str(v.clone()),
+        Literal::Bool(v) => Value::Bool(*v),
+    }
+}
+
+fn collect_cols(e: &CExpr, out: &mut Vec<usize>) {
+    match e {
+        CExpr::Col(i) => out.push(*i),
+        CExpr::Lit(_) | CExpr::AggRef(_) => {}
+        CExpr::Bin(a, _, b) => {
+            collect_cols(a, out);
+            collect_cols(b, out);
+        }
+        CExpr::Neg(a) => collect_cols(a, out),
+    }
+}
+
+/// Evaluate a compiled expression against a core row and aggregate values.
+fn eval(e: &CExpr, row: &[Value], aggs: &[Value]) -> EngineResult<Value> {
+    match e {
+        CExpr::Col(i) => Ok(row[*i].clone()),
+        CExpr::Lit(v) => Ok(v.clone()),
+        CExpr::Bin(a, op, b) => {
+            let x = eval(a, row, aggs)?;
+            let y = eval(b, row, aggs)?;
+            let r = match op {
+                ArithOp::Add => value::add(&x, &y),
+                ArithOp::Sub => value::sub(&x, &y),
+                ArithOp::Mul => value::mul(&x, &y),
+                ArithOp::Div => {
+                    if matches!(y.as_f64(), Some(d) if d == 0.0) {
+                        return Err(EngineError::DivisionByZero);
+                    }
+                    value::div(&x, &y)
+                }
+            };
+            r.ok_or_else(|| {
+                EngineError::TypeError(format!(
+                    "arithmetic on {} and {}",
+                    x.type_name(),
+                    y.type_name()
+                ))
+            })
+        }
+        CExpr::Neg(a) => {
+            let x = eval(a, row, aggs)?;
+            value::neg(&x)
+                .ok_or_else(|| EngineError::TypeError(format!("negation of {}", x.type_name())))
+        }
+        CExpr::AggRef(i) => Ok(aggs[*i].clone()),
+    }
+}
+
+fn eval_pred(p: &CPred, row: &[Value], aggs: &[Value]) -> EngineResult<bool> {
+    let l = eval(&p.lhs, row, aggs)?;
+    let r = eval(&p.rhs, row, aggs)?;
+    compare(&l, p.op, &r)
+}
+
+/// Evaluate a predicate whose columns all live in one occurrence, against a
+/// single-table row at the given core offset.
+fn eval_pred_offset(p: &CPred, row: &[Value], offset: usize) -> EngineResult<bool> {
+    fn shift(e: &CExpr, offset: usize) -> CExpr {
+        match e {
+            CExpr::Col(i) => CExpr::Col(i - offset),
+            CExpr::Lit(v) => CExpr::Lit(v.clone()),
+            CExpr::Bin(a, op, b) => CExpr::Bin(
+                Box::new(shift(a, offset)),
+                *op,
+                Box::new(shift(b, offset)),
+            ),
+            CExpr::Neg(a) => CExpr::Neg(Box::new(shift(a, offset))),
+            CExpr::AggRef(i) => CExpr::AggRef(*i),
+        }
+    }
+    let l = eval(&shift(&p.lhs, offset), row, &[])?;
+    let r = eval(&shift(&p.rhs, offset), row, &[])?;
+    compare(&l, p.op, &r)
+}
+
+/// Evaluate a predicate against an intermediate row through a core→layout
+/// remap.
+fn eval_pred_remap(p: &CPred, row: &[Value], remap: &[usize]) -> EngineResult<bool> {
+    fn rm(e: &CExpr, remap: &[usize]) -> CExpr {
+        match e {
+            CExpr::Col(i) => CExpr::Col(remap[*i]),
+            CExpr::Lit(v) => CExpr::Lit(v.clone()),
+            CExpr::Bin(a, op, b) => {
+                CExpr::Bin(Box::new(rm(a, remap)), *op, Box::new(rm(b, remap)))
+            }
+            CExpr::Neg(a) => CExpr::Neg(Box::new(rm(a, remap))),
+            CExpr::AggRef(i) => CExpr::AggRef(*i),
+        }
+    }
+    let l = eval(&rm(&p.lhs, remap), row, &[])?;
+    let r = eval(&rm(&p.rhs, remap), row, &[])?;
+    compare(&l, p.op, &r)
+}
+
+fn compare(l: &Value, op: CmpOp, r: &Value) -> EngineResult<bool> {
+    use std::cmp::Ordering;
+    let ord = l.cmp_sql(r).ok_or_else(|| {
+        EngineError::TypeError(format!(
+            "comparison of {} and {}",
+            l.type_name(),
+            r.type_name()
+        ))
+    })?;
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+fn dedup(rel: &mut Relation) {
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    rel.rows.retain(|r| seen.insert(r.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::rel_of_ints;
+    use aggview_sql::parse_query;
+
+    fn db2() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "R1",
+            rel_of_ints(["A", "B"], &[&[1, 10], &[1, 20], &[2, 30], &[2, 30]]),
+        );
+        db.insert("R2", rel_of_ints(["C", "D"], &[&[1, 100], &[2, 200], &[3, 300]]));
+        db
+    }
+
+    fn run(sql: &str, db: &Database) -> Relation {
+        execute(&parse_query(sql).unwrap(), db).unwrap()
+    }
+
+    #[test]
+    fn projection_keeps_duplicates() {
+        let out = run("SELECT A FROM R1", &db2());
+        assert_eq!(out.sorted_rows().len(), 4);
+        assert!(out.has_duplicates());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let out = run("SELECT DISTINCT A, B FROM R1", &db2());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn where_filters() {
+        let out = run("SELECT A, B FROM R1 WHERE B > 15", &db2());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn equi_join() {
+        let out = run("SELECT A, D FROM R1, R2 WHERE A = C", &db2());
+        // (1,100)x2, (2,200)x2 — multiset semantics keeps all four.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn cross_product_multiplicity() {
+        let out = run("SELECT A, C FROM R1, R2", &db2());
+        assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn non_equi_join() {
+        let out = run("SELECT A, C FROM R1, R2 WHERE A < C", &db2());
+        // A=1 matches C∈{2,3} (2 rows ×2 dups... A=1 appears twice) etc.
+        // rows with A=1: 2 rows × 2 matches = 4; A=2: 2 rows × 1 match = 2.
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let out = run("SELECT A, SUM(B), COUNT(B), MIN(B), MAX(B) FROM R1 GROUP BY A", &db2());
+        let rows = out.sorted_rows();
+        assert_eq!(
+            rows,
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::Int(30),
+                    Value::Int(2),
+                    Value::Int(10),
+                    Value::Int(20)
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Int(60),
+                    Value::Int(2),
+                    Value::Int(30),
+                    Value::Int(30)
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn avg_is_double() {
+        let out = run("SELECT A, AVG(B) FROM R1 GROUP BY A", &db2());
+        let rows = out.sorted_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Double(15.0)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Double(30.0)]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let out = run(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) > 40",
+            &db2(),
+        );
+        assert_eq!(out.sorted_rows(), vec![vec![Value::Int(2), Value::Int(60)]]);
+    }
+
+    #[test]
+    fn having_on_grouping_column() {
+        let out = run("SELECT A, SUM(B) FROM R1 GROUP BY A HAVING A = 1", &db2());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let out = run("SELECT A, COUNT(*) FROM R1 GROUP BY A", &db2());
+        let rows = out.sorted_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let out = run("SELECT SUM(B), COUNT(B) FROM R1", &db2());
+        assert_eq!(out.rows, vec![vec![Value::Int(90), Value::Int(4)]]);
+    }
+
+    #[test]
+    fn aggregate_over_empty_input_is_empty() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["x"], &[]));
+        let out = run("SELECT SUM(x) FROM T", &db);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_group_produces_no_row() {
+        let out = run("SELECT A, SUM(B) FROM R1 WHERE B > 1000 GROUP BY A", &db2());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn weighted_aggregate_expression() {
+        // SUM(A * B): the form emitted by the rewriter's Strategy B.
+        let out = run("SELECT SUM(A * B) FROM R1", &db2());
+        assert_eq!(out.rows, vec![vec![Value::Int(10 + 20 + 60 + 60)]]);
+    }
+
+    #[test]
+    fn scaled_aggregate_in_select() {
+        // Cnt * SUM(B): the paper's S5' output form (arithmetic over an
+        // aggregate and a grouping column).
+        let out = run("SELECT A, A * SUM(B) FROM R1 GROUP BY A", &db2());
+        let rows = out.sorted_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(30)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(120)]);
+    }
+
+    #[test]
+    fn division_in_select_is_double() {
+        let out = run("SELECT SUM(B) / COUNT(B) FROM R1", &db2());
+        assert_eq!(out.rows, vec![vec![Value::Double(22.5)]]);
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let out = run("SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.B", &db2());
+        // B=10:1 pair; B=20:1; B=30: 2x2=4 pairs. Total 6.
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let db = db2();
+        let q = parse_query("SELECT A FROM R1, R1").unwrap();
+        assert_eq!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::DuplicateBinding("R1".into())
+        );
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let db = db2();
+        let q = parse_query("SELECT Zz FROM R1").unwrap();
+        assert!(matches!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let mut db = Database::new();
+        db.insert("S", rel_of_ints(["A"], &[&[1]]));
+        db.insert("T", rel_of_ints(["A"], &[&[1]]));
+        let q = parse_query("SELECT A FROM S, T").unwrap();
+        assert_eq!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::AmbiguousColumn("A".into())
+        );
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let db = db2();
+        let q = parse_query("SELECT B, SUM(A) FROM R1 GROUP BY A").unwrap();
+        assert!(matches!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::NonGroupedColumn(_)
+        ));
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let db = db2();
+        let q = parse_query("SELECT A FROM R1 WHERE SUM(B) > 3").unwrap();
+        assert_eq!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::MisplacedAggregate
+        );
+    }
+
+    #[test]
+    fn constant_false_predicate_empties_result() {
+        let out = run("SELECT A FROM R1 WHERE 1 = 2", &db2());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn constant_true_predicate_is_noop() {
+        let out = run("SELECT A FROM R1 WHERE 1 = 1", &db2());
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn three_way_join_ordering() {
+        let mut db = db2();
+        db.insert("R3", rel_of_ints(["E", "F"], &[&[100, 7], &[300, 9]]));
+        let out = run(
+            "SELECT A, F FROM R1, R2, R3 WHERE A = C AND D = E",
+            &db,
+        );
+        // A=C gives (1,100)x2,(2,200)x2; D=E keeps D=100 → 2 rows with F=7.
+        assert_eq!(
+            out.sorted_rows(),
+            vec![
+                vec![Value::Int(1), Value::Int(7)],
+                vec![Value::Int(1), Value::Int(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn non_equi_predicate_bound_before_all_tables_join() {
+        // Regression: a cross-table non-equi predicate becomes evaluable
+        // after the second join step while a third table is still pending;
+        // the mid-join remap must tolerate unjoined occurrences.
+        let mut db = db2();
+        db.insert("R3", rel_of_ints(["G"], &[&[1], &[2], &[3], &[4]]));
+        let out = run("SELECT A, G FROM R1, R2, R3 WHERE A < C", &db);
+        // A<C pairs: 6 (see non_equi_join) × 4 R3 rows.
+        assert_eq!(out.len(), 24);
+    }
+
+    #[test]
+    fn string_predicates() {
+        let mut db = Database::new();
+        db.insert(
+            "P",
+            Relation::new(
+                ["name", "v"],
+                vec![
+                    vec![Value::Str("basic".into()), Value::Int(1)],
+                    vec![Value::Str("gold".into()), Value::Int(2)],
+                ],
+            ),
+        );
+        let out = run("SELECT v FROM P WHERE name = 'gold'", &db);
+        assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let db = db2();
+        let q = parse_query("SELECT A / 0 FROM R1").unwrap();
+        assert_eq!(execute(&q, &db).unwrap_err(), EngineError::DivisionByZero);
+    }
+
+    #[test]
+    fn group_by_qualified_column() {
+        let out = run("SELECT R1.A, COUNT(*) FROM R1 GROUP BY R1.A", &db2());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn string_group_keys() {
+        let mut db = Database::new();
+        db.insert(
+            "P",
+            Relation::new(
+                ["name", "v"],
+                vec![
+                    vec![Value::Str("basic".into()), Value::Int(1)],
+                    vec![Value::Str("basic".into()), Value::Int(2)],
+                    vec![Value::Str("gold".into()), Value::Int(5)],
+                ],
+            ),
+        );
+        let out = run("SELECT name, SUM(v), MIN(name) FROM P GROUP BY name", &db);
+        let rows = out.sorted_rows();
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::Str("basic".into()),
+                Value::Int(3),
+                Value::Str("basic".into())
+            ]
+        );
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let mut db = Database::new();
+        db.insert(
+            "F",
+            Relation::new(
+                ["flag", "v"],
+                vec![
+                    vec![Value::Bool(true), Value::Int(1)],
+                    vec![Value::Bool(false), Value::Int(2)],
+                ],
+            ),
+        );
+        let out = run("SELECT v FROM F WHERE flag = TRUE", &db);
+        assert_eq!(out.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn comparison_type_error_surfaces() {
+        let mut db = Database::new();
+        db.insert(
+            "M",
+            Relation::new(
+                ["s", "n"],
+                vec![vec![Value::Str("x".into()), Value::Int(1)]],
+            ),
+        );
+        let q = parse_query("SELECT n FROM M WHERE s < 5").unwrap();
+        assert!(matches!(
+            execute(&q, &db).unwrap_err(),
+            EngineError::TypeError(_)
+        ));
+    }
+
+    #[test]
+    fn having_without_group_by() {
+        let out = run("SELECT SUM(B) FROM R1 HAVING SUM(B) > 1000", &db2());
+        assert!(out.is_empty());
+        let out = run("SELECT SUM(B) FROM R1 HAVING SUM(B) > 10", &db2());
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Dynamically typed values with SQL comparison and arithmetic semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A runtime value. The model is NULL-free (see the crate docs).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Double(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// SQL comparison: numeric types compare numerically across `Int` and
+    /// `Double`; strings and booleans compare within their own type.
+    /// Returns `None` for incomparable type combinations.
+    pub fn cmp_sql(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// A total order usable for sorting and grouping: values are ordered by
+    /// type rank first (int < double < string < bool), then within the type
+    /// (doubles by IEEE total order). Distinct from [`Value::cmp_sql`] —
+    /// `Int(1)` and `Double(1.0)` are *different* grouping keys, just as
+    /// they are different values in a column.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Double(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Approximate equality: exact for ints/strings/bools, relative
+    /// tolerance `1e-9` (and absolute `1e-9`) for doubles. Used when
+    /// comparing query results whose floating-point aggregates may have
+    /// been summed in different orders.
+    pub fn approx_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Double(a), Value::Double(b)) => {
+                let diff = (a - b).abs();
+                diff <= 1e-9 || diff <= 1e-9 * a.abs().max(b.abs())
+            }
+            // An exact-int vs double mismatch (e.g. SUM materialized as int
+            // on one side and double on the other) still counts when the
+            // numeric values agree.
+            (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => {
+                (*a as f64 - b).abs() <= 1e-9 * (*a as f64).abs().max(b.abs()).max(1.0)
+            }
+            _ => self == other,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Bool(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v:?}"),
+            Value::Str(v) => write!(f, "'{v}'"),
+            Value::Bool(v) => write!(f, "{}", if *v { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Numeric addition with int preservation: `Int + Int = Int` (checked,
+/// promoting to double on overflow), anything involving a double is double.
+pub fn add(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(match x.checked_add(*y) {
+            Some(s) => Value::Int(s),
+            None => Value::Double(*x as f64 + *y as f64),
+        }),
+        _ => Some(Value::Double(a.as_f64()? + b.as_f64()?)),
+    }
+}
+
+/// Numeric subtraction (same promotion rules as [`add`]).
+pub fn sub(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(match x.checked_sub(*y) {
+            Some(s) => Value::Int(s),
+            None => Value::Double(*x as f64 - *y as f64),
+        }),
+        _ => Some(Value::Double(a.as_f64()? - b.as_f64()?)),
+    }
+}
+
+/// Numeric multiplication (same promotion rules as [`add`]).
+pub fn mul(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(match x.checked_mul(*y) {
+            Some(s) => Value::Int(s),
+            None => Value::Double(*x as f64 * *y as f64),
+        }),
+        _ => Some(Value::Double(a.as_f64()? * b.as_f64()?)),
+    }
+}
+
+/// Division always yields a double (so `SUM(x)/SUM(n)` matches `AVG`
+/// exactly); division by zero yields `None` (a runtime error upstream).
+pub fn div(a: &Value, b: &Value) -> Option<Value> {
+    let d = b.as_f64()?;
+    if d == 0.0 {
+        return None;
+    }
+    Some(Value::Double(a.as_f64()? / d))
+}
+
+/// Numeric negation.
+pub fn neg(a: &Value) -> Option<Value> {
+    match a {
+        Value::Int(x) => Some(match x.checked_neg() {
+            Some(v) => Value::Int(v),
+            None => Value::Double(-(*x as f64)),
+        }),
+        Value::Double(x) => Some(Value::Double(-x)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_comparison_coerces_numerics() {
+        assert_eq!(
+            Value::Int(2).cmp_sql(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).cmp_sql(&Value::Double(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).cmp_sql(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_separates_types() {
+        assert_ne!(Value::Int(1), Value::Double(1.0));
+        let mut vs = vec![
+            Value::Str("x".into()),
+            Value::Int(5),
+            Value::Double(2.0),
+            Value::Bool(true),
+            Value::Int(-3),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Int(-3),
+                Value::Int(5),
+                Value::Double(2.0),
+                Value::Str("x".into()),
+                Value::Bool(true),
+            ]
+        );
+    }
+
+    #[test]
+    fn approx_eq_tolerates_fp_noise() {
+        let a = Value::Double(0.1 + 0.2);
+        let b = Value::Double(0.3);
+        assert_ne!(a, b);
+        assert!(a.approx_eq(&b));
+        assert!(Value::Int(3).approx_eq(&Value::Double(3.0)));
+        assert!(!Value::Double(1.0).approx_eq(&Value::Double(1.1)));
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(add(&Value::Int(2), &Value::Int(3)), Some(Value::Int(5)));
+        assert_eq!(
+            add(&Value::Int(2), &Value::Double(0.5)),
+            Some(Value::Double(2.5))
+        );
+        assert_eq!(mul(&Value::Int(4), &Value::Int(5)), Some(Value::Int(20)));
+        assert_eq!(
+            div(&Value::Int(7), &Value::Int(2)),
+            Some(Value::Double(3.5))
+        );
+        assert_eq!(div(&Value::Int(7), &Value::Int(0)), None);
+        assert_eq!(add(&Value::Str("x".into()), &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn int_overflow_promotes_to_double() {
+        let big = Value::Int(i64::MAX);
+        match add(&big, &Value::Int(1)) {
+            // At this magnitude f64 granularity exceeds 2.0, so compare >=.
+            Some(Value::Double(v)) => assert!(v >= i64::MAX as f64),
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn neg_works() {
+        assert_eq!(neg(&Value::Int(5)), Some(Value::Int(-5)));
+        assert_eq!(neg(&Value::Double(2.5)), Some(Value::Double(-2.5)));
+        assert_eq!(neg(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_doubles() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Double(1.5));
+        assert!(set.contains(&Value::Double(1.5)));
+        assert!(!set.contains(&Value::Double(1.25)));
+        assert!(!set.contains(&Value::Int(1)));
+    }
+}

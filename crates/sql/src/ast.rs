@@ -1,0 +1,592 @@
+//! Typed abstract syntax tree for the dialect.
+//!
+//! The tree mirrors the grammar of the paper's queries (Section 2):
+//! a [`Query`] is a single block with a `SELECT` list, a `FROM` list of base
+//! table references (optionally aliased — these are the paper's *range
+//! variables*), an optional conjunctive `WHERE` clause, a `GROUP BY` column
+//! list and an optional conjunctive `HAVING` clause.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A literal constant.
+#[derive(Debug, Clone)]
+pub enum Literal {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float (compared bitwise for AST equality).
+    Double(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl PartialEq for Literal {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Literal::Int(a), Literal::Int(b)) => a == b,
+            (Literal::Double(a), Literal::Double(b)) => a.to_bits() == b.to_bits(),
+            (Literal::Str(a), Literal::Str(b)) => a == b,
+            (Literal::Bool(a), Literal::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Literal {}
+
+impl Hash for Literal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Literal::Double(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Literal::Str(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Literal::Bool(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+/// A (possibly qualified) reference to a column: `table.column` or `column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Qualifier — a table name or alias from the `FROM` clause.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// The five aggregate functions of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `AVG`
+    Avg,
+}
+
+impl AggFunc {
+    /// Canonical (uppercase) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An aggregate function application, e.g. `SUM(Charge)` or `COUNT(*)`.
+///
+/// `arg = None` encodes `COUNT(*)` (only valid for [`AggFunc::Count`]).
+/// The argument may be an arbitrary arithmetic expression; the rewriting
+/// engine's *outputs* use that generality (e.g. `SUM(cnt * x)`), while its
+/// *inputs* are restricted to plain columns per the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggCall {
+    /// Which aggregate.
+    pub func: AggFunc,
+    /// The aggregated expression; `None` means `*`.
+    pub arg: Option<Box<Expr>>,
+}
+
+impl AggCall {
+    /// `AGG(column)` over a bare column name.
+    pub fn on_column(func: AggFunc, col: ColumnRef) -> Self {
+        AggCall {
+            func,
+            arg: Some(Box::new(Expr::Column(col))),
+        }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggCall {
+            func: AggFunc::Count,
+            arg: None,
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// Operator spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal constant.
+    Literal(Literal),
+    /// Binary arithmetic.
+    Binary {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Operator.
+        op: ArithOp,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation, `-e`.
+    Neg(Box<Expr>),
+    /// An aggregate call (valid in `SELECT` and `HAVING` only).
+    Agg(AggCall),
+}
+
+impl Expr {
+    /// Shorthand for a bare column expression.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::bare(name))
+    }
+
+    /// Shorthand for a qualified column expression.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::qualified(table, name))
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Shorthand for a string literal.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Literal(Literal::Str(v.into()))
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Neg(e) => e.contains_aggregate(),
+            Expr::Agg(_) => true,
+        }
+    }
+
+    /// Collect every column referenced by this expression (including inside
+    /// aggregate arguments) into `out`.
+    pub fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c),
+            Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            Expr::Neg(e) => e.collect_columns(out),
+            Expr::Agg(agg) => {
+                if let Some(arg) = &agg.arg {
+                    arg.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Comparison operators of the paper: `{=, ≠, <, ≤, >, ≥}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Operator spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with its operands swapped: `a op b` ⟺ `b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation: `¬(a op b)` ⟺ `a op.negate() b`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// A boolean expression: a conjunction of comparison predicates.
+///
+/// The paper restricts `WHERE`/`HAVING` conditions to conjunctions of
+/// built-in comparison predicates, so `AND` is the only connective.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// A single comparison `lhs op rhs`.
+    Cmp {
+        /// Left operand.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// Conjunction of two boolean expressions.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Build a comparison predicate.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp { lhs, op, rhs }
+    }
+
+    /// Conjoin a list of predicates into one `BoolExpr`, or `None` if empty.
+    pub fn conjoin(mut parts: Vec<BoolExpr>) -> Option<BoolExpr> {
+        let first = if parts.is_empty() {
+            return None;
+        } else {
+            parts.remove(0)
+        };
+        Some(
+            parts
+                .into_iter()
+                .fold(first, |acc, p| BoolExpr::And(Box::new(acc), Box::new(p))),
+        )
+    }
+
+    /// Flatten the conjunction into its comparison atoms, in textual order.
+    pub fn conjuncts(&self) -> Vec<&BoolExpr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a BoolExpr>) {
+        match self {
+            BoolExpr::Cmp { .. } => out.push(self),
+            BoolExpr::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+        }
+    }
+}
+
+/// One item in the `SELECT` list: an expression with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelectItem {
+    /// The selected expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// A select item without an alias.
+    pub fn expr(expr: Expr) -> Self {
+        SelectItem { expr, alias: None }
+    }
+
+    /// A select item with an alias.
+    pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
+        SelectItem {
+            expr,
+            alias: Some(alias.into()),
+        }
+    }
+}
+
+/// A reference to a table (or materialized view) in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// The table name.
+    pub table: String,
+    /// Optional alias (range variable).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A table reference with no alias.
+    pub fn new(table: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    /// A table reference with an alias.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The name by which columns of this occurrence are qualified.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A single-block SQL query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// The `SELECT` list (non-empty).
+    pub select: Vec<SelectItem>,
+    /// The `FROM` list (non-empty).
+    pub from: Vec<TableRef>,
+    /// The `WHERE` clause, if any.
+    pub where_clause: Option<BoolExpr>,
+    /// The `GROUP BY` columns.
+    pub group_by: Vec<ColumnRef>,
+    /// The `HAVING` clause, if any.
+    pub having: Option<BoolExpr>,
+}
+
+impl Query {
+    /// Names of the output columns, in `SELECT`-list order.
+    ///
+    /// An item's name is its alias when present; otherwise, for a plain
+    /// column reference, the column name; otherwise a synthesized name
+    /// (`sum_charge`, `count_star`, `expr_3`, ...). Duplicate names get a
+    /// numeric suffix (`_2`, `_3`, ...) so the output schema is always
+    /// unambiguous — materialized views rely on this.
+    pub fn output_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::with_capacity(self.select.len());
+        for (i, item) in self.select.iter().enumerate() {
+            let base = match &item.alias {
+                Some(a) => a.clone(),
+                None => synthesize_name(&item.expr, i),
+            };
+            let mut name = base.clone();
+            let mut n = 2;
+            while names.contains(&name) {
+                name = format!("{base}_{n}");
+                n += 1;
+            }
+            names.push(name);
+        }
+        names
+    }
+}
+
+fn synthesize_name(expr: &Expr, index: usize) -> String {
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Agg(agg) => {
+            let func = agg.func.as_str().to_ascii_lowercase();
+            match &agg.arg {
+                None => format!("{func}_star"),
+                Some(arg) => match arg.as_ref() {
+                    Expr::Column(c) => format!("{func}_{}", c.column.to_ascii_lowercase()),
+                    _ => format!("{func}_{index}"),
+                },
+            }
+        }
+        _ => format!("expr_{index}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjoin_and_conjuncts_round_trip() {
+        let atoms = vec![
+            BoolExpr::cmp(Expr::col("a"), CmpOp::Eq, Expr::col("b")),
+            BoolExpr::cmp(Expr::col("c"), CmpOp::Lt, Expr::int(5)),
+            BoolExpr::cmp(Expr::col("d"), CmpOp::Ne, Expr::str("x")),
+        ];
+        let combined = BoolExpr::conjoin(atoms.clone()).unwrap();
+        let flattened: Vec<BoolExpr> = combined.conjuncts().into_iter().cloned().collect();
+        assert_eq!(flattened, atoms);
+    }
+
+    #[test]
+    fn conjoin_empty_is_none() {
+        assert_eq!(BoolExpr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn cmp_op_flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn output_names_prefer_alias_then_column_then_synthesized() {
+        let q = Query {
+            distinct: false,
+            select: vec![
+                SelectItem::aliased(Expr::col("a"), "alpha"),
+                SelectItem::expr(Expr::col("b")),
+                SelectItem::expr(Expr::Agg(AggCall::on_column(
+                    AggFunc::Sum,
+                    ColumnRef::bare("Charge"),
+                ))),
+                SelectItem::expr(Expr::Agg(AggCall::count_star())),
+            ],
+            from: vec![TableRef::new("t")],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+        };
+        assert_eq!(
+            q.output_names(),
+            vec!["alpha", "b", "sum_charge", "count_star"]
+        );
+    }
+
+    #[test]
+    fn output_names_deduplicate() {
+        let q = Query {
+            distinct: false,
+            select: vec![
+                SelectItem::expr(Expr::col("a")),
+                SelectItem::expr(Expr::col("a")),
+                SelectItem::expr(Expr::col("a")),
+            ],
+            from: vec![TableRef::new("t")],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+        };
+        assert_eq!(q.output_names(), vec!["a", "a_2", "a_3"]);
+    }
+
+    #[test]
+    fn contains_aggregate_walks_arithmetic() {
+        let e = Expr::Binary {
+            lhs: Box::new(Expr::col("n")),
+            op: ArithOp::Mul,
+            rhs: Box::new(Expr::Agg(AggCall::on_column(
+                AggFunc::Sum,
+                ColumnRef::bare("x"),
+            ))),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("n").contains_aggregate());
+    }
+
+    #[test]
+    fn literal_double_equality_is_bitwise() {
+        assert_eq!(Literal::Double(1.5), Literal::Double(1.5));
+        assert_ne!(Literal::Double(1.5), Literal::Double(2.5));
+        assert_ne!(Literal::Double(0.0), Literal::Int(0));
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        assert_eq!(TableRef::new("Calls").binding_name(), "Calls");
+        assert_eq!(TableRef::aliased("Calls", "c").binding_name(), "c");
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type shared by the lexer and parser.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Create an error at the given span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias used throughout the crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_and_message() {
+        let e = SqlError::new("unexpected `)`", Span::new(4, 5));
+        assert_eq!(e.to_string(), "SQL error at 4..5: unexpected `)`");
+    }
+}

@@ -1,0 +1,397 @@
+//! Hand-written lexer for the dialect.
+//!
+//! Produces a flat `Vec<Token>` terminated by [`TokenKind::Eof`]. Keywords
+//! are recognized case-insensitively; identifiers may be bare
+//! (`[A-Za-z_][A-Za-z0-9_]*`) or `"double-quoted"`; string literals are
+//! `'single-quoted'` with `''` as the escape for a single quote.
+
+use crate::error::{SqlError, SqlResult};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Tokenize `input` into a vector of tokens ending with `Eof`.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> SqlResult<Vec<Token>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'-' if self.peek(1) == Some(b'-') => self.skip_line_comment(),
+                b',' => self.push_simple(TokenKind::Comma),
+                b';' => self.push_simple(TokenKind::Semi),
+                b'.' => self.push_simple(TokenKind::Dot),
+                b'(' => self.push_simple(TokenKind::LParen),
+                b')' => self.push_simple(TokenKind::RParen),
+                b'=' => self.push_simple(TokenKind::Eq),
+                b'+' => self.push_simple(TokenKind::Plus),
+                b'*' => self.push_simple(TokenKind::Star),
+                b'/' => self.push_simple(TokenKind::Slash),
+                b'-' => self.push_simple(TokenKind::Minus),
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek(0) {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            self.push(TokenKind::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            self.push(TokenKind::Ne, start);
+                        }
+                        _ => self.push(TokenKind::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek(0) == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek(0) == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Ne, start);
+                    } else {
+                        return Err(SqlError::new(
+                            "unexpected `!` (did you mean `!=`?)",
+                            Span::new(start, start + 1),
+                        ));
+                    }
+                }
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_ident()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_word(),
+                other => {
+                    return Err(SqlError::new(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+        }
+        let end = self.bytes.len();
+        self.out.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.out.push(Token {
+            kind,
+            span: Span::new(start, self.pos),
+        });
+    }
+
+    fn push_simple(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn lex_string(&mut self) -> SqlResult<()> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek(0) {
+                None => {
+                    return Err(SqlError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ));
+                }
+                Some(b'\'') => {
+                    // `''` escapes a single quote inside the literal.
+                    if self.peek(1) == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    // Advance by one char (handle multi-byte UTF-8).
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+        Ok(())
+    }
+
+    fn lex_quoted_ident(&mut self) -> SqlResult<()> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let begin = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let name = self.src[begin..self.pos].to_string();
+                self.pos += 1;
+                if name.is_empty() {
+                    return Err(SqlError::new(
+                        "empty quoted identifier",
+                        Span::new(start, self.pos),
+                    ));
+                }
+                self.push(TokenKind::Ident(name), start);
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(SqlError::new(
+            "unterminated quoted identifier",
+            Span::new(start, self.pos),
+        ))
+    }
+
+    fn lex_number(&mut self) -> SqlResult<()> {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            is_double = true;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let mut ahead = 1;
+            if matches!(self.peek(1), Some(b'+') | Some(b'-')) {
+                ahead = 2;
+            }
+            if matches!(self.peek(ahead), Some(b'0'..=b'9')) {
+                is_double = true;
+                self.pos += ahead;
+                while matches!(self.peek(0), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos);
+        let kind = if is_double {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| SqlError::new(format!("invalid number `{text}`"), span))?;
+            TokenKind::Double(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| SqlError::new(format!("integer `{text}` out of range"), span))?;
+            TokenKind::Int(v)
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    fn lex_word(&mut self) {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let kind = match Keyword::from_word(word) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word.to_string()),
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let ks = kinds("SELECT a FROM t");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("a".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("= <> != < <= > >= + - * /");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 7.25e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Double(3.5),
+                TokenKind::Double(1000.0),
+                TokenKind::Double(0.0725),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_followed_by_dot_ident_is_not_a_double() {
+        // `t.a`-style references must not swallow the dot after a number-less
+        // identifier; also `1.` followed by an identifier would be malformed,
+        // but `1 . a` style never occurs. Check `x.y` lexes as three tokens.
+        assert_eq!(
+            kinds("t.a"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_quoted_identifier() {
+        assert_eq!(
+            kinds("\"Group\""),
+            vec![TokenKind::Ident("Group".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("a -- comment here\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn lexes_semicolons() {
+        assert_eq!(
+            kinds("a ; b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Semi,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select SeLeCt SELECT"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! SQL substrate for the `aggview` project.
+//!
+//! This crate implements, from scratch, the SQL dialect used throughout
+//! *"Reasoning with Aggregation Constraints in Views"* (Dar, Jagadish, Levy,
+//! Srivastava, 1996): single-block queries of the form
+//!
+//! ```sql
+//! SELECT [DISTINCT] item, ...
+//! FROM   table [alias], ...
+//! WHERE  conjunction of comparison predicates
+//! GROUP BY column, ...
+//! HAVING conjunction of comparison predicates over grouping columns and
+//!        aggregate terms
+//! ```
+//!
+//! with the aggregate functions `MIN`, `MAX`, `SUM`, `COUNT` and `AVG`, and
+//! comparison operators `=`, `<>`, `<`, `<=`, `>`, `>=`. Arithmetic
+//! (`+ - * /`) is supported in expressions; the rewriting theory in
+//! `aggview-core` restricts its *inputs* to the paper's predicate form, but
+//! its *outputs* may use arithmetic (the paper's Section 2 notes the
+//! extension is natural, and the weighted-aggregate rewriting strategy needs
+//! it).
+//!
+//! The crate provides:
+//! * [`ast`] — the typed abstract syntax tree,
+//! * [`lexer`] — a hand-written tokenizer with source spans,
+//! * [`parser`] — a recursive-descent parser ([`parse_query`]),
+//! * [`display`] — a pretty-printer such that parsing the printed form of a
+//!   query yields the same AST (round-trip property, tested),
+//! * [`error`] — diagnostics carrying byte spans.
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod stmt;
+pub mod token;
+
+pub use ast::{
+    AggCall, AggFunc, ArithOp, BoolExpr, CmpOp, ColumnRef, Expr, Literal, Query, SelectItem,
+    TableRef,
+};
+pub use error::{SqlError, SqlResult};
+pub use parser::parse_query;
+pub use stmt::{parse_script, parse_statement, CreateTable, CreateView, Delete, Insert, Statement};

@@ -1,0 +1,547 @@
+//! Recursive-descent parser for the dialect.
+//!
+//! Grammar (conjunction-only boolean structure, per the paper):
+//!
+//! ```text
+//! query       := SELECT [DISTINCT] select_item (',' select_item)*
+//!                FROM table_ref (',' table_ref)*
+//!                [WHERE bool] [GROUP BY colref (',' colref)*] [HAVING bool]
+//! select_item := expr [[AS] ident]
+//! table_ref   := ident [[AS] ident]
+//! bool        := bfactor (AND bfactor)*
+//! bfactor     := '(' bool ')' | expr cmpop expr
+//! expr        := term (('+'|'-') term)*
+//! term        := factor (('*'|'/') factor)*
+//! factor      := '-' factor | primary
+//! primary     := literal | aggcall | colref | '(' expr ')'
+//! aggcall     := (MIN|MAX|SUM|COUNT|AVG) '(' ('*' | expr) ')'
+//! colref      := ident ['.' ident]
+//! ```
+//!
+//! `OR` and `NOT` are deliberately absent: the theory of the paper covers
+//! conjunctions of comparison predicates only, and accepting a wider input
+//! language here would silently exceed what the rewriter can reason about.
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parse a single query from `input`. Trailing input is an error.
+pub fn parse_query(input: &str) -> SqlResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// The recursive-descent parser. Query parsing lives here; statement-level
+/// parsing (DDL/DML for scripts) extends it in [`crate::stmt`].
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    pub(crate) fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    pub(crate) fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    pub(crate) fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: Keyword) -> SqlResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kw.as_str())))
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: TokenKind) -> SqlResult<()> {
+        if *self.peek_kind() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {kind}")))
+        }
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> SqlResult<()> {
+        if matches!(self.peek_kind(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of input"))
+        }
+    }
+
+    pub(crate) fn unexpected(&self, what: &str) -> SqlError {
+        let t = self.peek();
+        SqlError::new(format!("{what}, found {}", t.kind), t.span)
+    }
+
+    pub(crate) fn ident(&mut self) -> SqlResult<String> {
+        match self.peek_kind() {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(name) => Ok(name),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    pub(crate) fn query(&mut self) -> SqlResult<Query> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+
+        let mut select = vec![self.select_item()?];
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.bump();
+            select.push(self.select_item()?);
+        }
+
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.bump();
+            from.push(self.table_ref()?);
+        }
+
+        let where_clause = if self.eat_keyword(Keyword::Where) {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.column_ref()?);
+            while matches!(self.peek_kind(), TokenKind::Comma) {
+                self.bump();
+                group_by.push(self.column_ref()?);
+            }
+        }
+
+        let having = if self.eat_keyword(Keyword::Having) {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> SqlResult<ColumnRef> {
+        let first = self.ident()?;
+        if matches!(self.peek_kind(), TokenKind::Dot) {
+            self.bump();
+            let second = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column: second,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    pub(crate) fn bool_expr(&mut self) -> SqlResult<BoolExpr> {
+        let mut acc = self.bool_factor()?;
+        while self.eat_keyword(Keyword::And) {
+            let rhs = self.bool_factor()?;
+            acc = BoolExpr::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn bool_factor(&mut self) -> SqlResult<BoolExpr> {
+        // A parenthesis could open either a nested boolean conjunction or a
+        // parenthesized arithmetic expression that begins a comparison
+        // (`(a + b) < c`). Try the boolean reading first and fall back.
+        if matches!(self.peek_kind(), TokenKind::LParen) {
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.bool_expr() {
+                if matches!(self.peek_kind(), TokenKind::RParen) {
+                    self.bump();
+                    // `(a = b) AND c = d` — the closing paren must be
+                    // followed by AND / HAVING / GROUP / EOF etc., never by a
+                    // comparison operator; if it is, re-parse as arithmetic.
+                    if !matches!(
+                        self.peek_kind(),
+                        TokenKind::Eq
+                            | TokenKind::Ne
+                            | TokenKind::Lt
+                            | TokenKind::Le
+                            | TokenKind::Gt
+                            | TokenKind::Ge
+                    ) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        let op = self.cmp_op()?;
+        let rhs = self.expr()?;
+        Ok(BoolExpr::Cmp { lhs, op, rhs })
+    }
+
+    fn cmp_op(&mut self) -> SqlResult<CmpOp> {
+        let op = match self.peek_kind() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.unexpected("expected comparison operator")),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn expr(&mut self) -> SqlResult<Expr> {
+        let mut acc = self.term()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            acc = Expr::Binary {
+                lhs: Box::new(acc),
+                op,
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> SqlResult<Expr> {
+        let mut acc = self.factor()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            acc = Expr::Binary {
+                lhs: Box::new(acc),
+                op,
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> SqlResult<Expr> {
+        if matches!(self.peek_kind(), TokenKind::Minus) {
+            self.bump();
+            let inner = self.factor()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> SqlResult<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Double(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Double(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(kw @ (Keyword::Min
+            | Keyword::Max
+            | Keyword::Sum
+            | Keyword::Count
+            | Keyword::Avg)) => {
+                let span = self.peek().span;
+                self.bump();
+                self.agg_call(kw, span)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(_) => {
+                let col = self.column_ref()?;
+                Ok(Expr::Column(col))
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+
+    fn agg_call(&mut self, kw: Keyword, kw_span: Span) -> SqlResult<Expr> {
+        let func = match kw {
+            Keyword::Min => AggFunc::Min,
+            Keyword::Max => AggFunc::Max,
+            Keyword::Sum => AggFunc::Sum,
+            Keyword::Count => AggFunc::Count,
+            Keyword::Avg => AggFunc::Avg,
+            _ => unreachable!("caller checked the keyword"),
+        };
+        self.expect(TokenKind::LParen)?;
+        let arg = if matches!(self.peek_kind(), TokenKind::Star) {
+            if func != AggFunc::Count {
+                return Err(SqlError::new(
+                    format!("`*` argument is only valid for COUNT, not {func}"),
+                    kw_span,
+                ));
+            }
+            self.bump();
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(Expr::Agg(AggCall { func, arg }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let q = parse_query("SELECT a FROM t").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from, vec![TableRef::new("t")]);
+        assert!(q.where_clause.is_none());
+        assert!(q.group_by.is_empty());
+        assert!(q.having.is_none());
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn parses_motivating_example_query() {
+        // Query Q of Example 1.1 in the paper.
+        let q = parse_query(
+            "SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge) \
+             FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 \
+             GROUP BY Calling_Plans.Plan_Id, Plan_Name \
+             HAVING SUM(Charge) < 1000000",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.group_by.len(), 2);
+        assert!(q.having.is_some());
+        let where_atoms = q.where_clause.as_ref().unwrap().conjuncts();
+        assert_eq!(where_atoms.len(), 2);
+        match &q.select[2].expr {
+            Expr::Agg(a) => assert_eq!(a.func, AggFunc::Sum),
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse_query("SELECT c.x AS ex, y why FROM tbl AS c, other o").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("ex"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("why"));
+        assert_eq!(q.from[0], TableRef::aliased("tbl", "c"));
+        assert_eq!(q.from[1], TableRef::aliased("other", "o"));
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(
+            q.select[0].expr,
+            Expr::Agg(AggCall {
+                func: AggFunc::Count,
+                arg: None
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_star_in_non_count() {
+        assert!(parse_query("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let q = parse_query("SELECT a + b * c FROM t").unwrap();
+        match &q.select[0].expr {
+            Expr::Binary {
+                op: ArithOp::Add,
+                rhs,
+                ..
+            } => match rhs.as_ref() {
+                Expr::Binary {
+                    op: ArithOp::Mul, ..
+                } => {}
+                other => panic!("expected multiplication on the right, got {other:?}"),
+            },
+            other => panic!("expected addition at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_arithmetic_in_comparison() {
+        let q = parse_query("SELECT a FROM t WHERE (a + b) < 10").unwrap();
+        let atoms = q.where_clause.unwrap();
+        match atoms {
+            BoolExpr::Cmp {
+                op: CmpOp::Lt,
+                lhs,
+                ..
+            } => assert!(matches!(lhs, Expr::Binary { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_conjunction() {
+        let q = parse_query("SELECT a FROM t WHERE (a = b AND c = d) AND e = f").unwrap();
+        assert_eq!(q.where_clause.unwrap().conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn parses_negative_numbers() {
+        let q = parse_query("SELECT a FROM t WHERE a > -5").unwrap();
+        match q.where_clause.unwrap() {
+            BoolExpr::Cmp { rhs, .. } => assert_eq!(rhs, Expr::Neg(Box::new(Expr::int(5)))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_distinct() {
+        let q = parse_query("SELECT DISTINCT a FROM t").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn parses_having_with_aggregate() {
+        let q = parse_query("SELECT a, MAX(b) FROM t GROUP BY a HAVING MAX(b) > 10 AND a <> 3")
+            .unwrap();
+        assert_eq!(q.having.unwrap().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("SELECT a FROM t extra junk ,").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse_query("SELECT a").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_select() {
+        assert!(parse_query("SELECT FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_or_keyword() {
+        // OR is not a keyword; it parses as an alias/identifier and then
+        // fails — the dialect is conjunction-only by design.
+        assert!(parse_query("SELECT a FROM t WHERE a = 1 OR b = 2").is_err());
+    }
+
+    #[test]
+    fn group_by_requires_by() {
+        assert!(parse_query("SELECT a FROM t GROUP a").is_err());
+    }
+
+    #[test]
+    fn parses_qualified_group_by() {
+        let q = parse_query("SELECT t.a FROM t GROUP BY t.a").unwrap();
+        assert_eq!(q.group_by, vec![ColumnRef::qualified("t", "a")]);
+    }
+
+    #[test]
+    fn parses_string_and_bool_literals() {
+        let q = parse_query("SELECT a FROM t WHERE s = 'hi' AND b = TRUE").unwrap();
+        let atoms = q.where_clause.unwrap();
+        assert_eq!(atoms.conjuncts().len(), 2);
+    }
+}

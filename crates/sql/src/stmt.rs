@@ -1,0 +1,432 @@
+//! Statements beyond the single query: the small DDL/DML surface that the
+//! `aggview` CLI drives — `CREATE TABLE` (with `KEY` declarations),
+//! `CREATE VIEW`, `INSERT INTO … VALUES`, `EXPLAIN SELECT …` and plain
+//! `SELECT`. Scripts are semicolon-separated statement sequences.
+
+use crate::ast::{BoolExpr, Literal, Query};
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::tokenize;
+use crate::parser::Parser;
+use crate::token::{Keyword, TokenKind};
+use std::fmt;
+
+/// `CREATE TABLE name (col, ..., KEY (col, ...), ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Declared keys (by column name).
+    pub keys: Vec<Vec<String>>,
+}
+
+/// `CREATE VIEW name AS SELECT ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateView {
+    /// View name.
+    pub name: String,
+    /// Defining query.
+    pub query: Query,
+}
+
+/// `INSERT INTO table VALUES (lit, ...), (lit, ...), ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Literal rows.
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// `DELETE FROM table [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// Row filter; `None` deletes everything.
+    pub filter: Option<BoolExpr>,
+}
+
+/// A script statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// Table definition.
+    CreateTable(CreateTable),
+    /// Materialized view definition.
+    CreateView(CreateView),
+    /// Row insertion.
+    Insert(Insert),
+    /// Row deletion.
+    Delete(Delete),
+    /// A query to answer (preferring materialized views).
+    Select(Query),
+    /// Report, per view and mapping, why it is or is not usable.
+    Explain(Query),
+    /// Suggest materialized views worth creating for this query.
+    Suggest(Query),
+}
+
+/// Parse a single statement (no trailing input).
+pub fn parse_statement(input: &str) -> SqlResult<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.statement()?;
+    p.eat_semi();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+///
+/// ```
+/// use aggview_sql::{parse_script, Statement};
+///
+/// let script = parse_script(
+///     "CREATE TABLE T (a, b, KEY (a)); \
+///      INSERT INTO T VALUES (1, 2); \
+///      SELECT a, SUM(b) FROM T GROUP BY a;",
+/// ).unwrap();
+/// assert_eq!(script.len(), 3);
+/// assert!(matches!(script[2], Statement::Select(_)));
+/// ```
+pub fn parse_script(input: &str) -> SqlResult<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let mut out = Vec::new();
+    loop {
+        while p.eat_semi() {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.at_eof() && !p.eat_semi() {
+            return Err(p.error_here("expected `;` between statements"));
+        }
+    }
+    Ok(out)
+}
+
+impl Parser {
+    /// Parse one statement.
+    pub(crate) fn statement(&mut self) -> SqlResult<Statement> {
+        if self.eat_keyword(Keyword::Create) {
+            if self.eat_keyword(Keyword::Table) {
+                return self.create_table().map(Statement::CreateTable);
+            }
+            if self.eat_keyword(Keyword::View) {
+                return self.create_view().map(Statement::CreateView);
+            }
+            return Err(self.error_here("expected TABLE or VIEW after CREATE"));
+        }
+        if self.eat_keyword(Keyword::Insert) {
+            return self.insert().map(Statement::Insert);
+        }
+        if self.eat_keyword(Keyword::Delete) {
+            return self.delete().map(Statement::Delete);
+        }
+        if self.eat_keyword(Keyword::Explain) {
+            return self.query().map(Statement::Explain);
+        }
+        if self.eat_keyword(Keyword::Suggest) {
+            return self.query().map(Statement::Suggest);
+        }
+        self.query().map(Statement::Select)
+    }
+
+    fn create_table(&mut self) -> SqlResult<CreateTable> {
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut keys = Vec::new();
+        loop {
+            if self.eat_keyword(Keyword::Key) {
+                self.expect(TokenKind::LParen)?;
+                let mut key = vec![self.ident()?];
+                while self.eat(TokenKind::Comma) {
+                    key.push(self.ident()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                keys.push(key);
+            } else {
+                columns.push(self.ident()?);
+            }
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        if columns.is_empty() {
+            return Err(self.error_here("a table needs at least one column"));
+        }
+        for key in &keys {
+            for col in key {
+                if !columns.contains(col) {
+                    return Err(self.error_here(&format!("KEY references unknown column `{col}`")));
+                }
+            }
+        }
+        Ok(CreateTable {
+            name,
+            columns,
+            keys,
+        })
+    }
+
+    fn create_view(&mut self) -> SqlResult<CreateView> {
+        let name = self.ident()?;
+        self.expect_keyword(Keyword::As)?;
+        let query = self.query()?;
+        Ok(CreateView { name, query })
+    }
+
+    fn insert(&mut self) -> SqlResult<Insert> {
+        self.expect_keyword(Keyword::Into)?;
+        let table = self.ident()?;
+        self.expect_keyword(Keyword::Values)?;
+        let mut rows = vec![self.literal_row()?];
+        while self.eat(TokenKind::Comma) {
+            rows.push(self.literal_row()?);
+        }
+        Ok(Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> SqlResult<Delete> {
+        self.expect_keyword(Keyword::From)?;
+        let table = self.ident()?;
+        let filter = if self.eat_keyword(Keyword::Where) {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+        Ok(Delete { table, filter })
+    }
+
+    fn literal_row(&mut self) -> SqlResult<Vec<Literal>> {
+        self.expect(TokenKind::LParen)?;
+        let mut row = vec![self.literal()?];
+        while self.eat(TokenKind::Comma) {
+            row.push(self.literal()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> SqlResult<Literal> {
+        let negative = self.eat(TokenKind::Minus);
+        let lit = match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Literal::Int(if negative { -v } else { v })
+            }
+            TokenKind::Double(v) => {
+                self.bump();
+                Literal::Double(if negative { -v } else { v })
+            }
+            TokenKind::Str(s) if !negative => {
+                self.bump();
+                Literal::Str(s)
+            }
+            TokenKind::Keyword(Keyword::True) if !negative => {
+                self.bump();
+                Literal::Bool(true)
+            }
+            TokenKind::Keyword(Keyword::False) if !negative => {
+                self.bump();
+                Literal::Bool(false)
+            }
+            _ => return Err(self.error_here("expected literal value")),
+        };
+        Ok(lit)
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(ct) => {
+                write!(f, "CREATE TABLE {} (", ct.name)?;
+                for (i, c) in ct.columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                for key in &ct.keys {
+                    write!(f, ", KEY ({})", key.join(", "))?;
+                }
+                write!(f, ")")
+            }
+            Statement::CreateView(cv) => write!(f, "CREATE VIEW {} AS {}", cv.name, cv.query),
+            Statement::Insert(ins) => {
+                write!(f, "INSERT INTO {} VALUES ", ins.table)?;
+                for (i, row) in ins.rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, lit) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{lit}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if let Some(w) = &d.filter {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::Suggest(q) => write!(f, "SUGGEST {q}"),
+        }
+    }
+}
+
+/// Fallible helpers the statement parser needs from [`Parser`].
+impl Parser {
+    pub(crate) fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn eat_semi(&mut self) -> bool {
+        self.eat(TokenKind::Semi)
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    pub(crate) fn error_here(&self, what: &str) -> SqlError {
+        self.unexpected(what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_keys() {
+        let s = parse_statement(
+            "CREATE TABLE Calls (Call_Id, Plan_Id, Charge, KEY (Call_Id), KEY (Plan_Id, Charge))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = s else {
+            panic!("expected CREATE TABLE")
+        };
+        assert_eq!(ct.name, "Calls");
+        assert_eq!(ct.columns, vec!["Call_Id", "Plan_Id", "Charge"]);
+        assert_eq!(ct.keys, vec![vec!["Call_Id"], vec!["Plan_Id", "Charge"]]);
+    }
+
+    #[test]
+    fn rejects_key_on_unknown_column() {
+        assert!(parse_statement("CREATE TABLE T (a, KEY (zz))").is_err());
+    }
+
+    #[test]
+    fn parses_create_view() {
+        let s = parse_statement("CREATE VIEW V AS SELECT a FROM t").unwrap();
+        let Statement::CreateView(cv) = s else {
+            panic!("expected CREATE VIEW")
+        };
+        assert_eq!(cv.name, "V");
+        assert_eq!(cv.query.to_string(), "SELECT a FROM t");
+    }
+
+    #[test]
+    fn parses_insert_rows() {
+        let s = parse_statement(
+            "INSERT INTO T VALUES (1, 'x', TRUE), (-2, 'y', FALSE), (3.5, '', TRUE)",
+        )
+        .unwrap();
+        let Statement::Insert(ins) = s else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(ins.rows.len(), 3);
+        assert_eq!(ins.rows[1][0], Literal::Int(-2));
+        assert_eq!(ins.rows[2][0], Literal::Double(3.5));
+    }
+
+    #[test]
+    fn parses_explain() {
+        let s = parse_statement("EXPLAIN SELECT a FROM t").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn parses_delete() {
+        let s = parse_statement("DELETE FROM T WHERE a = 1 AND b > 2").unwrap();
+        let Statement::Delete(d) = s else { panic!("expected DELETE") };
+        assert_eq!(d.table, "T");
+        assert_eq!(d.filter.as_ref().unwrap().conjuncts().len(), 2);
+        let s = parse_statement("DELETE FROM T").unwrap();
+        let Statement::Delete(d) = s else { panic!("expected DELETE") };
+        assert!(d.filter.is_none());
+    }
+
+    #[test]
+    fn parses_suggest() {
+        let s = parse_statement("SUGGEST SELECT a, SUM(b) FROM t GROUP BY a").unwrap();
+        assert!(matches!(s, Statement::Suggest(_)));
+    }
+
+    #[test]
+    fn parses_script() {
+        let script = parse_script(
+            "CREATE TABLE T (a, b);\n\
+             INSERT INTO T VALUES (1, 2);\n\
+             -- a comment between statements\n\
+             CREATE VIEW V AS SELECT a FROM T;\n\
+             SELECT a FROM T;",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 4);
+        assert!(matches!(script[0], Statement::CreateTable(_)));
+        assert!(matches!(script[3], Statement::Select(_)));
+    }
+
+    #[test]
+    fn script_tolerates_trailing_and_empty_statements() {
+        assert_eq!(parse_script(";;\n;").unwrap().len(), 0);
+        assert_eq!(parse_script("SELECT a FROM t").unwrap().len(), 1);
+        assert_eq!(parse_script("SELECT a FROM t;;").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn script_requires_separators() {
+        assert!(parse_script("SELECT a FROM t SELECT b FROM t").is_err());
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        for sql in [
+            "CREATE TABLE T (a, b, KEY (a))",
+            "CREATE VIEW V AS SELECT a, SUM(b) FROM T GROUP BY a",
+            "INSERT INTO T VALUES (1, -2), (3, 4)",
+            "SELECT a FROM T WHERE b = 'x'",
+            "EXPLAIN SELECT a FROM T",
+            "SUGGEST SELECT a FROM T",
+            "DELETE FROM T WHERE a = 1",
+            "DELETE FROM T",
+        ] {
+            let s1 = parse_statement(sql).unwrap();
+            let printed = s1.to_string();
+            let s2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("re-parse `{printed}`: {e}"));
+            assert_eq!(s1, s2, "round trip changed `{sql}` -> `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Token definitions produced by the [`crate::lexer`].
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Create a new span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Keywords of the dialect. Matched case-insensitively by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `SELECT`
+    Select,
+    /// `DISTINCT`
+    Distinct,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `GROUP` (always followed by `BY`)
+    Group,
+    /// `BY`
+    By,
+    /// `HAVING`
+    Having,
+    /// `AND`
+    And,
+    /// `AS`
+    As,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `AVG`
+    Avg,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `CREATE`
+    Create,
+    /// `TABLE`
+    Table,
+    /// `VIEW`
+    View,
+    /// `KEY`
+    Key,
+    /// `INSERT`
+    Insert,
+    /// `INTO`
+    Into,
+    /// `VALUES`
+    Values,
+    /// `EXPLAIN`
+    Explain,
+    /// `SUGGEST`
+    Suggest,
+    /// `DELETE`
+    Delete,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier-shaped word, case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        // The dialect has few keywords; a linear scan over uppercase forms is
+        // faster than allocating an uppercased string for a map lookup.
+        const TABLE: &[(&str, Keyword)] = &[
+            ("SELECT", Keyword::Select),
+            ("DISTINCT", Keyword::Distinct),
+            ("FROM", Keyword::From),
+            ("WHERE", Keyword::Where),
+            ("GROUP", Keyword::Group),
+            ("BY", Keyword::By),
+            ("HAVING", Keyword::Having),
+            ("AND", Keyword::And),
+            ("AS", Keyword::As),
+            ("MIN", Keyword::Min),
+            ("MAX", Keyword::Max),
+            ("SUM", Keyword::Sum),
+            ("COUNT", Keyword::Count),
+            ("AVG", Keyword::Avg),
+            ("TRUE", Keyword::True),
+            ("FALSE", Keyword::False),
+            ("CREATE", Keyword::Create),
+            ("TABLE", Keyword::Table),
+            ("VIEW", Keyword::View),
+            ("KEY", Keyword::Key),
+            ("INSERT", Keyword::Insert),
+            ("INTO", Keyword::Into),
+            ("VALUES", Keyword::Values),
+            ("EXPLAIN", Keyword::Explain),
+            ("SUGGEST", Keyword::Suggest),
+            ("DELETE", Keyword::Delete),
+        ];
+        TABLE
+            .iter()
+            .find(|(w, _)| w.eq_ignore_ascii_case(word))
+            .map(|&(_, k)| k)
+    }
+
+    /// Canonical (uppercase) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::And => "AND",
+            Keyword::As => "AS",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
+            Keyword::Sum => "SUM",
+            Keyword::Count => "COUNT",
+            Keyword::Avg => "AVG",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Create => "CREATE",
+            Keyword::Table => "TABLE",
+            Keyword::View => "VIEW",
+            Keyword::Key => "KEY",
+            Keyword::Insert => "INSERT",
+            Keyword::Into => "INTO",
+            Keyword::Values => "VALUES",
+            Keyword::Explain => "EXPLAIN",
+            Keyword::Suggest => "SUGGEST",
+            Keyword::Delete => "DELETE",
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (see [`Keyword`]).
+    Keyword(Keyword),
+    /// An identifier (bare or `"quoted"`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Double(f64),
+    /// A `'single-quoted'` string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Double(v) => write!(f, "number `{v}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("HAVING"), Some(Keyword::Having));
+        assert_eq!(Keyword::from_word("notakeyword"), None);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn keyword_round_trips_through_spelling() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Distinct,
+            Keyword::From,
+            Keyword::Where,
+            Keyword::Group,
+            Keyword::By,
+            Keyword::Having,
+            Keyword::And,
+            Keyword::As,
+            Keyword::Min,
+            Keyword::Max,
+            Keyword::Sum,
+            Keyword::Count,
+            Keyword::Avg,
+            Keyword::True,
+            Keyword::False,
+            Keyword::Create,
+            Keyword::Table,
+            Keyword::View,
+            Keyword::Key,
+            Keyword::Insert,
+            Keyword::Into,
+            Keyword::Values,
+            Keyword::Explain,
+            Keyword::Suggest,
+            Keyword::Delete,
+        ] {
+            assert_eq!(Keyword::from_word(kw.as_str()), Some(kw));
+        }
+    }
+}

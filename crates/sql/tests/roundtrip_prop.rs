@@ -1,0 +1,165 @@
+//! Property tests for the SQL frontend:
+//! * printing any parser-producible AST and re-parsing yields the same AST
+//!   (the round-trip invariant the rewriter relies on when it renders
+//!   rewritings back to SQL),
+//! * the lexer/parser never panic on arbitrary input (they may error).
+
+use aggview_sql::ast::*;
+use aggview_sql::{parse_query, parse_statement, Statement};
+use proptest::prelude::*;
+
+/// Strategy for identifiers that are not keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        aggview_sql::token::Keyword::from_word(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Non-negative numerics: the parser produces negative numbers as
+        // Neg(literal), so parser-producible ASTs never hold them directly.
+        (0i64..=i64::MAX).prop_map(Literal::Int),
+        (0.0f64..1e12).prop_map(Literal::Double),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef { table: t, column: c })
+}
+
+fn arith_op() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Count),
+        Just(AggFunc::Avg),
+    ]
+}
+
+/// Scalar expressions (no aggregates), recursively bounded.
+fn scalar_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        column_ref().prop_map(Expr::Column),
+        literal().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arith_op(), inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                lhs: Box::new(l),
+                op,
+                rhs: Box::new(r),
+            }),
+            // Negation of compound expressions only: `-literal` re-parses
+            // as a (folded) negative literal, and the parser's own output
+            // never nests Neg around a bare literal the printer would
+            // collapse. Negating a column is parser-producible.
+            inner
+                .clone()
+                .prop_filter("avoid -literal ambiguity", |e| {
+                    !matches!(e, Expr::Literal(_) | Expr::Neg(_))
+                })
+                .prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn select_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        scalar_expr(),
+        (agg_func(), column_ref()).prop_map(|(f, c)| Expr::Agg(AggCall::on_column(f, c))),
+        Just(Expr::Agg(AggCall::count_star())),
+    ]
+}
+
+fn bool_expr() -> impl Strategy<Value = BoolExpr> {
+    let atom = (scalar_expr(), cmp_op(), scalar_expr())
+        .prop_map(|(l, op, r)| BoolExpr::Cmp { lhs: l, op, rhs: r });
+    proptest::collection::vec(atom, 1..4)
+        .prop_map(|atoms| BoolExpr::conjoin(atoms).expect("non-empty"))
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (select_expr(), proptest::option::of(ident())),
+            1..4,
+        ),
+        proptest::collection::vec((ident(), proptest::option::of(ident())), 1..3),
+        proptest::option::of(bool_expr()),
+        proptest::collection::vec(column_ref(), 0..3),
+        proptest::option::of(bool_expr()),
+    )
+        .prop_map(|(distinct, select, from, where_clause, group_by, having)| Query {
+            distinct,
+            select: select
+                .into_iter()
+                .map(|(expr, alias)| SelectItem { expr, alias })
+                .collect(),
+            from: from
+                .into_iter()
+                .map(|(table, alias)| TableRef { table, alias })
+                .collect(),
+            where_clause,
+            group_by,
+            having,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printer produced unparsable SQL `{printed}`: {e}"));
+        prop_assert_eq!(q, reparsed, "round trip changed the AST for `{}`", printed);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,80}") {
+        let _ = parse_query(&input);
+        let _ = parse_statement(&input);
+        let _ = aggview_sql::parse_script(&input);
+    }
+
+    #[test]
+    fn lexer_never_panics(input in proptest::string::string_regex(".{0,60}").unwrap()) {
+        let _ = aggview_sql::lexer::tokenize(&input);
+    }
+
+    #[test]
+    fn statement_round_trip(q in query()) {
+        for stmt in [Statement::Select(q.clone()), Statement::Explain(q.clone())] {
+            let printed = stmt.to_string();
+            let reparsed = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("unparsable statement `{printed}`: {e}"));
+            prop_assert_eq!(stmt, reparsed);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Data-warehouse summary-table scenario (paper Section 1, "very large
+//! transaction recording systems"): a hierarchy of summary tables over one
+//! fact table, where coarser summaries are themselves rewritten to use
+//! finer ones (view-over-view), and queries are routed to the cheapest
+//! usable summary by the cost model.
+//!
+//! Run with: `cargo run --release --example warehouse_rollup`
+
+use aggview::engine::datagen::{telephony, telephony_catalog, TelephonyConfig};
+use aggview::engine::{execute, multiset_eq};
+use aggview::rewrite::{Rewriter, TableStats, ViewDef};
+use aggview::run::{execute_rewriting, materialize_views};
+use aggview::sql::parse_query;
+
+fn main() {
+    let catalog = telephony_catalog();
+    let mut db = telephony(
+        &TelephonyConfig {
+            n_customers: 500,
+            n_plans: 12,
+            n_calls: 100_000,
+            years: vec![1993, 1994, 1995],
+            months: 12,
+        },
+        3,
+    );
+
+    // Summary hierarchy: daily -> monthly -> yearly, each with COUNT
+    // columns so multiplicities are recoverable.
+    let views = vec![
+        ViewDef::new(
+            "Daily",
+            parse_query(
+                "SELECT Plan_Id, Year, Month, Day, SUM(Charge) AS Revenue, \
+                 COUNT(Call_Id) AS Calls_N \
+                 FROM Calls GROUP BY Plan_Id, Year, Month, Day",
+            )
+            .expect("valid SQL"),
+        ),
+        ViewDef::new(
+            "Monthly",
+            parse_query(
+                "SELECT Plan_Id, Year, Month, SUM(Revenue) AS Revenue, \
+                 SUM(Calls_N) AS Calls_N \
+                 FROM Daily GROUP BY Plan_Id, Year, Month",
+            )
+            .expect("valid SQL"),
+        ),
+        ViewDef::new(
+            "Yearly",
+            parse_query(
+                "SELECT Plan_Id, Year, SUM(Revenue) AS Revenue \
+                 FROM Monthly GROUP BY Plan_Id, Year",
+            )
+            .expect("valid SQL"),
+        ),
+    ];
+    materialize_views(&mut db, &views).expect("summaries build");
+    let mut stats = TableStats::new();
+    for name in ["Calls", "Daily", "Monthly", "Yearly"] {
+        stats.set(name, db.get(name).expect("present").len());
+    }
+    println!("summary sizes:");
+    for name in ["Calls", "Daily", "Monthly", "Yearly"] {
+        println!("  {name:8} {:>8} rows", stats.get(name));
+    }
+
+    let queries = [
+        // Coarse: answerable from Yearly (and Monthly, and Daily).
+        "SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id",
+        // Monthly granularity: Yearly is too coarse.
+        "SELECT Plan_Id, Month, SUM(Charge) FROM Calls WHERE Year = 1995 \
+         GROUP BY Plan_Id, Month",
+        // Needs call counts: Yearly lacks the COUNT column.
+        "SELECT Plan_Id, COUNT(Call_Id) FROM Calls GROUP BY Plan_Id",
+    ];
+
+    let rewriter = Rewriter::new(&catalog);
+    for sql in queries {
+        let q = parse_query(sql).expect("valid SQL");
+        let mut rws = rewriter.rewrite(&q, &views).expect("rewrite runs");
+        println!("\nquery: {sql}");
+        if rws.is_empty() {
+            println!("  no usable summary");
+            continue;
+        }
+        rws.sort_by(|a, b| {
+            a.cost(&stats)
+                .partial_cmp(&b.cost(&stats))
+                .expect("finite costs")
+        });
+        for rw in &rws {
+            println!(
+                "  candidate (cost {:>10.0}, views {:?}): {}",
+                rw.cost(&stats),
+                rw.views_used,
+                rw.query
+            );
+        }
+        let best = &rws[0];
+        let truth = execute(&q, &db).expect("base evaluation");
+        let fast = execute_rewriting(best, &db).expect("summary evaluation");
+        assert!(multiset_eq(&truth, &fast), "summary answer must be exact");
+        println!("  -> answered from {:?} ({} rows)", best.views_used, fast.len());
+    }
+}

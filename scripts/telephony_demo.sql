@@ -1,0 +1,37 @@
+-- aggview demo script: the paper's Example 1.1 in miniature.
+-- Run with: cargo run --bin aggview -- --verify scripts/telephony_demo.sql
+
+CREATE TABLE Calling_Plans (Plan_Id, Plan_Name, KEY (Plan_Id));
+CREATE TABLE Calls (Call_Id, Cust_Id, Plan_Id, Day, Month, Year, Charge,
+                    KEY (Call_Id));
+
+INSERT INTO Calling_Plans VALUES (1, 'basic'), (2, 'gold');
+INSERT INTO Calls VALUES
+  (1, 10, 1,  3,  1, 1995, 120), (2, 11, 1, 12,  1, 1995, 250),
+  (3, 10, 2,  5,  2, 1995,  75), (4, 12, 1, 20,  2, 1995,  60),
+  (5, 13, 2,  7,  2, 1994, 310), (6, 10, 2,  9,  3, 1995,  75),
+  (7, 11, 1, 14,  3, 1995,  40), (8, 12, 2, 28, 12, 1994,  99);
+
+-- The materialized view V1: monthly earnings per plan.
+CREATE VIEW V1 AS
+  SELECT Calls.Plan_Id, Plan_Name, Month, Year,
+         SUM(Charge) AS Monthly_Earnings
+  FROM Calls, Calling_Plans
+  WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+  GROUP BY Calls.Plan_Id, Plan_Name, Month, Year;
+
+-- The paper's query Q: answered from V1.
+SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+FROM Calls, Calling_Plans
+WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+GROUP BY Calling_Plans.Plan_Id, Plan_Name
+HAVING SUM(Charge) < 1000000;
+
+-- Why is / isn't V1 usable for other queries?
+EXPLAIN SELECT Plan_Id, MIN(Charge) FROM Calls GROUP BY Plan_Id;
+
+-- What summary view would help this query?
+SUGGEST SELECT Plan_Name, SUM(Charge)
+FROM Calls, Calling_Plans
+WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+GROUP BY Plan_Name;

@@ -1,0 +1,145 @@
+//! The `aggview` CLI: run SQL scripts whose `SELECT` statements are
+//! answered from materialized views whenever the rewriter proves one
+//! usable.
+//!
+//! ```text
+//! aggview [FLAGS] [script.sql ...]      # no files: read stdin
+//!
+//!   --verify       cross-check every rewritten answer against base tables
+//!   --expand       enable the footnote-3 Nat-table expansion
+//!   --paper-va     use the paper's V^a strategy instead of weighted sums
+//!   --no-multi     single-view rewritings only
+//!   --interactive  REPL: read statements from stdin, execute per `;`
+//! ```
+//!
+//! Script statements: `CREATE TABLE t (col, ..., KEY (col, ...))`,
+//! `CREATE VIEW v AS SELECT ...`, `INSERT INTO t VALUES (...), ...`,
+//! `SELECT ...`, `EXPLAIN SELECT ...` — semicolon-separated, `--` comments.
+
+use aggview::rewrite::Strategy;
+use aggview::session::{Session, SessionOptions};
+use aggview::sql::parse_script;
+use std::io::{BufRead, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut options = SessionOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut interactive = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--verify" => options.verify = true,
+            "--expand" => options.rewrite.enable_expand = true,
+            "--paper-va" => options.rewrite.strategy = Strategy::PaperFaithful,
+            "--no-multi" => options.rewrite.multi_view = false,
+            "--interactive" | "-i" => interactive = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
+                            [--interactive] [script.sql ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    if interactive {
+        return repl(options);
+    }
+
+    let mut source = String::new();
+    if files.is_empty() {
+        if std::io::stdin().read_to_string(&mut source).is_err() {
+            eprintln!("error: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    source.push_str(&text);
+                    source.push('\n');
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read `{f}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let statements = match parse_script(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut session = Session::new(options);
+    for stmt in &statements {
+        println!("aggview> {stmt}");
+        match session.execute(stmt) {
+            Ok(outcome) => print!("{outcome}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Line-based REPL: statements accumulate until a terminating `;`; errors
+/// are reported without ending the session. `quit` / `exit` / EOF leave.
+fn repl(options: SessionOptions) -> ExitCode {
+    let mut session = Session::new(options);
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    eprintln!("aggview interactive session — end statements with `;`, `quit` to leave");
+    loop {
+        let prompt = if buffer.trim().is_empty() {
+            "aggview> "
+        } else {
+            "    ...> "
+        };
+        eprint!("{prompt}");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,           // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.trim().is_empty() && matches!(trimmed, "quit" | "exit" | r"\q") {
+            break;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        match parse_script(&buffer) {
+            Ok(stmts) => {
+                for stmt in &stmts {
+                    match session.execute(stmt) {
+                        Ok(outcome) => print!("{outcome}"),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+            }
+            Err(e) => eprintln!("parse error: {e}"),
+        }
+        buffer.clear();
+    }
+    ExitCode::SUCCESS
+}

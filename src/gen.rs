@@ -1,0 +1,329 @@
+//! Random workload generation for property tests and experiments.
+//!
+//! Two generators:
+//! * [`random_query`] — arbitrary single-block queries over a catalog
+//!   (random joins, filters, grouping, aggregation, HAVING);
+//! * [`embedded_view`] — a view carved out of a query (a subset of its
+//!   `FROM` occurrences, the restriction of its conditions to those
+//!   occurrences, and outputs that cover what the query needs). By
+//!   construction such a view satisfies the paper's usability conditions,
+//!   so it drives the *completeness* experiments; `random_query`-generated
+//!   views drive the *soundness* experiments (any rewriting found must be
+//!   equivalent).
+
+use aggview_catalog::{Catalog, TableSchema};
+use aggview_core::ViewDef;
+use aggview_sql::ast::{
+    AggCall, AggFunc, BoolExpr, CmpOp, ColumnRef, Expr, Query, SelectItem, TableRef,
+};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// Knobs for [`random_query`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of `FROM` occurrences.
+    pub max_tables: usize,
+    /// Maximum number of `WHERE` atoms.
+    pub max_atoms: usize,
+    /// Allow `<`, `<=`, `<>` atoms (off = equality-only, the fragment of
+    /// the completeness theorems).
+    pub inequalities: bool,
+    /// Probability that the query has grouping/aggregation.
+    pub aggregate_probability: f64,
+    /// Constant domain for generated literals (`0..domain`).
+    pub domain: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_tables: 3,
+            max_atoms: 4,
+            inequalities: true,
+            aggregate_probability: 0.6,
+            domain: 4,
+        }
+    }
+}
+
+/// The fixed experiment schema: three multiset tables of mixed arity.
+pub fn experiment_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
+        .expect("fresh catalog");
+    cat.add_table(TableSchema::new("R2", ["E", "F"])).expect("fresh catalog");
+    cat.add_table(TableSchema::new("R3", ["G", "H", "I"])).expect("fresh catalog");
+    cat
+}
+
+/// All `(binding, column)` pairs of a query's `FROM` list.
+fn all_columns(query: &Query, catalog: &Catalog) -> Vec<ColumnRef> {
+    let mut out = Vec::new();
+    for t in &query.from {
+        let schema = catalog.table(&t.table).expect("generated over catalog");
+        for c in &schema.columns {
+            out.push(ColumnRef::qualified(t.binding_name(), c.name.clone()));
+        }
+    }
+    out
+}
+
+/// Generate a random single-block query over `catalog`.
+pub fn random_query(rng: &mut StdRng, catalog: &Catalog, cfg: &GenConfig) -> Query {
+    let tables: Vec<&TableSchema> = catalog.tables().collect();
+    let n_tables = rng.random_range(1..=cfg.max_tables);
+    let from: Vec<TableRef> = (0..n_tables)
+        .map(|i| {
+            let t = tables.choose(rng).expect("non-empty catalog");
+            TableRef::aliased(t.name.clone(), format!("t{i}"))
+        })
+        .collect();
+    let mut query = Query {
+        distinct: false,
+        select: Vec::new(),
+        from,
+        where_clause: None,
+        group_by: Vec::new(),
+        having: None,
+    };
+    let cols = all_columns(&query, catalog);
+
+    // WHERE: random atoms, biased toward equalities.
+    let n_atoms = rng.random_range(0..=cfg.max_atoms);
+    let mut atoms = Vec::with_capacity(n_atoms);
+    for _ in 0..n_atoms {
+        let lhs = cols.choose(rng).expect("tables have columns").clone();
+        let op = if cfg.inequalities && rng.random_bool(0.3) {
+            *[CmpOp::Lt, CmpOp::Le, CmpOp::Ne].choose(rng).expect("non-empty")
+        } else {
+            CmpOp::Eq
+        };
+        let rhs = if rng.random_bool(0.5) {
+            Expr::Column(cols.choose(rng).expect("tables have columns").clone())
+        } else {
+            Expr::int(rng.random_range(0..cfg.domain))
+        };
+        atoms.push(BoolExpr::cmp(Expr::Column(lhs), op, rhs));
+    }
+    query.where_clause = BoolExpr::conjoin(atoms);
+
+    if rng.random_bool(cfg.aggregate_probability) {
+        // Grouped query: 1-2 grouping columns, group outputs + aggregates.
+        let n_groups = rng.random_range(1..=2.min(cols.len()));
+        let mut groups: Vec<ColumnRef> = Vec::new();
+        while groups.len() < n_groups {
+            let c = cols.choose(rng).expect("tables have columns").clone();
+            if !groups.contains(&c) {
+                groups.push(c);
+            }
+        }
+        query.group_by = groups.clone();
+        for g in &groups {
+            query.select.push(SelectItem::expr(Expr::Column(g.clone())));
+        }
+        let n_aggs = rng.random_range(1..=2);
+        for _ in 0..n_aggs {
+            let func = *[
+                AggFunc::Sum,
+                AggFunc::Count,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+            ]
+            .choose(rng)
+            .expect("non-empty");
+            let arg = cols.choose(rng).expect("tables have columns").clone();
+            query
+                .select
+                .push(SelectItem::expr(Expr::Agg(AggCall::on_column(func, arg))));
+        }
+        if rng.random_bool(0.3) {
+            let func = *[AggFunc::Sum, AggFunc::Count].choose(rng).expect("non-empty");
+            let arg = cols.choose(rng).expect("tables have columns").clone();
+            query.having = Some(BoolExpr::cmp(
+                Expr::Agg(AggCall::on_column(func, arg)),
+                *[CmpOp::Gt, CmpOp::Le].choose(rng).expect("non-empty"),
+                Expr::int(rng.random_range(0..cfg.domain * 10)),
+            ));
+        }
+    } else {
+        // Conjunctive query: 1-3 output columns, occasionally DISTINCT
+        // (exercising the Section 5.2 set-semantics paths).
+        query.distinct = rng.random_bool(0.2);
+        let n_sel = rng.random_range(1..=3.min(cols.len()));
+        for _ in 0..n_sel {
+            let c = cols.choose(rng).expect("tables have columns").clone();
+            query.select.push(SelectItem::expr(Expr::Column(c)));
+        }
+    }
+    query
+}
+
+/// Carve a view out of `query`: choose a non-empty subset of its `FROM`
+/// occurrences, keep exactly the conditions local to them, and expose every
+/// column (conjunctive) or the needed grouping columns plus aggregates
+/// (aggregated). Such a view satisfies the usability conditions by
+/// construction, so the rewriter must find a rewriting with it.
+pub fn embedded_view(
+    rng: &mut StdRng,
+    query: &Query,
+    catalog: &Catalog,
+    name: &str,
+    aggregated: bool,
+) -> Option<ViewDef> {
+    let n = query.from.len();
+    // Random non-empty subset of occurrences.
+    let mut chosen: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.6)).collect();
+    if chosen.is_empty() {
+        chosen.push(rng.random_range(0..n));
+    }
+
+    // View FROM: same base tables, fresh aliases u{i}; mapping from the
+    // query's binding names to the view's.
+    let mut vfrom = Vec::new();
+    let mut rename: Vec<(String, String)> = Vec::new(); // query binding -> view binding
+    for (vi, &qi) in chosen.iter().enumerate() {
+        let t = &query.from[qi];
+        let alias = format!("u{vi}");
+        rename.push((t.binding_name().to_string(), alias.clone()));
+        vfrom.push(TableRef::aliased(t.table.clone(), alias));
+    }
+    let renamed = |c: &ColumnRef| -> Option<ColumnRef> {
+        let q = c.table.as_deref()?;
+        rename
+            .iter()
+            .find(|(from, _)| from == q)
+            .map(|(_, to)| ColumnRef::qualified(to.clone(), c.column.clone()))
+    };
+
+    // Conditions local to the chosen subset.
+    let mut vatoms = Vec::new();
+    if let Some(w) = &query.where_clause {
+        'atom: for atom in w.conjuncts() {
+            let BoolExpr::Cmp { lhs, op, rhs } = atom else { continue };
+            let mut sides = Vec::new();
+            for side in [lhs, rhs] {
+                match side {
+                    Expr::Column(c) => match renamed(c) {
+                        Some(rc) => sides.push(Expr::Column(rc)),
+                        None => continue 'atom, // touches an unchosen table
+                    },
+                    other => sides.push(other.clone()),
+                }
+            }
+            let rhs_side = sides.pop().expect("two sides");
+            let lhs_side = sides.pop().expect("two sides");
+            vatoms.push(BoolExpr::cmp(lhs_side, *op, rhs_side));
+        }
+    }
+
+    // Every column of the chosen tables, view-side.
+    let mut vcols: Vec<ColumnRef> = Vec::new();
+    for t in &vfrom {
+        let schema = catalog.table(&t.table)?;
+        for c in &schema.columns {
+            vcols.push(ColumnRef::qualified(t.binding_name(), c.name.clone()));
+        }
+    }
+
+    let mut group_by: Vec<ColumnRef> = Vec::new();
+    let select: Vec<SelectItem> = if aggregated {
+        // Group by every column the query could need from this subset:
+        // conservatively, all columns that appear (renamed) in the query's
+        // GROUP BY / SELECT columns / cross conditions — here we simply
+        // group by a random superset including all columns referenced
+        // outside the view's local conditions. Simplest sound choice that
+        // still coalesces: group by all columns except a random victim,
+        // aggregate the victim, and always add COUNT.
+        let victim = rng.random_range(0..vcols.len());
+        for (i, c) in vcols.iter().enumerate() {
+            if i != victim {
+                group_by.push(c.clone());
+            }
+        }
+        if group_by.is_empty() {
+            return None;
+        }
+        let mut sel: Vec<SelectItem> = group_by
+            .iter()
+            .map(|c| SelectItem::expr(Expr::Column(c.clone())))
+            .collect();
+        let vic = vcols[victim].clone();
+        sel.push(SelectItem::aliased(
+            Expr::Agg(AggCall::on_column(AggFunc::Sum, vic.clone())),
+            "agg_sum",
+        ));
+        sel.push(SelectItem::aliased(
+            Expr::Agg(AggCall::on_column(AggFunc::Min, vic.clone())),
+            "agg_min",
+        ));
+        sel.push(SelectItem::aliased(
+            Expr::Agg(AggCall::on_column(AggFunc::Count, vic)),
+            "agg_cnt",
+        ));
+        sel
+    } else {
+        vcols
+            .iter()
+            .map(|c| SelectItem::expr(Expr::Column(c.clone())))
+            .collect()
+    };
+
+    Some(ViewDef::new(
+        name,
+        Query {
+            distinct: false,
+            select,
+            from: vfrom,
+            where_clause: BoolExpr::conjoin(vatoms),
+            group_by,
+            having: None,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_core::Canonical;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_queries_canonicalize() {
+        let cat = experiment_catalog();
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let q = random_query(&mut rng, &cat, &cfg);
+            Canonical::from_query(&q, &cat)
+                .unwrap_or_else(|e| panic!("generated query must canonicalize: {e}\n  {q}"));
+        }
+    }
+
+    #[test]
+    fn embedded_views_canonicalize() {
+        let cat = experiment_catalog();
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        for i in 0..200 {
+            let q = random_query(&mut rng, &cat, &cfg);
+            let aggregated = i % 2 == 0;
+            if let Some(v) = embedded_view(&mut rng, &q, &cat, "V", aggregated) {
+                Canonical::from_query(&v.query, &cat).unwrap_or_else(|e| {
+                    panic!("embedded view must canonicalize: {e}\n  {}", v.query)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cat = experiment_catalog();
+        let cfg = GenConfig::default();
+        let q1 = random_query(&mut StdRng::seed_from_u64(5), &cat, &cfg);
+        let q2 = random_query(&mut StdRng::seed_from_u64(5), &cat, &cfg);
+        assert_eq!(q1, q2);
+    }
+}

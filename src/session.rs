@@ -1,0 +1,649 @@
+//! A scriptable session: the state machine behind the `aggview` CLI.
+//!
+//! A session holds a catalog, a database instance and the materialized
+//! views defined so far, and executes [`Statement`]s:
+//!
+//! * `CREATE TABLE` registers the schema (with keys) and an empty relation,
+//! * `CREATE VIEW` registers and *materializes* the view,
+//! * `INSERT` appends literal rows (and refreshes dependent views),
+//! * `SELECT` rewrites the query against the known views, picks the
+//!   cheapest usable rewriting by actual cardinalities, executes it, and
+//!   (optionally) cross-checks the answer against base-table evaluation,
+//! * `EXPLAIN SELECT` reports, per view and mapping, the produced
+//!   rewriting or the violated usability condition.
+
+use crate::run::{execute_rewriting, rewriting_equivalent};
+use aggview_catalog::{Catalog, TableSchema};
+use aggview_core::advisor::suggest_views;
+use aggview_core::{RewriteOptions, Rewriter, Rewriting, TableStats, ViewDef};
+use aggview_engine::maintenance::{maintain_view, DeltaKind};
+use aggview_engine::{execute, Database, Relation, Value};
+use aggview_sql::ast::Literal;
+use aggview_sql::{Query, Statement};
+use std::fmt;
+
+/// Session configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Rewriter options (strategy, set mode, expand, ...).
+    pub rewrite: RewriteOptions,
+    /// Cross-check every rewritten answer against base-table evaluation.
+    pub verify: bool,
+}
+
+/// The outcome of one executed statement.
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    /// DDL/DML acknowledgement (human-readable).
+    Ok(String),
+    /// A query answer: the relation, the SQL actually executed, and the
+    /// views it used (empty = base tables).
+    Answer {
+        /// The result rows.
+        relation: Relation,
+        /// The executed query text.
+        executed: String,
+        /// Views used by the chosen rewriting.
+        views_used: Vec<String>,
+        /// Number of usable rewritings considered.
+        candidates: usize,
+        /// Outcome of the base-table cross-check, when enabled.
+        verified: Option<bool>,
+        /// Evaluation time of the executed query, milliseconds.
+        elapsed_ms: f64,
+    },
+    /// `EXPLAIN` output: one line per candidate.
+    Explanation(Vec<String>),
+}
+
+impl fmt::Display for StatementOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementOutcome::Ok(msg) => writeln!(f, "{msg}"),
+            StatementOutcome::Answer {
+                relation,
+                executed,
+                views_used,
+                candidates,
+                verified,
+                elapsed_ms,
+            } => {
+                if views_used.is_empty() {
+                    writeln!(
+                        f,
+                        "-- no usable view; evaluated against base tables ({elapsed_ms:.2} ms)"
+                    )?;
+                } else {
+                    writeln!(
+                        f,
+                        "-- answered from {views_used:?} ({candidates} candidate rewriting(s),                          {elapsed_ms:.2} ms)"
+                    )?;
+                    writeln!(f, "-- executed: {executed}")?;
+                }
+                if let Some(ok) = verified {
+                    writeln!(
+                        f,
+                        "-- base-table cross-check: {}",
+                        if *ok { "equivalent" } else { "MISMATCH" }
+                    )?;
+                }
+                write!(f, "{relation}")
+            }
+            StatementOutcome::Explanation(lines) => {
+                for l in lines {
+                    writeln!(f, "{l}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, Clone)]
+pub struct SessionError(pub String);
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+fn err(msg: impl Into<String>) -> SessionError {
+    SessionError(msg.into())
+}
+
+/// A scriptable session.
+pub struct Session {
+    options: SessionOptions,
+    catalog: Catalog,
+    db: Database,
+    views: Vec<ViewDef>,
+}
+
+impl Session {
+    /// A fresh session.
+    pub fn new(options: SessionOptions) -> Self {
+        Session {
+            options,
+            catalog: Catalog::new(),
+            db: Database::new(),
+            views: Vec::new(),
+        }
+    }
+
+    /// The current database (base tables and materialized views).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The views defined so far.
+    pub fn views(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<StatementOutcome, SessionError> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                let mut schema = TableSchema::new(ct.name.clone(), ct.columns.clone());
+                for key in &ct.keys {
+                    schema = schema.with_key(key.iter().map(|s| s.as_str()));
+                }
+                self.catalog
+                    .add_table(schema)
+                    .map_err(|e| err(e.to_string()))?;
+                self.db
+                    .insert(ct.name.clone(), Relation::empty(ct.columns.clone()));
+                Ok(StatementOutcome::Ok(format!(
+                    "table `{}` created ({} columns, {} key(s))",
+                    ct.name,
+                    ct.columns.len(),
+                    ct.keys.len()
+                )))
+            }
+            Statement::CreateView(cv) => {
+                if self.catalog.table(&cv.name).is_some()
+                    || self.views.iter().any(|v| v.name == cv.name)
+                {
+                    return Err(err(format!("relation `{}` already exists", cv.name)));
+                }
+                let view = ViewDef::new(cv.name.clone(), cv.query.clone());
+                let mut rel = execute(&view.query, &self.db)
+                    .map_err(|e| err(format!("view `{}`: {e}", cv.name)))?;
+                rel.columns = view.output_names();
+                let n = rel.len();
+                self.db.insert(view.name.clone(), rel);
+                self.views.push(view);
+                Ok(StatementOutcome::Ok(format!(
+                    "view `{}` materialized ({n} rows)",
+                    cv.name
+                )))
+            }
+            Statement::Insert(ins) => {
+                let rel = self
+                    .db
+                    .get(&ins.table)
+                    .map_err(|e| err(e.to_string()))?
+                    .clone();
+                if self.catalog.table(&ins.table).is_none() {
+                    return Err(err(format!(
+                        "`{}` is a view; INSERT into base tables only",
+                        ins.table
+                    )));
+                }
+                let mut rel = rel;
+                let mut delta: Vec<Vec<Value>> = Vec::with_capacity(ins.rows.len());
+                for row in &ins.rows {
+                    if row.len() != rel.arity() {
+                        return Err(err(format!(
+                            "row arity {} does not match table `{}` arity {}",
+                            row.len(),
+                            ins.table,
+                            rel.arity()
+                        )));
+                    }
+                    let values: Vec<Value> = row.iter().map(lit_value).collect();
+                    rel.push(values.clone());
+                    delta.push(values);
+                }
+                self.db.insert(ins.table.clone(), rel);
+                let incremental =
+                    self.maintain_views(&ins.table, DeltaKind::Insert(&delta))?;
+                Ok(StatementOutcome::Ok(format!(
+                    "{} row(s) inserted into `{}`; {incremental} view(s) maintained                      incrementally",
+                    ins.rows.len(),
+                    ins.table
+                )))
+            }
+            Statement::Delete(del) => {
+                if self.catalog.table(&del.table).is_none() {
+                    return Err(err(format!(
+                        "`{}` is not a base table; DELETE applies to base tables only",
+                        del.table
+                    )));
+                }
+                // Partition the rows by the filter, using the engine's own
+                // predicate semantics (SELECT * ... WHERE filter).
+                let all_cols = self
+                    .db
+                    .get(&del.table)
+                    .map_err(|e| err(e.to_string()))?
+                    .columns
+                    .clone();
+                let matching = {
+                    let q = Query {
+                        distinct: false,
+                        select: all_cols
+                            .iter()
+                            .map(|c| {
+                                aggview_sql::ast::SelectItem::expr(
+                                    aggview_sql::ast::Expr::col(c.clone()),
+                                )
+                            })
+                            .collect(),
+                        from: vec![aggview_sql::ast::TableRef::new(del.table.clone())],
+                        where_clause: del.filter.clone(),
+                        group_by: Vec::new(),
+                        having: None,
+                    };
+                    execute(&q, &self.db).map_err(|e| err(e.to_string()))?
+                };
+                // Remove exactly the matching multiset from the base table.
+                let mut remaining = self
+                    .db
+                    .get(&del.table)
+                    .map_err(|e| err(e.to_string()))?
+                    .clone();
+                let mut budget: std::collections::HashMap<Vec<Value>, usize> =
+                    std::collections::HashMap::new();
+                for r in &matching.rows {
+                    *budget.entry(r.clone()).or_insert(0) += 1;
+                }
+                remaining.rows.retain(|r| match budget.get_mut(r) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        false
+                    }
+                    _ => true,
+                });
+                self.db.insert(del.table.clone(), remaining);
+                let incremental =
+                    self.maintain_views(&del.table, DeltaKind::Delete(&matching.rows))?;
+                Ok(StatementOutcome::Ok(format!(
+                    "{} row(s) deleted from `{}`; {incremental} view(s) maintained incrementally",
+                    matching.len(),
+                    del.table
+                )))
+            }
+            Statement::Select(q) => self.select(q),
+            Statement::Explain(q) => self.explain(q),
+            Statement::Suggest(q) => self.suggest(q),
+        }
+    }
+
+    /// Run a whole script, returning per-statement outcomes.
+    pub fn run_script(&mut self, stmts: &[Statement]) -> Result<Vec<StatementOutcome>, SessionError> {
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    fn rewriter(&self) -> Rewriter<'_> {
+        Rewriter::with_options(&self.catalog, self.options.rewrite.clone())
+    }
+
+    fn stats(&self) -> TableStats {
+        let mut stats = TableStats::new();
+        for (name, rel) in self.db.iter() {
+            stats.set(name.clone(), rel.len());
+        }
+        stats
+    }
+
+    fn select(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        let rewriter = self.rewriter();
+        let mut rewritings: Vec<Rewriting> = rewriter
+            .rewrite(q, &self.views)
+            .map_err(|e| err(e.to_string()))?;
+        let stats = self.stats();
+        rewritings.sort_by(|a, b| {
+            a.cost(&stats)
+                .partial_cmp(&b.cost(&stats))
+                .expect("finite costs")
+        });
+        let candidates = rewritings.len();
+        match rewritings.first() {
+            None => {
+                let t = std::time::Instant::now();
+                let relation = execute(q, &self.db).map_err(|e| err(e.to_string()))?;
+                Ok(StatementOutcome::Answer {
+                    relation,
+                    executed: q.to_string(),
+                    views_used: Vec::new(),
+                    candidates: 0,
+                    verified: None,
+                    elapsed_ms: t.elapsed().as_secs_f64() * 1e3,
+                })
+            }
+            Some(best) => {
+                let t = std::time::Instant::now();
+                let relation =
+                    execute_rewriting(best, &self.db).map_err(|e| err(e.to_string()))?;
+                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+                let verified = if self.options.verify {
+                    Some(
+                        rewriting_equivalent(q, best, &self.db)
+                            .map_err(|e| err(e.to_string()))?,
+                    )
+                } else {
+                    None
+                };
+                Ok(StatementOutcome::Answer {
+                    relation,
+                    executed: best.query.to_string(),
+                    views_used: best.views_used.clone(),
+                    candidates,
+                    verified,
+                    elapsed_ms,
+                })
+            }
+        }
+    }
+
+    fn explain(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        let reports = self
+            .rewriter()
+            .explain(q, &self.views)
+            .map_err(|e| err(e.to_string()))?;
+        if reports.is_empty() {
+            return Ok(StatementOutcome::Explanation(vec![
+                "no views defined".to_string()
+            ]));
+        }
+        Ok(StatementOutcome::Explanation(
+            reports.iter().map(|r| r.to_string()).collect(),
+        ))
+    }
+
+    fn suggest(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        let stats = self.stats();
+        let suggestions =
+            suggest_views(q, &self.catalog, &stats).map_err(|e| err(e.to_string()))?;
+        if suggestions.is_empty() {
+            return Ok(StatementOutcome::Explanation(vec![
+                "no beneficial view suggestions".to_string(),
+            ]));
+        }
+        let lines = suggestions
+            .iter()
+            .take(5)
+            .map(|s| {
+                format!(
+                    "benefit {:>12.0}: CREATE VIEW {} AS {};",
+                    s.benefit(),
+                    s.view.name,
+                    s.view.query
+                )
+            })
+            .collect();
+        Ok(StatementOutcome::Explanation(lines))
+    }
+
+    /// Maintain every view after `delta` was inserted into
+    /// `changed_table`: incrementally where the plan allows, by
+    /// recomputation otherwise. Views over views are handled by
+    /// propagating the set of changed relations through the (topologically
+    /// ordered) definition list; their deltas are not tracked, so they
+    /// recompute. Returns how many views took the incremental path.
+    fn maintain_views(
+        &mut self,
+        changed_table: &str,
+        delta: DeltaKind<'_>,
+    ) -> Result<usize, SessionError> {
+        let mut changed: Vec<String> = vec![changed_table.to_string()];
+        let mut incremental = 0usize;
+        for v in &self.views {
+            if !v.query.from.iter().any(|t| changed.contains(&t.table)) {
+                continue;
+            }
+            let mut rel = self
+                .db
+                .get(&v.name)
+                .map_err(|e| err(e.to_string()))?
+                .clone();
+            let direct_only = v.query.from.len() == 1 && v.query.from[0].table == changed_table;
+            let took_incremental = if direct_only {
+                maintain_view(&v.query, &mut rel, changed_table, delta, &self.db)
+                    .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
+            } else {
+                let mut fresh = execute(&v.query, &self.db)
+                    .map_err(|e| err(format!("refreshing `{}`: {e}", v.name)))?;
+                fresh.columns = v.output_names();
+                rel = fresh;
+                false
+            };
+            incremental += took_incremental as usize;
+            self.db.insert(v.name.clone(), rel);
+            changed.push(v.name.clone());
+        }
+        Ok(incremental)
+    }
+}
+
+fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Double(v) => Value::Double(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_sql::parse_script;
+
+    fn run(script: &str, verify: bool) -> Vec<StatementOutcome> {
+        let stmts = parse_script(script).expect("script parses");
+        let mut session = Session::new(SessionOptions {
+            verify,
+            ..SessionOptions::default()
+        });
+        session.run_script(&stmts).expect("script runs")
+    }
+
+    #[test]
+    fn end_to_end_script() {
+        let outcomes = run(
+            "CREATE TABLE Sales (Region, Product, Amount);
+             INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3), (2, 10, 3);
+             CREATE VIEW Totals AS
+               SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N
+               FROM Sales GROUP BY Region, Product;
+             SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;",
+            true,
+        );
+        assert_eq!(outcomes.len(), 4);
+        let StatementOutcome::Answer {
+            relation,
+            views_used,
+            verified,
+            ..
+        } = &outcomes[3]
+        else {
+            panic!("expected an answer")
+        };
+        assert_eq!(views_used, &vec!["Totals".to_string()]);
+        assert_eq!(verified, &Some(true));
+        assert_eq!(relation.len(), 2);
+        let rows = relation.sorted_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(12)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(6)]);
+    }
+
+    #[test]
+    fn select_without_views_hits_base_tables() {
+        let outcomes = run(
+            "CREATE TABLE T (a); INSERT INTO T VALUES (1), (1); SELECT a FROM T;",
+            false,
+        );
+        let StatementOutcome::Answer {
+            views_used,
+            relation,
+            ..
+        } = &outcomes[2]
+        else {
+            panic!("expected an answer")
+        };
+        assert!(views_used.is_empty());
+        assert_eq!(relation.len(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_views() {
+        let outcomes = run(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 5), (1, 6);
+             SELECT a, SUM(b) FROM T GROUP BY a;",
+            true,
+        );
+        let StatementOutcome::Answer {
+            relation, verified, ..
+        } = &outcomes[3]
+        else {
+            panic!("expected an answer")
+        };
+        assert_eq!(relation.rows, vec![vec![Value::Int(1), Value::Int(11)]]);
+        assert_eq!(verified, &Some(true));
+    }
+
+    #[test]
+    fn explain_reports() {
+        let outcomes = run(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a FROM T;
+             EXPLAIN SELECT a, SUM(b) FROM T GROUP BY a;",
+            false,
+        );
+        let StatementOutcome::Explanation(lines) = &outcomes[2] else {
+            panic!("expected an explanation")
+        };
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("not usable"), "{lines:?}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let stmts = parse_script("INSERT INTO Nope VALUES (1);").unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        assert!(session.run_script(&stmts).is_err());
+
+        let stmts = parse_script("CREATE TABLE T (a); INSERT INTO T VALUES (1, 2);").unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        let e = session.run_script(&stmts).unwrap_err();
+        assert!(e.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn duplicate_relation_names_rejected() {
+        let stmts =
+            parse_script("CREATE TABLE T (a); CREATE VIEW T AS SELECT a FROM T;").unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        assert!(session.run_script(&stmts).is_err());
+    }
+
+    #[test]
+    fn delete_maintains_views() {
+        let outcomes = run(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 5), (1, 6), (2, 7), (2, 7);
+             DELETE FROM T WHERE b = 7;
+             SELECT a, SUM(b) FROM T GROUP BY a;",
+            true,
+        );
+        let StatementOutcome::Ok(msg) = &outcomes[3] else {
+            panic!("expected delete ack")
+        };
+        assert!(msg.contains("2 row(s) deleted"), "{msg}");
+        assert!(msg.contains("1 view(s) maintained incrementally"), "{msg}");
+        let StatementOutcome::Answer {
+            relation, verified, ..
+        } = &outcomes[4]
+        else {
+            panic!("expected an answer")
+        };
+        // Group a=2 vanished entirely.
+        assert_eq!(relation.rows, vec![vec![Value::Int(1), Value::Int(11)]]);
+        assert_eq!(verified, &Some(true));
+    }
+
+    #[test]
+    fn delete_with_minmax_view_recomputes() {
+        let outcomes = run(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a, MAX(b) AS m, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 5), (1, 9);
+             DELETE FROM T WHERE b = 9;
+             SELECT a, MAX(b) FROM T GROUP BY a;",
+            true,
+        );
+        let StatementOutcome::Ok(msg) = &outcomes[3] else {
+            panic!("expected delete ack")
+        };
+        // MAX can loosen under deletes: the view must recompute (0
+        // incremental), but the answer stays correct.
+        assert!(msg.contains("0 view(s) maintained incrementally"), "{msg}");
+        let StatementOutcome::Answer {
+            relation, verified, ..
+        } = &outcomes[4]
+        else {
+            panic!("expected an answer")
+        };
+        assert_eq!(relation.rows, vec![vec![Value::Int(1), Value::Int(5)]]);
+        assert_eq!(verified, &Some(true));
+    }
+
+    #[test]
+    fn delete_everything() {
+        let outcomes = run(
+            "CREATE TABLE T (a);
+             INSERT INTO T VALUES (1), (2);
+             DELETE FROM T;
+             SELECT a FROM T;",
+            false,
+        );
+        let StatementOutcome::Answer { relation, .. } = &outcomes[3] else {
+            panic!("expected an answer")
+        };
+        assert!(relation.is_empty());
+    }
+
+    #[test]
+    fn cheapest_candidate_wins() {
+        // Two usable views; the smaller one must be chosen.
+        let outcomes = run(
+            "CREATE TABLE T (a, b, c);
+             INSERT INTO T VALUES (1,1,1),(1,2,1),(2,1,1),(2,2,1),(1,1,1);
+             CREATE VIEW Fine AS SELECT a, b, SUM(c) AS s, COUNT(c) AS n FROM T GROUP BY a, b;
+             CREATE VIEW Coarse AS SELECT a, SUM(c) AS s, COUNT(c) AS n FROM T GROUP BY a;
+             SELECT a, SUM(c) FROM T GROUP BY a;",
+            true,
+        );
+        let StatementOutcome::Answer {
+            views_used,
+            verified,
+            candidates,
+            ..
+        } = &outcomes[4]
+        else {
+            panic!("expected an answer")
+        };
+        assert!(*candidates >= 2);
+        assert_eq!(views_used, &vec!["Coarse".to_string()]);
+        assert_eq!(verified, &Some(true));
+    }
+}

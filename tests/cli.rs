@@ -1,0 +1,113 @@
+//! Black-box tests of the `aggview` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_aggview"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const SCRIPT: &str = "
+CREATE TABLE Sales (Region, Product, Amount);
+INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3);
+CREATE VIEW Totals AS
+  SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N
+  FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
+EXPLAIN SELECT Region, MIN(Amount) FROM Sales GROUP BY Region;
+";
+
+#[test]
+fn script_via_stdin() {
+    let (stdout, stderr, ok) = run_cli(&["--verify"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("view `Totals` materialized"));
+    assert!(stdout.contains("answered from [\"Totals\"]"));
+    assert!(stdout.contains("base-table cross-check: equivalent"));
+    assert!(stdout.contains("not usable"), "EXPLAIN must report the MIN miss");
+}
+
+#[test]
+fn interactive_mode_survives_errors() {
+    let input = "bogus statement;\nCREATE TABLE T (a);\nINSERT INTO T VALUES (1);\nSELECT a FROM T;\nquit\n";
+    let (stdout, stderr, ok) = run_cli(&["--interactive"], input);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("parse error"), "stderr: {stderr}");
+    assert!(stdout.contains("table `T` created"));
+    // Single-column result: header "a" then the row "1".
+    assert!(stdout.lines().any(|l| l.trim() == "1"), "stdout: {stdout}");
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let (_, stderr, ok) = run_cli(&["--nope"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn parse_error_fails_with_diagnostic() {
+    let (_, stderr, ok) = run_cli(&[], "SELECT FROM;");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"));
+}
+
+#[test]
+fn missing_file_fails() {
+    let (_, stderr, ok) = run_cli(&["/nonexistent/script.sql"], "");
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn suggest_statement_via_cli() {
+    let script = "
+CREATE TABLE Facts (Dim, M);
+INSERT INTO Facts VALUES (1, 10), (1, 20), (2, 30);
+SUGGEST SELECT Dim, SUM(M) FROM Facts GROUP BY Dim;
+";
+    let (stdout, stderr, ok) = run_cli(&[], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("CREATE VIEW Suggested"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn expand_flag_enables_footnote3() {
+    let script = "
+CREATE TABLE R1 (A, B, C);
+INSERT INTO R1 VALUES (1, 1, 0), (1, 1, 0), (2, 1, 0);
+CREATE VIEW V1 AS SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B;
+SELECT A, B FROM R1;
+";
+    // Without --expand: base tables.
+    let (stdout, _, ok) = run_cli(&["--verify"], script);
+    assert!(ok);
+    assert!(stdout.contains("no usable view"));
+    // With --expand: answered from the view, verified.
+    let (stdout, stderr, ok) = run_cli(&["--verify", "--expand"], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("answered from [\"V1\"]"), "stdout: {stdout}");
+    assert!(stdout.contains("Nat.k <= V1.N"), "stdout: {stdout}");
+    assert!(stdout.contains("cross-check: equivalent"), "stdout: {stdout}");
+}

@@ -1,0 +1,140 @@
+//! Section 5.2: "if both the query and the view use SELECT DISTINCT, then
+//! their results are sets, by definition" — set-semantics rewritings with
+//! no key information at all.
+
+use aggview::catalog::{Catalog, TableSchema};
+use aggview::engine::{execute, set_eq, Database, Relation, Value};
+use aggview::rewrite::{Rewriter, ViewDef};
+use aggview::run::{execute_rewriting, materialize_views};
+use aggview::sql::parse_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn keyless_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+    cat
+}
+
+fn db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Database::new();
+    let mut r = Relation::empty(["A", "B", "C"]);
+    for _ in 0..50 {
+        r.push(vec![
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+        ]);
+    }
+    d.insert("R", r);
+    d
+}
+
+#[test]
+fn distinct_view_answers_distinct_query() {
+    // Keyless table: the multiset path is closed (a DISTINCT view changes
+    // multiplicities), but both results are sets by definition.
+    let cat = keyless_catalog();
+    let q = parse_query("SELECT DISTINCT A, B FROM R WHERE C = 1").unwrap();
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    assert_eq!(rws.len(), 1);
+    assert!(rws[0].set_semantics);
+    let mut database = db(52);
+    materialize_views(&mut database, &[v]).unwrap();
+    let truth = execute(&q, &database).unwrap();
+    let via = execute_rewriting(&rws[0], &database).unwrap();
+    assert!(!truth.has_duplicates());
+    assert!(set_eq(&truth, &via), "truth: {truth}\n got: {via}");
+}
+
+#[test]
+fn distinct_view_rejected_for_multiset_query() {
+    // The query preserves duplicates; the DISTINCT view lost them — no
+    // rewriting (key-free).
+    let cat = keyless_catalog();
+    let q = parse_query("SELECT A, B FROM R WHERE C = 1").unwrap();
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    assert!(rewriter.rewrite(&q, &[v]).unwrap().is_empty());
+}
+
+#[test]
+fn plain_view_answers_distinct_query_via_multiset_path_is_not_taken() {
+    // DISTINCT query, non-DISTINCT view: the multiset path applies (the
+    // DISTINCT is applied on top of the rewritten body) — the classic
+    // Section 3 rewriting carries the DISTINCT flag through.
+    let cat = keyless_catalog();
+    let q = parse_query("SELECT DISTINCT A FROM R WHERE B = 2").unwrap();
+    let v = ViewDef::new("V", parse_query("SELECT A, B FROM R").unwrap());
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    assert!(!rws.is_empty());
+    let direct = rws.iter().find(|r| !r.set_semantics).expect("multiset rewriting");
+    assert!(direct.query.distinct);
+    let mut database = db(53);
+    materialize_views(&mut database, &[v]).unwrap();
+    let truth = execute(&q, &database).unwrap();
+    let via = execute_rewriting(direct, &database).unwrap();
+    assert!(set_eq(&truth, &via));
+}
+
+#[test]
+fn distinct_self_join_collapse_without_keys() {
+    // The Example 5.1 shape justified by DISTINCT instead of keys: both
+    // query and view are DISTINCT, so many-to-1 collapses are sound —
+    // but only when a key equates the copies. Without keys the collapsed
+    // occurrences cannot be proven to coincide, so only structure-preserving
+    // (1-1) uses are possible; with two view occurrences and one query
+    // occurrence there is none.
+    let cat = keyless_catalog();
+    let q = parse_query("SELECT DISTINCT A FROM R WHERE B = C").unwrap();
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT DISTINCT u.A AS A1, w.A AS A2 FROM R u, R w WHERE u.B = w.C")
+            .unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    // No key ⇒ the collapse cannot be compensated ⇒ no rewriting.
+    assert!(rewriter.rewrite(&q, &[v]).unwrap().is_empty());
+}
+
+#[test]
+fn randomized_distinct_set_semantics() {
+    let cat = keyless_catalog();
+    let rewriter = Rewriter::new(&cat);
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let filter_col = ["A", "B", "C"][rng.random_range(0..3)];
+        let k = rng.random_range(0..4);
+        let q = parse_query(&format!(
+            "SELECT DISTINCT A, B FROM R WHERE {filter_col} = {k}"
+        ))
+        .unwrap();
+        let v = ViewDef::new(
+            "V",
+            parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
+        );
+        let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
+        assert!(!rws.is_empty(), "seed {seed}: expected a rewriting");
+        let mut database = db(seed.wrapping_mul(3));
+        materialize_views(&mut database, std::slice::from_ref(&v)).unwrap();
+        let truth = execute(&q, &database).unwrap();
+        for rw in &rws {
+            let via = execute_rewriting(rw, &database).unwrap();
+            assert!(
+                set_eq(&truth, &via),
+                "seed {seed}: {q} vs {}\n truth: {truth}\n got: {via}",
+                rw.query
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Footnote 3 of the paper (the "expand" extension): with an interpreted
+//! `Nat` table, an aggregation view *can* answer a conjunctive query —
+//! each view row is replicated `count` times by the join
+//! `Nat.k <= V.count`. These tests validate the produced rewritings
+//! against the engine, multiset-exactly.
+
+use aggview::catalog::{Catalog, TableSchema};
+use aggview::engine::{execute, multiset_eq, Database, Relation, Value};
+use aggview::rewrite::{RewriteOptions, Rewriter, ViewDef};
+use aggview::run::{execute_rewriting, materialize_views};
+use aggview::sql::parse_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    cat
+}
+
+fn db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B", "C"]);
+    for _ in 0..60 {
+        r1.push(vec![
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+        ]);
+    }
+    db.insert("R1", r1);
+    db
+}
+
+fn expander(cat: &Catalog) -> Rewriter<'_> {
+    Rewriter::with_options(
+        cat,
+        RewriteOptions {
+            enable_expand: true,
+            ..RewriteOptions::default()
+        },
+    )
+}
+
+#[test]
+fn example_4_5_becomes_rewritable() {
+    // The very pair Section 4.5 proves impossible without Nat.
+    let cat = catalog();
+    let q = parse_query("SELECT A, B FROM R1").unwrap();
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+
+    // Default options: still impossible (4.5 holds).
+    assert!(Rewriter::new(&cat)
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap()
+        .is_empty());
+
+    // With expand enabled: one rewriting, flagged as needing Nat.
+    let rws = expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    assert_eq!(rws.len(), 1);
+    let rw = &rws[0];
+    assert!(rw.requires_nat);
+    assert_eq!(
+        rw.query.to_string(),
+        "SELECT V1.A, V1.B FROM V1, Nat WHERE Nat.k <= V1.N"
+    );
+
+    // Engine validation: exact multiset equality, duplicates included.
+    let mut database = db(45);
+    materialize_views(&mut database, &[v]).unwrap();
+    let truth = execute(&q, &database).unwrap();
+    let via = execute_rewriting(rw, &database).unwrap();
+    assert!(truth.has_duplicates(), "the test instance must have duplicates");
+    assert!(multiset_eq(&truth, &via));
+}
+
+#[test]
+fn residual_conditions_and_projection() {
+    let cat = catalog();
+    let q = parse_query("SELECT A FROM R1 WHERE B = 2").unwrap();
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rws = expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    assert_eq!(rws.len(), 1);
+    let mut database = db(46);
+    materialize_views(&mut database, &[v]).unwrap();
+    let truth = execute(&q, &database).unwrap();
+    let via = execute_rewriting(&rws[0], &database).unwrap();
+    assert!(multiset_eq(&truth, &via));
+}
+
+#[test]
+fn view_conditions_must_still_be_implied() {
+    // Expansion does not bypass condition C3.
+    let cat = catalog();
+    let q = parse_query("SELECT A FROM R1").unwrap();
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, COUNT(C) AS N FROM R1 WHERE B = 1 GROUP BY A").unwrap(),
+    );
+    assert!(expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+}
+
+#[test]
+fn view_without_count_is_still_unusable() {
+    let cat = catalog();
+    let q = parse_query("SELECT A, B FROM R1").unwrap();
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B").unwrap(),
+    );
+    assert!(expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+}
+
+#[test]
+fn randomized_expansion_soundness() {
+    // Random conjunctive queries over R1, view = full grouping summary;
+    // every expansion rewriting must be multiset-equivalent.
+    let cat = catalog();
+    let rewriter = expander(&cat);
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, C, COUNT(A) AS N FROM R1 GROUP BY A, B, C").unwrap(),
+    );
+    let mut checked = 0;
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random projection + optional filter.
+        let cols = ["A", "B", "C"];
+        let n_sel = rng.random_range(1..=3);
+        let sel: Vec<&str> = (0..n_sel).map(|i| cols[i]).collect();
+        let filter = if rng.random_bool(0.5) {
+            format!(" WHERE {} = {}", cols[rng.random_range(0..3)], rng.random_range(0..4))
+        } else {
+            String::new()
+        };
+        let q = parse_query(&format!("SELECT {} FROM R1{}", sel.join(", "), filter)).unwrap();
+        let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
+        let mut database = db(seed.wrapping_mul(13));
+        materialize_views(&mut database, std::slice::from_ref(&v)).unwrap();
+        for rw in &rws {
+            let truth = execute(&q, &database).unwrap();
+            let via = execute_rewriting(rw, &database).unwrap();
+            assert!(
+                multiset_eq(&truth, &via),
+                "expansion unsound for {q} via {}",
+                rw.query
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 15, "only {checked} expansion rewritings exercised");
+}
+
+#[test]
+fn explain_reports_expand_candidates() {
+    let cat = catalog();
+    let q = parse_query("SELECT A, B FROM R1").unwrap();
+    let v = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    // Without expand: the 4.5 refusal is reported.
+    let plain = Rewriter::new(&cat);
+    let reports = plain.explain(&q, std::slice::from_ref(&v)).unwrap();
+    assert!(reports[0].outcome.is_err());
+    // With expand: the rewriting is reported.
+    let reports = expander(&cat).explain(&q, std::slice::from_ref(&v)).unwrap();
+    assert!(reports[0].outcome.is_ok());
+}

@@ -1,0 +1,138 @@
+//! Falsification tests for Theorem 3.1's "only if" direction: when the
+//! rewriter *rejects* a view, the rejection is semantically forced — the
+//! rewriting that *would* have been produced (from a nearby accepted
+//! configuration) gives a **wrong answer** against the rejected view.
+//!
+//! Method: take a (query, view) pair the rewriter accepts and record its
+//! rewriting; mutate the view so a specific condition (C2/C3/C4) fails;
+//! confirm the rewriter now rejects; then run the *recorded* rewriting
+//! against the *mutated* view's materialization and exhibit a database on
+//! which the answers differ. This shows the conditions are not merely
+//! conservative bookkeeping.
+
+use aggview::catalog::{Catalog, TableSchema};
+use aggview::engine::{execute, multiset_eq, Database, Relation, Value};
+use aggview::rewrite::{Rewriter, ViewDef};
+use aggview::run::materialize_views;
+use aggview::sql::parse_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    cat
+}
+
+fn db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Database::new();
+    let mut r = Relation::empty(["A", "B", "C"]);
+    for _ in 0..40 {
+        r.push(vec![
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+        ]);
+    }
+    d.insert("R1", r);
+    d
+}
+
+/// Accept with `good_view`, mutate to `bad_view`, and show the recorded
+/// rewriting is wrong against the mutated view on some seed.
+fn falsify(query_sql: &str, good_view_sql: &str, bad_view_sql: &str) {
+    let cat = catalog();
+    let rewriter = Rewriter::new(&cat);
+    let q = parse_query(query_sql).unwrap();
+    let good = ViewDef::new("V", parse_query(good_view_sql).unwrap());
+    let bad = ViewDef::new("V", parse_query(bad_view_sql).unwrap());
+
+    // Accepted with the good view.
+    let rws = rewriter.rewrite(&q, std::slice::from_ref(&good)).unwrap();
+    assert!(!rws.is_empty(), "good view must be usable: {good_view_sql}");
+    let recorded = rws[0].query.clone();
+
+    // Rejected with the mutated view.
+    assert!(
+        rewriter.rewrite(&q, std::slice::from_ref(&bad)).unwrap().is_empty(),
+        "mutated view must be rejected: {bad_view_sql}"
+    );
+
+    // The recorded rewriting is semantically wrong against the mutated
+    // view: find a witness database.
+    let mut witnessed = false;
+    for seed in 0..20u64 {
+        let mut d = db(seed);
+        materialize_views(&mut d, std::slice::from_ref(&bad)).unwrap();
+        let truth = execute(&q, &d).unwrap();
+        let Ok(via) = execute(&recorded, &d) else {
+            // The recorded rewriting may not even bind (e.g. a renamed
+            // output column): also a decisive rejection.
+            witnessed = true;
+            break;
+        };
+        if !multiset_eq(&truth, &via) {
+            witnessed = true;
+            break;
+        }
+    }
+    assert!(
+        witnessed,
+        "no witness found: the rejected configuration {bad_view_sql} \
+         appears to answer {query_sql} correctly via {recorded}"
+    );
+}
+
+#[test]
+fn c3_violation_view_discards_tuples() {
+    // The mutated view filters B = 1, discarding tuples the query needs.
+    falsify(
+        "SELECT A, SUM(B) FROM R1 GROUP BY A",
+        "SELECT A, B FROM R1",
+        "SELECT A, B FROM R1 WHERE B = 1",
+    );
+}
+
+#[test]
+fn c3_violation_view_adds_join_condition() {
+    // The mutated view additionally enforces B = C.
+    falsify(
+        "SELECT A FROM R1 WHERE B = 2",
+        "SELECT A, B FROM R1",
+        "SELECT A, B FROM R1 WHERE B = C",
+    );
+}
+
+#[test]
+fn c4_violation_aggregated_column_lost() {
+    // The mutated view pre-aggregates B per A (losing the multiplicities
+    // and raw values SUM(B) per (A) still needs... here the view groups
+    // coarser than the query's aggregate argument requires).
+    falsify(
+        "SELECT A, MIN(B) FROM R1 GROUP BY A",
+        "SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B",
+        "SELECT A, MAX(B) AS B, COUNT(C) AS N FROM R1 GROUP BY A",
+    );
+}
+
+#[test]
+fn multiplicity_violation_distinct_view() {
+    // A DISTINCT view loses duplicates; for a duplicate-preserving query
+    // the answers differ (and the rewriter rejects, keyless).
+    falsify(
+        "SELECT A, B FROM R1",
+        "SELECT A, B, C FROM R1",
+        "SELECT DISTINCT A, B, C FROM R1",
+    );
+}
+
+#[test]
+fn having_violation_view_drops_groups() {
+    // The mutated view's HAVING eliminates groups the query needs.
+    falsify(
+        "SELECT A, B, SUM(C) FROM R1 GROUP BY A, B",
+        "SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B",
+        "SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B HAVING SUM(C) > 3",
+    );
+}

@@ -1,0 +1,409 @@
+//! End-to-end reproduction of every worked example in the paper, each
+//! validated against the execution engine: the rewriter must make the same
+//! usability decision as the paper, and every produced rewriting must be
+//! multiset-equivalent to the original query on generated data.
+
+use aggview::catalog::{Catalog, TableSchema};
+use aggview::engine::datagen::{telephony, telephony_catalog, TelephonyConfig};
+use aggview::engine::{execute, multiset_eq, Database, Relation, Value};
+use aggview::rewrite::{RewriteOptions, Rewriter, Strategy, ViewDef};
+use aggview::run::{execute_rewriting, materialize_views, rewrite_and_verify};
+use aggview::sql::parse_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random instance of the R1(A,B,C,D), R2(E,F) schema used by the paper's
+/// Section 3/4 examples. Small domains force collisions and duplicates.
+fn r1_r2_db(seed: u64, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B", "C", "D"]);
+    for _ in 0..rows {
+        r1.push((0..4).map(|_| Value::Int(rng.random_range(0..4))).collect());
+    }
+    db.insert("R1", r1);
+    let mut r2 = Relation::empty(["E", "F"]);
+    for _ in 0..rows {
+        r2.push((0..2).map(|_| Value::Int(rng.random_range(0..4))).collect());
+    }
+    db.insert("R2", r2);
+    db
+}
+
+fn r1_r2_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
+        .unwrap();
+    cat.add_table(TableSchema::new("R2", ["E", "F"])).unwrap();
+    cat
+}
+
+#[test]
+fn example_1_1_telephony_motivating_example() {
+    // Query Q, view V1 and rewriting Q' of Example 1.1, validated over a
+    // generated telephony warehouse.
+    let cat = telephony_catalog();
+    let db = telephony(
+        &TelephonyConfig {
+            n_customers: 50,
+            n_plans: 8,
+            n_calls: 5000,
+            years: vec![1994, 1995],
+            months: 12,
+        },
+        11,
+    );
+    let q = parse_query(
+        "SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge) \
+         FROM Calls, Calling_Plans \
+         WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995 \
+         GROUP BY Calling_Plans.Plan_Id, Plan_Name \
+         HAVING SUM(Charge) < 1000000",
+    )
+    .unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query(
+            "SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge) AS Monthly_Earnings \
+             FROM Calls, Calling_Plans \
+             WHERE Calls.Plan_Id = Calling_Plans.Plan_Id \
+             GROUP BY Calls.Plan_Id, Plan_Name, Month, Year",
+        )
+        .unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v1), &db);
+    assert_eq!(rws.len(), 1);
+    // The paper's Q': only V1 in FROM, Year filter, SUM of monthly sums.
+    assert_eq!(rws[0].query.from.len(), 1);
+    assert_eq!(rws[0].query.from[0].table, "V1");
+    assert_eq!(
+        rws[0].query.to_string(),
+        "SELECT V1.Plan_Id, V1.Plan_Name, SUM(V1.Monthly_Earnings) FROM V1 \
+         WHERE V1.Year = 1995 GROUP BY V1.Plan_Id, V1.Plan_Name \
+         HAVING SUM(V1.Monthly_Earnings) < 1000000"
+    );
+    // The view really is much smaller than the fact table.
+    let mut scratch = db.clone();
+    materialize_views(&mut scratch, &[v1]).unwrap();
+    assert!(scratch.get("V1").unwrap().len() * 10 < scratch.get("Calls").unwrap().len());
+}
+
+#[test]
+fn example_3_1_conjunctive_view() {
+    let cat = {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
+        cat.add_table(TableSchema::new("R2", ["C", "D"])).unwrap();
+        cat
+    };
+    // Build instances of R1(A,B), R2(C,D).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B"]);
+    let mut r2 = Relation::empty(["C", "D"]);
+    for _ in 0..60 {
+        r1.push(vec![
+            Value::Int(rng.random_range(0..5)),
+            Value::Int(rng.random_range(4..9)),
+        ]);
+        r2.push(vec![
+            Value::Int(rng.random_range(0..5)),
+            Value::Int(rng.random_range(4..9)),
+        ]);
+    }
+    db.insert("R1", r1);
+    db.insert("R2", r2);
+
+    let q = parse_query(
+        "SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A",
+    )
+    .unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT C, D FROM R1, R2 WHERE A = C AND B = D").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, &[v1], &db);
+    assert_eq!(rws.len(), 1);
+    assert_eq!(
+        rws[0].query.to_string(),
+        "SELECT V1.C, SUM(V1.D) FROM V1 WHERE V1.D = 6 GROUP BY V1.C"
+    );
+}
+
+#[test]
+fn example_4_1_coalescing_subgroups() {
+    let cat = r1_r2_catalog();
+    let db = r1_r2_db(41, 80);
+    let q = parse_query(
+        "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
+    )
+    .unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, C, COUNT(D) AS N FROM R1 WHERE B = D GROUP BY A, C").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, &[v1], &db);
+    assert_eq!(rws.len(), 1);
+    // The paper's Q': counts of (A,C) groups summed into (A,E) groups.
+    assert_eq!(
+        rws[0].query.to_string(),
+        "SELECT V1.A, R2.E, SUM(V1.N) FROM R2, V1 WHERE V1.C = R2.F GROUP BY V1.A, R2.E"
+    );
+}
+
+#[test]
+fn example_4_2_lost_multiplicities() {
+    let cat = r1_r2_catalog();
+    let db = r1_r2_db(42, 80);
+    let q = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A").unwrap();
+
+    // V1 (no COUNT column) is NOT usable — multiplicities are lost.
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    assert!(rewriter.rewrite(&q, &[v1]).unwrap().is_empty());
+
+    // V2 (SUM and COUNT) is usable; validate both strategies.
+    let v2 = ViewDef::new(
+        "V2",
+        parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    // Strategy B (weighted).
+    let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v2), &db);
+    assert_eq!(rws.len(), 1);
+    assert!(rws[0].aux_views.is_empty());
+
+    // Strategy A (the paper's V^a, with the prune-φ(V) correction).
+    let paper = Rewriter::with_options(
+        &cat,
+        RewriteOptions {
+            strategy: Strategy::PaperFaithful,
+            ..RewriteOptions::default()
+        },
+    );
+    let rws = rewrite_and_verify(&paper, &q, std::slice::from_ref(&v2), &db);
+    assert_eq!(rws.len(), 1);
+    assert!(rws[0].used_paper_va);
+    assert_eq!(rws[0].aux_views.len(), 1);
+    assert_eq!(
+        rws[0].aux_views[0].query.to_string(),
+        "SELECT V2.A AS A, SUM(V2.N) AS cnt_va FROM V2 GROUP BY V2.A"
+    );
+}
+
+#[test]
+fn example_4_3_rewritten_query_of_4_1_shape() {
+    // Example 4.3 re-checks Example 4.1's conditions; here we validate the
+    // same pair on several seeds for robustness.
+    let cat = r1_r2_catalog();
+    let q = parse_query(
+        "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
+    )
+    .unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, C, COUNT(D) AS N FROM R1 WHERE B = D GROUP BY A, C").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    for seed in 0..5 {
+        let db = r1_r2_db(seed, 50);
+        let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v1), &db);
+        assert_eq!(rws.len(), 1);
+    }
+}
+
+#[test]
+fn example_4_4_constraining_aggregated_columns() {
+    // The WHERE clause constrains B, which the view aggregates away: the
+    // view must be rejected (condition C3').
+    let cat = r1_r2_catalog();
+    let q = parse_query(
+        "SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E",
+    )
+    .unwrap();
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT A, E, F, SUM(B) AS S FROM R1, R2 GROUP BY A, E, F").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    assert!(rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+
+    // Sanity: the rejection is semantically forced — on some instance the
+    // naive substitution would give a wrong answer. Check that the paper's
+    // "without the WHERE clause" variant IS usable and correct.
+    let q2 = parse_query("SELECT A, E, SUM(B) FROM R1, R2 GROUP BY A, E").unwrap();
+    let db = r1_r2_db(44, 60);
+    let rws = rewrite_and_verify(&rewriter, &q2, &[v], &db);
+    assert_eq!(rws.len(), 1);
+}
+
+#[test]
+fn example_4_5_aggregation_view_conjunctive_query() {
+    // Section 4.5: V1 groups and counts; the conjunctive query needs raw
+    // multiplicities — no rewriting exists.
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    let q = parse_query("SELECT A, B FROM R1").unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    assert!(rewriter.rewrite(&q, &[v1]).unwrap().is_empty());
+}
+
+#[test]
+fn example_5_1_keys_enable_many_to_one() {
+    // Section 5 / Example 5.1, validated on data with key A.
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"]).with_key(["A"]))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B", "C"]);
+    for a in 0..40 {
+        r1.push(vec![
+            Value::Int(a),
+            Value::Int(rng.random_range(0..4)),
+            Value::Int(rng.random_range(0..4)),
+        ]);
+    }
+    db.insert("R1", r1);
+
+    let q = parse_query("SELECT A FROM R1 WHERE B = C").unwrap();
+    let v1 = ViewDef::new(
+        "V1",
+        parse_query("SELECT u.A AS A1, w.A AS A2 FROM R1 u, R1 w WHERE u.B = w.C").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, &[v1], &db);
+    let set_rw = rws.iter().find(|r| r.set_semantics).expect("Example 5.1 rewriting");
+    assert_eq!(
+        set_rw.query.to_string(),
+        "SELECT V1.A1 FROM V1 WHERE V1.A1 = V1.A2"
+    );
+
+    // Without key information, Q' is not a valid rewriting and the view is
+    // not usable at all (the paper's closing observation).
+    let mut keyless = Catalog::new();
+    keyless
+        .add_table(TableSchema::new("R1", ["A", "B", "C"]))
+        .unwrap();
+    let rewriter2 = Rewriter::new(&keyless);
+    let v1b = ViewDef::new(
+        "V1",
+        parse_query("SELECT u.A AS A1, w.A AS A2 FROM R1 u, R1 w WHERE u.B = w.C").unwrap(),
+    );
+    assert!(rewriter2.rewrite(&q, &[v1b]).unwrap().is_empty());
+}
+
+#[test]
+fn section_3_3_having_move_around_enables_usability() {
+    // Query with HAVING A > 5 (a grouping-column predicate): after
+    // normalization it strengthens Conds(Q), letting a view that filters
+    // A > 5 match. Without move-around the view's condition would not be
+    // implied.
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R", ["A", "B"])).unwrap();
+    let mut db = Database::new();
+    let mut r = Relation::empty(["A", "B"]);
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..80 {
+        r.push(vec![
+            Value::Int(rng.random_range(0..12)),
+            Value::Int(rng.random_range(0..9)),
+        ]);
+    }
+    db.insert("R", r);
+
+    let q = parse_query("SELECT A, SUM(B) FROM R GROUP BY A HAVING A > 5 AND SUM(B) < 100")
+        .unwrap();
+    let v = ViewDef::new("V", parse_query("SELECT A, B FROM R WHERE A > 5").unwrap());
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, &[v], &db);
+    assert_eq!(rws.len(), 1);
+    assert!(rws[0].query.to_string().contains("FROM V"));
+}
+
+#[test]
+fn section_3_3_min_max_move_around() {
+    // MAX(B) > 4 as the sole aggregate moves to WHERE B > 4.
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R", ["A", "B"])).unwrap();
+    let mut db = Database::new();
+    let mut r = Relation::empty(["A", "B"]);
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..80 {
+        r.push(vec![
+            Value::Int(rng.random_range(0..6)),
+            Value::Int(rng.random_range(0..9)),
+        ]);
+    }
+    db.insert("R", r);
+
+    let q = parse_query("SELECT A, MAX(B) FROM R GROUP BY A HAVING MAX(B) > 4").unwrap();
+    let v = ViewDef::new("V", parse_query("SELECT A, B FROM R WHERE B > 4").unwrap());
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, &[v], &db);
+    assert_eq!(rws.len(), 1);
+}
+
+#[test]
+fn unsound_naive_substitution_counterexample() {
+    // Regression guard for the S5' over-counting analysis in DESIGN.md:
+    // on this instance, keeping φ(V) in the FROM clause alongside V^a and
+    // multiplying (the paper's literal printed rewriting for Example 4.2)
+    // over-counts by the number of B-subgroups. Our two strategies must
+    // both produce the correct answer.
+    let cat = r1_r2_catalog();
+    let mut db = Database::new();
+    // R1: one A value with TWO B-subgroups, each of size 2.
+    let r1 = Relation::new(
+        ["A", "B", "C", "D"],
+        vec![
+            vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(0)],
+            vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(0)],
+            vec![Value::Int(1), Value::Int(2), Value::Int(0), Value::Int(0)],
+            vec![Value::Int(1), Value::Int(2), Value::Int(0), Value::Int(0)],
+        ],
+    );
+    let r2 = Relation::new(["E", "F"], vec![vec![Value::Int(10), Value::Int(0)]]);
+    db.insert("R1", r1);
+    db.insert("R2", r2);
+
+    let q = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A").unwrap();
+    // Correct answer: SUM(E) = 4 rows × 10 = 40.
+    let expected = execute(&q, &db).unwrap();
+    assert_eq!(
+        expected.rows,
+        vec![vec![Value::Int(1), Value::Int(40)]]
+    );
+
+    let v2 = ViewDef::new(
+        "V2",
+        parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    for strategy in [Strategy::Weighted, Strategy::PaperFaithful] {
+        let rewriter = Rewriter::with_options(
+            &cat,
+            RewriteOptions {
+                strategy,
+                ..RewriteOptions::default()
+            },
+        );
+        let rws = rewriter.rewrite(&q, std::slice::from_ref(&v2)).unwrap();
+        assert_eq!(rws.len(), 1);
+        let mut scratch = db.clone();
+        materialize_views(&mut scratch, std::slice::from_ref(&v2)).unwrap();
+        let got = execute_rewriting(&rws[0], &scratch).unwrap();
+        assert!(
+            multiset_eq(&expected, &got),
+            "strategy {strategy:?} produced {got} instead of {expected}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based soundness: **every rewriting the engine produces is
+//! multiset-equivalent to the original query** (Theorems 3.1 and 4.1),
+//! checked on random queries, random views, and random databases.
+//!
+//! Two flavours of view generation:
+//! * fully random views (`random_query` reused as a view body) — most are
+//!   unusable; any that *is* used must still be equivalent;
+//! * embedded views (carved out of the query) — usable by construction,
+//!   so these cases also exercise the rewriting steps heavily and feed the
+//!   completeness check (`embedded_conjunctive_views_always_rewrite`).
+
+use aggview::engine::datagen::random_database;
+use aggview::gen::{embedded_view, experiment_catalog, random_query, GenConfig};
+use aggview::rewrite::{RewriteOptions, Rewriter, Strategy, ViewDef};
+use aggview::run::rewrite_and_verify;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run one soundness case: generate a query and views from `seed`, rewrite,
+/// and verify every rewriting on three random databases.
+fn soundness_case(seed: u64, cfg: &GenConfig, strategy: Strategy, embedded: bool) -> usize {
+    let catalog = experiment_catalog();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query = random_query(&mut rng, &catalog, cfg);
+
+    let mut views: Vec<ViewDef> = Vec::new();
+    if embedded {
+        for (i, aggregated) in [(0usize, false), (1usize, true)] {
+            if let Some(v) =
+                embedded_view(&mut rng, &query, &catalog, &format!("EV{i}"), aggregated)
+            {
+                views.push(v);
+            }
+        }
+    } else {
+        for i in 0..2 {
+            let body = random_query(&mut rng, &catalog, cfg);
+            views.push(ViewDef::new(format!("RV{i}"), body));
+        }
+    }
+
+    let rewriter = Rewriter::with_options(
+        &catalog,
+        RewriteOptions {
+            strategy,
+            max_rewritings: 16,
+            ..RewriteOptions::default()
+        },
+    );
+    let mut found = 0;
+    for db_seed in 0..3u64 {
+        let db = random_database(&catalog, 25, 4, seed.wrapping_mul(31).wrapping_add(db_seed));
+        // rewrite_and_verify panics on any inequivalent rewriting.
+        let rws = rewrite_and_verify(&rewriter, &query, &views, &db);
+        found = rws.len();
+    }
+    found
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random views, weighted strategy: no unsound rewriting survives.
+    #[test]
+    fn random_views_weighted_sound(seed in any::<u64>()) {
+        soundness_case(seed, &GenConfig::default(), Strategy::Weighted, false);
+    }
+
+    /// Random views, paper-faithful strategy (V^a where applicable).
+    #[test]
+    fn random_views_paper_va_sound(seed in any::<u64>()) {
+        soundness_case(seed, &GenConfig::default(), Strategy::PaperFaithful, false);
+    }
+
+    /// Embedded views, weighted strategy — heavy rewriting coverage.
+    #[test]
+    fn embedded_views_weighted_sound(seed in any::<u64>()) {
+        soundness_case(seed, &GenConfig::default(), Strategy::Weighted, true);
+    }
+
+    /// Embedded views, paper-faithful strategy.
+    #[test]
+    fn embedded_views_paper_va_sound(seed in any::<u64>()) {
+        soundness_case(seed, &GenConfig::default(), Strategy::PaperFaithful, true);
+    }
+
+    /// Equality-only fragment (the completeness theorems' setting).
+    #[test]
+    fn equality_only_sound(seed in any::<u64>()) {
+        let cfg = GenConfig { inequalities: false, ..GenConfig::default() };
+        soundness_case(seed, &cfg, Strategy::Weighted, true);
+    }
+
+    /// An embedded *conjunctive* view over a conjunctive or aggregation
+    /// query is usable by construction (it keeps every column and exactly
+    /// the local conditions) — the rewriter must find a rewriting that
+    /// uses it. One-sided completeness check.
+    #[test]
+    fn embedded_conjunctive_views_always_rewrite(seed in any::<u64>()) {
+        let catalog = experiment_catalog();
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let query = random_query(&mut rng, &catalog, &cfg);
+        let Some(view) = embedded_view(&mut rng, &query, &catalog, "EV", false) else {
+            return Ok(());
+        };
+        let rewriter = Rewriter::new(&catalog);
+        let rws = rewriter.rewrite(&query, std::slice::from_ref(&view)).unwrap();
+        prop_assert!(
+            !rws.is_empty(),
+            "embedded conjunctive view must be usable\n  query: {}\n  view: {}",
+            query,
+            view.query
+        );
+    }
+}
+
+/// A deterministic sweep that reports how often rewritings exist — the
+/// suite must actually exercise the rewriting paths, not just reject
+/// everything. (A regression that rejects every view would silently pass
+/// the soundness properties.)
+#[test]
+fn generator_produces_usable_views_often() {
+    let catalog = experiment_catalog();
+    let cfg = GenConfig::default();
+    let rewriter = Rewriter::new(&catalog);
+    let mut usable = 0;
+    let total = 100;
+    for seed in 0..total {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let query = random_query(&mut rng, &catalog, &cfg);
+        let mut views = Vec::new();
+        if let Some(v) = embedded_view(&mut rng, &query, &catalog, "EV0", false) {
+            views.push(v);
+        }
+        if let Some(v) = embedded_view(&mut rng, &query, &catalog, "EV1", true) {
+            views.push(v);
+        }
+        if !rewriter.rewrite(&query, &views).unwrap().is_empty() {
+            usable += 1;
+        }
+    }
+    assert!(
+        usable >= total / 2,
+        "only {usable}/{total} cases produced a rewriting — generator or rewriter regressed"
+    );
+}
