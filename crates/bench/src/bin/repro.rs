@@ -4,19 +4,60 @@
 //!   repro                 # all experiments, quick settings
 //!   repro --full          # all experiments, full scale (use --release!)
 //!   repro t1 f1 ...       # selected experiments only
+//!   repro --json f3 f4    # also write BENCH_1.json (seq-vs-par F3/F4 sweep)
 
 use aggview_bench::experiments as exp;
+use aggview_bench::experiments::SearchPoint;
 use aggview_bench::report::Table;
+
+/// Hand-rolled JSON for the F3/F4 search points (no serde in this tree).
+fn points_json(points: &[SearchPoint], axis: &str) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"{axis}\": {}, \"rewritings\": {}, \"seq_us\": {:.1}, \"par_us\": {:.1}, \
+                 \"speedup\": {:.3}, \"prefiltered\": {}, \"attempted\": {}, \
+                 \"mappings\": {}, \"closure_hit_rate\": {:.3}, \"threads\": {}}}",
+                p.x,
+                p.rewritings,
+                p.seq_us,
+                p.par_us,
+                p.speedup(),
+                p.prefiltered,
+                p.attempted,
+                p.mappings,
+                p.closure_hit_rate,
+                p.threads,
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if json {
+        let f3 = exp::f3_points();
+        let f4 = exp::f4_points();
+        let doc = format!(
+            "{{\n  \"f3_many_views\": {},\n  \"f4_query_size\": {}\n}}\n",
+            points_json(&f3, "views"),
+            points_json(&f4, "tables"),
+        );
+        let path = "BENCH_1.json";
+        std::fs::write(path, &doc).expect("write BENCH_1.json");
+        println!("wrote {path}");
+    }
 
     let trials: u64 = if full { 400 } else { 100 };
     let mut tables: Vec<Table> = Vec::new();

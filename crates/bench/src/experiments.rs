@@ -878,70 +878,172 @@ pub fn f2_compression(full: bool) -> Table {
     table
 }
 
-/// F3 — rewrite-search time vs. number of candidate views.
-pub fn f3_many_views() -> Table {
-    let catalog = telephony_catalog();
-    let rewriter = Rewriter::new(&catalog);
-    let q = telephony_query();
-    let mut table = Table::new(
-        "F3 — rewrite-search time vs. candidate view count",
-        &["views", "rewritings", "time us"],
+/// One measured point of the F3/F4 search-scaling sweeps: sequential vs.
+/// parallel timing plus the [`aggview_core::RewriteStats`] counters of the
+/// indexed search.
+#[derive(Debug, Clone)]
+pub struct SearchPoint {
+    /// The swept axis value (candidate views for F3, chain length for F4).
+    pub x: usize,
+    /// Rewritings produced (identical on both paths by construction).
+    pub rewritings: usize,
+    /// Best-of-k wall time, sequential (`threads = 1`), microseconds.
+    pub seq_us: f64,
+    /// Best-of-k wall time, parallel (default thread count), microseconds.
+    pub par_us: f64,
+    /// Candidate `(state, view)` pairs rejected by the signature prefilter.
+    pub prefiltered: usize,
+    /// Candidate pairs that reached mapping enumeration.
+    pub attempted: usize,
+    /// Column mappings enumerated.
+    pub mappings: usize,
+    /// Closure-cache hit rate over the measured (warm) run.
+    pub closure_hit_rate: f64,
+    /// Worker threads the parallel path used.
+    pub threads: usize,
+}
+
+impl SearchPoint {
+    /// Parallel speedup over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.seq_us / self.par_us.max(1e-9)
+    }
+}
+
+/// Measure one (query, view pool) search point: best-of-`runs` wall times
+/// for the sequential baseline (the seed configuration: one thread, no
+/// signature prefilter, no closure cache) and the optimized path
+/// (parallel + indexed + cached), plus the stats of a final instrumented
+/// run. Note the container the repro runs in may expose a single core, in
+/// which case the parallel path degenerates to sequential and the whole
+/// speedup comes from the prefilter and the closure cache.
+fn measure_search_point(
+    catalog: &Catalog,
+    base: &RewriteOptions,
+    q: &aggview_sql::ast::Query,
+    pool: &[ViewDef],
+    x: usize,
+    runs: usize,
+) -> SearchPoint {
+    use std::num::NonZeroUsize;
+    let seq_rewriter = Rewriter::with_options(
+        catalog,
+        RewriteOptions {
+            threads: Some(NonZeroUsize::new(1).expect("nonzero")),
+            prefilter: false,
+            closure_cache: false,
+            ..base.clone()
+        },
     );
-    for n in [1usize, 2, 4, 8, 16, 32, 64] {
-        let pool = telephony_view_pool(n);
-        // Warm up then measure the best of 5 runs.
-        let mut best = f64::INFINITY;
-        let mut n_rws = 0;
-        for _ in 0..5 {
-            let t = Instant::now();
-            let rws = rewriter.rewrite(&q, &pool).expect("rewrite runs");
-            best = best.min(t.elapsed().as_secs_f64());
-            n_rws = rws.len();
-        }
+    let par_rewriter = Rewriter::with_options(catalog, base.clone());
+    let mut seq_us = f64::INFINITY;
+    let mut par_us = f64::INFINITY;
+    let mut n_rws = 0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let rws = seq_rewriter.rewrite(q, pool).expect("rewrite runs");
+        seq_us = seq_us.min(t.elapsed().as_secs_f64() * 1e6);
+        n_rws = rws.len();
+        let t = Instant::now();
+        par_rewriter.rewrite(q, pool).expect("rewrite runs");
+        par_us = par_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let (rws, stats) = par_rewriter.rewrite_with_stats(q, pool).expect("rewrite runs");
+    assert_eq!(rws.len(), n_rws, "sequential and parallel counts must agree");
+    SearchPoint {
+        x,
+        rewritings: n_rws,
+        seq_us,
+        par_us,
+        prefiltered: stats.candidates_prefiltered,
+        attempted: stats.candidates_attempted,
+        mappings: stats.mappings_enumerated,
+        closure_hit_rate: stats.closure_hit_rate(),
+        threads: stats.threads,
+    }
+}
+
+fn search_table(title: &str, axis: &str, points: &[SearchPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            axis,
+            "rewritings",
+            "seq us",
+            "par us",
+            "speedup",
+            "prefiltered",
+            "attempted",
+            "cache hit %",
+        ],
+    );
+    for p in points {
         table.push(vec![
-            n.to_string(),
-            n_rws.to_string(),
-            format!("{:.0}", best * 1e6),
+            p.x.to_string(),
+            p.rewritings.to_string(),
+            format!("{:.0}", p.seq_us),
+            format!("{:.0}", p.par_us),
+            format!("{:.2}x", p.speedup()),
+            p.prefiltered.to_string(),
+            p.attempted.to_string(),
+            format!("{:.0}", p.closure_hit_rate * 100.0),
         ]);
     }
     table
 }
 
-/// F4 — rewrite-search time vs. query size (self-join chain; the C1
-/// mapping space grows combinatorially).
-pub fn f4_query_size() -> Table {
+/// F3 data — rewrite-search scaling on the view-pool-size axis.
+pub fn f3_points() -> Vec<SearchPoint> {
+    let catalog = telephony_catalog();
+    let q = telephony_query();
+    let base = RewriteOptions::default();
+    [1usize, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&n| measure_search_point(&catalog, &base, &q, &telephony_view_pool(n), n, 5))
+        .collect()
+}
+
+/// F3 — rewrite-search time vs. number of candidate views, sequential vs.
+/// parallel, with prefilter / closure-cache counters.
+pub fn f3_many_views() -> Table {
+    search_table(
+        "F3 — rewrite-search time vs. candidate view count",
+        "views",
+        &f3_points(),
+    )
+}
+
+/// F4 data — rewrite-search scaling on the query-size axis.
+pub fn f4_points() -> Vec<SearchPoint> {
     let catalog = chain_catalog();
-    let rewriter = Rewriter::with_options(
-        &catalog,
-        RewriteOptions {
-            max_rewritings: 256,
-            ..RewriteOptions::default()
-        },
-    );
+    let base = RewriteOptions {
+        max_rewritings: 256,
+        ..RewriteOptions::default()
+    };
     let view = chain_view();
-    let mut table = Table::new(
+    [2usize, 3, 4, 5, 6, 7, 8]
+        .iter()
+        .map(|&n| {
+            measure_search_point(
+                &catalog,
+                &base,
+                &chain_query(n),
+                std::slice::from_ref(&view),
+                n,
+                3,
+            )
+        })
+        .collect()
+}
+
+/// F4 — rewrite-search time vs. query size (self-join chain; the C1
+/// mapping space grows combinatorially), sequential vs. parallel.
+pub fn f4_query_size() -> Table {
+    search_table(
         "F4 — rewrite-search time vs. query size (n self-joined tables)",
-        &["tables", "rewritings", "time us"],
-    );
-    for n in [2usize, 3, 4, 5, 6, 7, 8] {
-        let q = chain_query(n);
-        let mut best = f64::INFINITY;
-        let mut n_rws = 0;
-        for _ in 0..3 {
-            let t = Instant::now();
-            let rws = rewriter
-                .rewrite(&q, std::slice::from_ref(&view))
-                .expect("rewrite runs");
-            best = best.min(t.elapsed().as_secs_f64());
-            n_rws = rws.len();
-        }
-        table.push(vec![
-            n.to_string(),
-            n_rws.to_string(),
-            format!("{:.0}", best * 1e6),
-        ]);
-    }
-    table
+        "tables",
+        &f4_points(),
+    )
 }
 
 /// F6 — incremental view maintenance vs. recomputation (the Section 1

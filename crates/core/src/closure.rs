@@ -24,7 +24,10 @@
 use crate::canon::{Atom, ColId, Term};
 use aggview_sql::ast::{CmpOp, Literal};
 use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Compare two constants with SQL semantics (numeric coercion across
 /// int/double; strings and bools within their type). `None` means the
@@ -480,6 +483,121 @@ fn eval_const_atom(a: &Literal, op: CmpOp, b: &Literal) -> Option<bool> {
     })
 }
 
+/// Cumulative hit/miss counters of a [`ClosureCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClosureCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run [`PredClosure::build`].
+    pub misses: u64,
+}
+
+impl ClosureCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memo table for [`PredClosure::build`], keyed by the full
+/// `(atoms, universe)` pair.
+///
+/// Lookups hash the pair once (with [`DefaultHasher`], whose seed is fixed,
+/// so keys are stable within a process) and confirm candidates by full
+/// structural equality — a 64-bit collision can therefore never return the
+/// wrong closure. Eviction is deliberately *not* an LRU: when the map
+/// reaches its cap it is cleared wholesale. Closures are cheap to rebuild
+/// relative to maintaining recency chains on every lookup, the working set
+/// of a single rewrite search is far below the cap, and the cap exists only
+/// to bound memory in long-lived sessions, not to maximize the hit rate.
+pub struct ClosureCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+/// The full structural cache key: the (conds, universe) pair.
+type CacheKey = (Vec<Atom>, Vec<Term>);
+
+struct CacheInner {
+    map: HashMap<u64, Vec<(CacheKey, Arc<PredClosure>)>>,
+    len: usize,
+    stats: ClosureCacheStats,
+}
+
+impl Default for ClosureCache {
+    fn default() -> Self {
+        // 512 distinct predicate structures comfortably covers the deepest
+        // multi-view searches the benchmarks produce (tens of states).
+        ClosureCache::with_capacity(512)
+    }
+}
+
+impl ClosureCache {
+    /// A cache that holds at most `capacity` closures.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClosureCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                len: 0,
+                stats: ClosureCacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn key_hash(atoms: &[Atom], universe: &[Term]) -> u64 {
+        let mut h = DefaultHasher::new();
+        atoms.hash(&mut h);
+        universe.hash(&mut h);
+        h.finish()
+    }
+
+    /// The closure of `atoms` over `universe`, built on first request and
+    /// shared thereafter.
+    pub fn get_or_build(&self, atoms: &[Atom], universe: &[Term]) -> Arc<PredClosure> {
+        let h = Self::key_hash(atoms, universe);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(bucket) = inner.map.get(&h) {
+                if let Some((_, closure)) = bucket
+                    .iter()
+                    .find(|((a, u), _)| a == atoms && u == universe)
+                {
+                    let closure = Arc::clone(closure);
+                    inner.stats.hits += 1;
+                    return closure;
+                }
+            }
+            inner.stats.misses += 1;
+        }
+        // Build outside the lock so concurrent misses don't serialize; a
+        // racing duplicate build is harmless (last insert wins).
+        let closure = Arc::new(PredClosure::build(atoms, universe));
+        let mut inner = self.inner.lock().unwrap();
+        if inner.len >= self.capacity {
+            inner.map.clear();
+            inner.len = 0;
+        }
+        inner
+            .map
+            .entry(h)
+            .or_default()
+            .push(((atoms.to_vec(), universe.to_vec()), Arc::clone(&closure)));
+        inner.len += 1;
+        closure
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> ClosureCacheStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
 /// Are two conjunctions (over a shared implicit universe) equivalent?
 pub fn equivalent(a: &[Atom], b: &[Atom]) -> bool {
     let mut universe: Vec<Term> = Vec::new();
@@ -803,6 +921,47 @@ mod tests {
             CmpOp::Lt,
             Term::Const(Literal::Int(99))
         )));
+    }
+
+    #[test]
+    fn cache_hits_on_identical_key_and_caps_size() {
+        let atoms = vec![atom(col(0), CmpOp::Eq, col(1))];
+        let universe = vec![col(0), col(1), col(2)];
+        let cache = ClosureCache::with_capacity(4);
+        let a = cache.get_or_build(&atoms, &universe);
+        let b = cache.get_or_build(&atoms, &universe);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), ClosureCacheStats { hits: 1, misses: 1 });
+        // Different universe → different entry.
+        let c = cache.get_or_build(&atoms, &[col(0), col(1)]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Overflowing the cap evicts (wholesale) but stays correct.
+        for i in 0..10 {
+            let extra = vec![atom(col(i), CmpOp::Le, k(i as i64))];
+            let cl = cache.get_or_build(&extra, &[]);
+            assert!(cl.implies_atom(&atom(col(i), CmpOp::Le, k(i as i64))));
+        }
+        let refreshed = cache.get_or_build(&atoms, &universe);
+        assert!(refreshed.implies_atom(&atom(col(0), CmpOp::Eq, col(1))));
+    }
+
+    #[test]
+    fn cached_closure_equals_direct_build() {
+        let atoms = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Lt, k(5)),
+        ];
+        let universe = vec![col(0), col(1), col(2)];
+        let cache = ClosureCache::default();
+        let cached = cache.get_or_build(&atoms, &universe);
+        let direct = PredClosure::build(&atoms, &universe);
+        for a in [
+            atom(col(0), CmpOp::Lt, k(5)),
+            atom(col(0), CmpOp::Eq, col(2)),
+            atom(col(2), CmpOp::Ge, col(0)),
+        ] {
+            assert_eq!(cached.implies_atom(&a), direct.implies_atom(&a));
+        }
     }
 
     #[test]

@@ -38,9 +38,11 @@ pub mod simplify;
 
 pub use advisor::{suggest_views, ViewSuggestion};
 pub use canon::{AggExpr, AggSpec, Atom, CanonError, Canonical, ColId, GAtom, GTerm, SelItem, Term};
-pub use closure::PredClosure;
+pub use closure::{ClosureCache, ClosureCacheStats, PredClosure};
 pub use cost::{estimate_cost, TableStats};
 pub use explain::{CandidateMode, CandidateReport, WhyNot};
-pub use mapping::Mapping;
-pub use rewrite::{RewriteError, RewriteOptions, Rewriter, Rewriting, Strategy, ViewDef};
+pub use mapping::{Mapping, TableSignature};
+pub use rewrite::{
+    RewriteError, RewriteOptions, RewriteStats, Rewriter, Rewriting, Strategy, ViewDef,
+};
 pub use simplify::{simplify_conditions, Simplification};

@@ -15,6 +15,51 @@
 
 use crate::canon::{Atom, Canonical, ColId, Term};
 use crate::closure::PredClosure;
+use std::collections::BTreeMap;
+
+/// Per-relation occurrence counts of a query or view `FROM` list — the
+/// cheap necessary condition for condition C1 used by the rewriter's
+/// candidate prefilter.
+///
+/// [`enumerate_mappings`] builds, for every view occurrence, the list of
+/// query occurrences over the same `(base, arity)` pair; the search finds
+/// nothing when any list is empty, and under C1 (1-1) it additionally finds
+/// nothing when a relation has more view occurrences than query occurrences
+/// (pigeonhole). Both facts depend only on these counts, so comparing
+/// signatures rejects exactly the `(query, view)` pairs whose enumeration
+/// would return no mapping for structural reasons — the prefilter can never
+/// lose a rewriting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableSignature {
+    counts: BTreeMap<(String, usize), usize>,
+}
+
+impl TableSignature {
+    /// The signature of a canonical query's `FROM` list.
+    pub fn of(c: &Canonical) -> Self {
+        let mut counts = BTreeMap::new();
+        for t in &c.tables {
+            *counts.entry((t.base.clone(), t.arity)).or_insert(0) += 1;
+        }
+        TableSignature { counts }
+    }
+
+    /// Could a 1-1 (condition C1) mapping from a view with signature
+    /// `view` into this query exist? Requires every view relation to occur
+    /// in the query at least as many times.
+    pub fn admits_one_to_one(&self, view: &TableSignature) -> bool {
+        view.counts
+            .iter()
+            .all(|(k, &n)| self.counts.get(k).is_some_and(|&m| m >= n))
+    }
+
+    /// Could a many-to-1 (Section 5) mapping from a view with signature
+    /// `view` into this query exist? Requires every view relation to occur
+    /// in the query at least once.
+    pub fn admits_many_to_one(&self, view: &TableSignature) -> bool {
+        view.counts.keys().all(|k| self.counts.contains_key(k))
+    }
+}
 
 /// A column mapping φ, represented by its occurrence assignment.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -295,6 +340,31 @@ mod tests {
         let ms = enumerate_mappings(&v, &q, true, None);
         let image = ms[0].image_cols(&q);
         assert_eq!(image, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn signature_agrees_with_enumeration_emptiness() {
+        // For every (query, view) pair here, the signature verdict must
+        // match "enumerate_mappings found something" whenever enumeration
+        // runs without semantic pruning.
+        let shapes = [
+            "SELECT A FROM R1",
+            "SELECT A FROM R1, R2",
+            "SELECT x.A FROM R1 x, R1 y",
+            "SELECT x.A FROM R1 x, R1 y, R2",
+            "SELECT C FROM R2",
+        ];
+        for qs in &shapes {
+            for vs in &shapes {
+                let q = canon(qs);
+                let v = canon(vs);
+                let (sq, sv) = (TableSignature::of(&q), TableSignature::of(&v));
+                let one = !enumerate_mappings(&v, &q, true, None).is_empty();
+                let many = !enumerate_mappings(&v, &q, false, None).is_empty();
+                assert_eq!(sq.admits_one_to_one(&sv), one, "1-1 {vs} into {qs}");
+                assert_eq!(sq.admits_many_to_one(&sv), many, "m-1 {vs} into {qs}");
+            }
+        }
     }
 
     #[test]

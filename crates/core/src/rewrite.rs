@@ -17,21 +17,61 @@
 //! * aggregation view + conjunctive query → rejected (Section 4.5),
 //! * conjunctive view + conjunctive query, both provably sets → Section 5
 //!   many-to-1 mappings ([`crate::set_mode`]) in addition to the 1-1 ones.
+//!
+//! # Search architecture
+//!
+//! The BFS over states runs **level-synchronously**: all `(state, view)`
+//! candidate evaluations of one depth level are independent (each reads
+//! only its own state plus the immutable prepared views), so they are
+//! fanned out across [`std::thread::scope`] workers — see
+//! [`RewriteOptions::threads`]. Results are then reduced **in task order**
+//! (state-major, view-major, mapping enumeration order), which is exactly
+//! the order the sequential loop produces; the `seen` application-set
+//! dedup, the output ordering, and the `max_rewritings` cut-off are applied
+//! during that reduction, so the produced `Vec<Rewriting>` is byte-for-byte
+//! identical for any thread count. Theorem 3.2's Church-Rosser property is
+//! what makes the parallel exploration *complete* regardless of evaluation
+//! order: states are identified by their application set, so every
+//! interleaving of view applications converges to the same state set.
+//!
+//! Three per-level optimizations keep candidate evaluation cheap:
+//! * a **prefilter index** ([`TableSignature`]) rejects `(state, view)`
+//!   pairs whose per-relation occurrence counts already rule out any
+//!   column mapping (a necessary condition for C1), before
+//!   [`enumerate_mappings`] runs;
+//! * **per-pair closure universes**: the closure a `(state, view)` task
+//!   reasons over spans the state's columns and constants plus *that*
+//!   view's constants only. Pooling every candidate view's constants into
+//!   one shared universe (the obvious alternative) makes each closure
+//!   `O(pool size)` wide and the whole level superlinear in the number of
+//!   candidate views, yet enables no extra derivations: every implication
+//!   checked for the pair only mentions the pair's own terms, and
+//!   constant-to-constant order facts are derived directly from values;
+//! * a **closure cache** ([`crate::ClosureCache`]) memoizes
+//!   [`PredClosure::build`] keyed by `(conds, universe)`, shared across
+//!   states, levels, and repeated `rewrite` calls on one [`Rewriter`].
+//!
+//! [`Rewriter::rewrite_with_stats`] reports counters and per-phase wall
+//! times for all of the above as [`RewriteStats`].
 
 use crate::aggregate::{rewrite_aggregate, VaMode};
-use crate::canon::{CanonError, Canonical, Term};
-use crate::closure::PredClosure;
+use crate::canon::{Atom, CanonError, Canonical, Term};
+use crate::closure::{ClosureCache, PredClosure};
 use crate::conjunctive::{is_conjunctive, is_conjunctive_core, rewrite_conjunctive};
 use crate::cost::{estimate_cost, TableStats};
 use crate::expand::rewrite_expand;
 use crate::explain::{CandidateMode, CandidateReport, WhyNot};
 use crate::having::normalize_having;
-use crate::mapping::{enumerate_mappings, Mapping};
+use crate::mapping::{enumerate_mappings, Mapping, TableSignature};
 use crate::set_mode::{result_is_set, rewrite_set_mode};
 use aggview_catalog::{Catalog, SchemaSource};
 use aggview_sql::ast::Query;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A materialized view: a name and its defining query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +132,20 @@ pub struct RewriteOptions {
     /// [`Rewriting::requires_nat`] and need the `Nat` relation at
     /// execution time (`aggview::run::ensure_nat`).
     pub enable_expand: bool,
+    /// Worker threads for frontier-level candidate evaluation. `None`
+    /// (the default) uses [`std::thread::available_parallelism`];
+    /// `Some(1)` runs fully sequentially. The produced rewritings are
+    /// identical for every value (see the module docs).
+    pub threads: Option<NonZeroUsize>,
+    /// Consult the [`TableSignature`] index before enumerating mappings.
+    /// On by default; turning it off is an ablation switch for tests and
+    /// benchmarks — it never changes the produced rewritings.
+    pub prefilter: bool,
+    /// Memoize [`PredClosure`] builds in the rewriter's [`ClosureCache`].
+    /// On by default; turning it off is an ablation switch that rebuilds
+    /// every closure from scratch (the seed behaviour) — it never changes
+    /// the produced rewritings.
+    pub closure_cache: bool,
 }
 
 impl Default for RewriteOptions {
@@ -104,7 +158,78 @@ impl Default for RewriteOptions {
             max_depth: 8,
             normalize_having: true,
             enable_expand: false,
+            threads: None,
+            prefilter: true,
+            closure_cache: true,
         }
+    }
+}
+
+/// Counters and timings from one [`Rewriter::rewrite_with_stats`] call.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteStats {
+    /// States popped from the frontier and expanded.
+    pub states_expanded: usize,
+    /// `(state, view)` pairs rejected by the signature prefilter (or by
+    /// mode routing) before mapping enumeration.
+    pub candidates_prefiltered: usize,
+    /// `(state, view)` pairs that reached mapping enumeration.
+    pub candidates_attempted: usize,
+    /// Total column mappings enumerated across all attempted pairs.
+    pub mappings_enumerated: usize,
+    /// Rewritings produced.
+    pub rewritings: usize,
+    /// Closure-cache hits during this call.
+    pub closure_cache_hits: u64,
+    /// Closure-cache misses during this call.
+    pub closure_cache_misses: u64,
+    /// Wall time spent canonicalizing the query and views.
+    pub prepare_time: Duration,
+    /// Wall time spent in the search itself.
+    pub search_time: Duration,
+    /// Worker threads used for candidate evaluation.
+    pub threads: usize,
+}
+
+impl RewriteStats {
+    /// Closure-cache hits as a fraction of lookups (0.0 when none).
+    pub fn closure_hit_rate(&self) -> f64 {
+        let total = self.closure_cache_hits + self.closure_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.closure_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Prefiltered pairs as a fraction of all candidate pairs (0.0 when
+    /// none).
+    pub fn prefilter_rate(&self) -> f64 {
+        let total = self.candidates_prefiltered + self.candidates_attempted;
+        if total == 0 {
+            0.0
+        } else {
+            self.candidates_prefiltered as f64 / total as f64
+        }
+    }
+
+    /// A one-line human-readable summary (used by the CLI's `:stats`).
+    pub fn summary(&self) -> String {
+        format!(
+            "states={} candidates={} (prefiltered {}, attempted {}) mappings={} \
+             rewritings={} closure-cache={:.0}% hit threads={} \
+             prepare={:.1}ms search={:.1}ms",
+            self.states_expanded,
+            self.candidates_prefiltered + self.candidates_attempted,
+            self.candidates_prefiltered,
+            self.candidates_attempted,
+            self.mappings_enumerated,
+            self.rewritings,
+            self.closure_hit_rate() * 100.0,
+            self.threads,
+            self.prepare_time.as_secs_f64() * 1e3,
+            self.search_time.as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -195,6 +320,9 @@ impl std::error::Error for RewriteError {}
 pub struct Rewriter<'a> {
     catalog: &'a Catalog,
     options: RewriteOptions,
+    /// Memoized predicate closures, shared across states, levels, and
+    /// repeated `rewrite` calls on this rewriter.
+    closure_cache: ClosureCache,
 }
 
 struct PreparedView {
@@ -204,6 +332,27 @@ struct PreparedView {
     conjunctive: bool,
     /// Conjunctive up to DISTINCT (eligible for Section 5 set semantics).
     conjunctive_core: bool,
+    /// Non-DISTINCT aggregation view (Section 4 / footnote-3 routing).
+    aggregation_view: bool,
+    /// The view's result is provably a set (keys/FDs or DISTINCT).
+    result_set: bool,
+    /// Prefilter signature of the view's `FROM` list.
+    signature: TableSignature,
+    /// Constant terms in the view's conditions. The closure universe of a
+    /// `(state, view)` candidate is the state's columns and constants plus
+    /// *this* view's constants — constants of unrelated views would only
+    /// inflate every closure (quadratically, on pools where each view
+    /// carries its own constants) without enabling any new derivation.
+    consts: Vec<Term>,
+}
+
+/// Per-state values hoisted out of the `(state × view)` candidate loop.
+struct StateCtx {
+    signature: TableSignature,
+    is_aggregation: bool,
+    /// Set-semantics eligibility of the state (conjunctive core *and*
+    /// provably-set result); false when set mode is disabled.
+    set_eligible: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,18 +376,31 @@ struct State {
     requires_nat: bool,
 }
 
+/// What one `(state, view)` task yields: the successor states its mappings
+/// produce (in enumeration order) and how many mappings were enumerated.
+type TaskOutcome = (Vec<State>, usize);
+
 impl<'a> Rewriter<'a> {
     /// A rewriter with default options.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Rewriter {
-            catalog,
-            options: RewriteOptions::default(),
-        }
+        Self::with_options(catalog, RewriteOptions::default())
     }
 
     /// A rewriter with explicit options.
     pub fn with_options(catalog: &'a Catalog, options: RewriteOptions) -> Self {
-        Rewriter { catalog, options }
+        Rewriter {
+            catalog,
+            options,
+            closure_cache: ClosureCache::default(),
+        }
+    }
+
+    /// The number of worker threads candidate evaluation will use.
+    fn thread_count(&self) -> usize {
+        match self.options.threads {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
     }
 
     /// The active options.
@@ -274,12 +436,25 @@ impl<'a> Rewriter<'a> {
             view_schemas.insert(v.name.clone(), out_names.clone());
             let conjunctive = is_conjunctive(&canonical);
             let conjunctive_core = is_conjunctive_core(&canonical);
+            // A DISTINCT view changes multiplicities and never enters the
+            // multiset path; a non-DISTINCT, non-conjunctive view is an
+            // aggregation view (Section 4 / footnote-3 routing).
+            let aggregation_view = !conjunctive_core && !canonical.distinct;
+            let result_set = self.options.enable_set_mode
+                && conjunctive_core
+                && result_is_set(&canonical, self.catalog);
+            let signature = TableSignature::of(&canonical);
+            let consts = const_terms_of(&canonical.conds);
             prepared.push(PreparedView {
                 name: v.name.clone(),
                 canonical,
                 out_names,
                 conjunctive,
                 conjunctive_core,
+                aggregation_view,
+                result_set,
+                signature,
+                consts,
             });
         }
         let schemas = Chain {
@@ -300,14 +475,28 @@ impl<'a> Rewriter<'a> {
         query: &Query,
         views: &[ViewDef],
     ) -> Result<Vec<Rewriting>, RewriteError> {
-        let (root, prepared) = self.prepare(query, views)?;
-        let const_universe = collect_const_terms(&root, &prepared);
+        self.rewrite_with_stats(query, views).map(|(rws, _)| rws)
+    }
 
+    /// [`Rewriter::rewrite`], additionally reporting search counters and
+    /// per-phase wall times.
+    pub fn rewrite_with_stats(
+        &self,
+        query: &Query,
+        views: &[ViewDef],
+    ) -> Result<(Vec<Rewriting>, RewriteStats), RewriteError> {
+        let mut stats = RewriteStats::default();
+        let cache_before = self.closure_cache.stats();
+
+        let t_prepare = Instant::now();
+        let (root, prepared) = self.prepare(query, views)?;
+        stats.prepare_time = t_prepare.elapsed();
+
+        let t_search = Instant::now();
         let mut results: Vec<Rewriting> = Vec::new();
         let mut seen: HashSet<BTreeSet<String>> = HashSet::new();
-        let mut queue: VecDeque<State> = VecDeque::new();
-        let mut aux_counter = 0usize;
-        queue.push_back(State {
+        seen.insert(BTreeSet::new());
+        let mut frontier: Vec<State> = vec![State {
             labels: (0..root.tables.len()).map(|i| format!("q{i}")).collect(),
             canonical: root,
             apps: BTreeSet::new(),
@@ -316,41 +505,69 @@ impl<'a> Rewriter<'a> {
             used_va: false,
             set_semantics: false,
             requires_nat: false,
-        });
-        seen.insert(BTreeSet::new());
+        }];
+        let threads = self.thread_count();
 
-        while let Some(state) = queue.pop_front() {
+        // Level-synchronous BFS. The sequential formulation is a FIFO
+        // queue, which processes states in exact level order and appends
+        // children behind the current level — so taking the whole frontier,
+        // evaluating its (state, view) tasks in any order, and reducing in
+        // task order reproduces the sequential output byte for byte.
+        'search: while !frontier.is_empty() {
             if results.len() >= self.options.max_rewritings {
                 break;
             }
-            if state.apps.len() >= self.options.max_depth {
-                continue;
+            // Expandable states of this level, with their constants and
+            // per-state context. Closures are built per `(state, view)`
+            // task (inside the workers): the universe of a pair is the
+            // state's columns and constants plus that view's constants, so
+            // closure cost is independent of the candidate-pool size.
+            let mut expandable: Vec<(State, Vec<Term>, StateCtx)> = Vec::new();
+            for state in std::mem::take(&mut frontier) {
+                if state.apps.len() >= self.options.max_depth {
+                    continue;
+                }
+                if !state.canonical.is_plain() {
+                    continue; // terminal: derived aggregate forms
+                }
+                if !self.options.multi_view && !state.apps.is_empty() {
+                    continue;
+                }
+                let state_consts = const_terms_of(&state.canonical.conds);
+                let ctx = StateCtx {
+                    signature: TableSignature::of(&state.canonical),
+                    is_aggregation: state.canonical.is_aggregation_query(),
+                    set_eligible: self.options.enable_set_mode
+                        && is_conjunctive_core(&state.canonical)
+                        && result_is_set(&state.canonical, self.catalog),
+                };
+                expandable.push((state, state_consts, ctx));
             }
-            if !state.canonical.is_plain() {
-                continue; // terminal: derived aggregate forms
-            }
-            if !self.options.multi_view && !state.apps.is_empty() {
-                continue;
-            }
+            stats.states_expanded += expandable.len();
 
-            let mut universe: Vec<Term> =
-                (0..state.canonical.n_cols()).map(Term::Col).collect();
-            universe.extend(const_universe.iter().cloned());
-            let closure = PredClosure::build(&state.canonical.conds, &universe);
+            // Prefilter: candidate (state, view) tasks whose signatures
+            // admit at least one mapping on an eligible path.
+            let mut tasks: Vec<(usize, usize)> = Vec::new();
+            for (si, (_, _, ctx)) in expandable.iter().enumerate() {
+                for (vi, view) in prepared.iter().enumerate() {
+                    if self.candidate_admissible(ctx, view) {
+                        tasks.push((si, vi));
+                    } else {
+                        stats.candidates_prefiltered += 1;
+                    }
+                }
+            }
+            stats.candidates_attempted += tasks.len();
 
-            for view in &prepared {
-                for (mapping, mode) in
-                    self.candidate_mappings(&state, view, &closure)
-                {
-                    let attempt = self.apply(
-                        &state,
-                        view,
-                        &mapping,
-                        &closure,
-                        mode,
-                        &mut aux_counter,
-                    );
-                    let Ok(next) = attempt else { continue };
+            // Evaluate all tasks of the level; each yields the successor
+            // states its mappings produce, in enumeration order.
+            let outcomes: Vec<TaskOutcome> =
+                self.evaluate_tasks(&tasks, &expandable, &prepared, threads);
+
+            // Deterministic reduction in task order.
+            for (produced, n_mappings) in outcomes {
+                stats.mappings_enumerated += n_mappings;
+                for next in produced {
                     if seen.insert(next.apps.clone()) {
                         results.push(Rewriting {
                             query: next.canonical.to_query(),
@@ -362,14 +579,112 @@ impl<'a> Rewriter<'a> {
                             requires_nat: next.requires_nat,
                         });
                         if results.len() >= self.options.max_rewritings {
-                            return Ok(results);
+                            break 'search;
                         }
-                        queue.push_back(next);
+                        frontier.push(next);
                     }
                 }
             }
         }
-        Ok(results)
+        stats.search_time = t_search.elapsed();
+        let cache_after = self.closure_cache.stats();
+        stats.closure_cache_hits = cache_after.hits - cache_before.hits;
+        stats.closure_cache_misses = cache_after.misses - cache_before.misses;
+        stats.rewritings = results.len();
+        stats.threads = threads;
+        Ok((results, stats))
+    }
+
+    /// Evaluate the level's tasks, across `threads` workers when the level
+    /// is large enough to amortize the spawns. Each task builds (or fetches
+    /// from the cache) the closure of its own `(state, view)` universe;
+    /// `scratch` is a per-worker buffer so the universe Vec is not
+    /// reallocated per task.
+    fn evaluate_tasks(
+        &self,
+        tasks: &[(usize, usize)],
+        expandable: &[(State, Vec<Term>, StateCtx)],
+        prepared: &[PreparedView],
+        threads: usize,
+    ) -> Vec<TaskOutcome> {
+        let eval = |&(si, vi): &(usize, usize), scratch: &mut Vec<Term>| -> TaskOutcome {
+            let (state, state_consts, ctx) = &expandable[si];
+            let view = &prepared[vi];
+            scratch.clear();
+            scratch.extend((0..state.canonical.n_cols()).map(Term::Col));
+            scratch.extend(state_consts.iter().cloned());
+            for t in &view.consts {
+                if !scratch.contains(t) {
+                    scratch.push(t.clone());
+                }
+            }
+            let closure = if self.options.closure_cache {
+                self.closure_cache
+                    .get_or_build(&state.canonical.conds, scratch)
+            } else {
+                Arc::new(PredClosure::build(&state.canonical.conds, scratch))
+            };
+            let mappings = self.candidate_mappings(state, ctx, view, &closure);
+            let n = mappings.len();
+            let produced = mappings
+                .into_iter()
+                .filter_map(|(m, mode)| self.apply(state, view, &m, &closure, mode).ok())
+                .collect();
+            (produced, n)
+        };
+
+        let workers = threads.min(tasks.len());
+        if workers <= 1 {
+            let mut scratch = Vec::new();
+            return tasks.iter().map(|t| eval(t, &mut scratch)).collect();
+        }
+        // Work-stealing over a shared atomic cursor; each worker tags its
+        // outcomes with the task index so the merge restores task order.
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<TaskOutcome>> = (0..tasks.len()).map(|_| None).collect();
+        let per_worker: Vec<Vec<(usize, TaskOutcome)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let eval = &eval;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut scratch = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks.len() {
+                                break;
+                            }
+                            local.push((i, eval(&tasks[i], &mut scratch)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, outcome) in per_worker.into_iter().flatten() {
+            slots[i] = Some(outcome);
+        }
+        slots.into_iter().map(|o| o.expect("task evaluated")).collect()
+    }
+
+    /// The prefilter: could `(state, view)` produce any mapping on any
+    /// eligible path? Signature checks are exact w.r.t. C1 (see
+    /// [`TableSignature`]); with `prefilter` off, only mode eligibility is
+    /// checked (which `candidate_mappings` would re-derive anyway).
+    fn candidate_admissible(&self, ctx: &StateCtx, view: &PreparedView) -> bool {
+        let one_to_one_path = view.conjunctive
+            || (view.aggregation_view
+                && (ctx.is_aggregation || self.options.enable_expand));
+        let set_path = view.conjunctive_core
+            && view.result_set
+            && ctx.set_eligible;
+        if !self.options.prefilter {
+            return one_to_one_path || set_path;
+        }
+        (one_to_one_path && ctx.signature.admits_one_to_one(&view.signature))
+            || (set_path && ctx.signature.admits_many_to_one(&view.signature))
     }
 
     /// All mappings to try for (state, view): 1-1 always; many-to-1 extras
@@ -377,6 +692,7 @@ impl<'a> Rewriter<'a> {
     fn candidate_mappings(
         &self,
         state: &State,
+        ctx: &StateCtx,
         view: &PreparedView,
         closure: &PredClosure,
     ) -> Vec<(Mapping, ApplyMode)> {
@@ -387,15 +703,11 @@ impl<'a> Rewriter<'a> {
         // aggregation queries. A DISTINCT view changes multiplicities and
         // never enters the multiset path. Section 4.5 leaves aggregation
         // view + conjunctive query to the footnote-3 expansion (opt-in).
-        let aggregation_view = !view.conjunctive_core && !view.canonical.distinct;
-        if view.conjunctive || (aggregation_view && state.canonical.is_aggregation_query()) {
+        if view.conjunctive || (view.aggregation_view && ctx.is_aggregation) {
             for m in enumerate_mappings(&view.canonical, &state.canonical, true, Some(closure)) {
                 out.push((m, ApplyMode::Multiset));
             }
-        } else if aggregation_view
-            && !state.canonical.is_aggregation_query()
-            && self.options.enable_expand
-        {
+        } else if view.aggregation_view && !ctx.is_aggregation && self.options.enable_expand {
             for m in enumerate_mappings(&view.canonical, &state.canonical, true, Some(closure)) {
                 out.push((m, ApplyMode::Expand));
             }
@@ -405,12 +717,7 @@ impl<'a> Rewriter<'a> {
         // provably sets (keys/FDs, or DISTINCT by definition). Many-to-1
         // mappings always; 1-1 mappings too when the multiset path was
         // closed (DISTINCT views).
-        if self.options.enable_set_mode
-            && view.conjunctive_core
-            && is_conjunctive_core(&state.canonical)
-            && result_is_set(&state.canonical, self.catalog)
-            && result_is_set(&view.canonical, self.catalog)
-        {
+        if view.conjunctive_core && view.result_set && ctx.set_eligible {
             for m in enumerate_mappings(&view.canonical, &state.canonical, false, Some(closure))
             {
                 if !m.is_one_to_one() || !view.conjunctive {
@@ -428,7 +735,6 @@ impl<'a> Rewriter<'a> {
         mapping: &Mapping,
         closure: &PredClosure,
         mode: ApplyMode,
-        aux_counter: &mut usize,
     ) -> Result<State, WhyNot> {
         let app_label = {
             let mapped: Vec<&str> = mapping
@@ -472,8 +778,11 @@ impl<'a> Rewriter<'a> {
                 closure,
             )?
         } else {
-            *aux_counter += 1;
-            let aux_name = format!("{}_va{}", view.name, aux_counter);
+            // Auxiliary-view names must be a pure function of the state so
+            // that parallel and sequential evaluation produce identical
+            // output: the application depth (apps strictly grows along a
+            // branch) makes the name unique within a rewriting.
+            let aux_name = format!("{}_va{}", view.name, state.apps.len() + 1);
             let mode = match self.options.strategy {
                 Strategy::Weighted => VaMode::Weighted,
                 Strategy::PaperFaithful => VaMode::PaperVa,
@@ -544,7 +853,7 @@ impl<'a> Rewriter<'a> {
             .map(Term::Col)
             .collect();
         universe.extend(const_universe);
-        let closure = PredClosure::build(&root.conds, &universe);
+        let closure = self.closure_cache.get_or_build(&root.conds, &universe);
         let state = State {
             labels: (0..root.tables.len()).map(|i| format!("q{i}")).collect(),
             canonical: root,
@@ -557,9 +866,8 @@ impl<'a> Rewriter<'a> {
         };
 
         let mut reports = Vec::new();
-        let mut aux_counter = 0usize;
         for view in &prepared {
-            let aggregation_view = !view.conjunctive_core && !view.canonical.distinct;
+            let aggregation_view = view.aggregation_view;
             let conjunctive_query = !state.canonical.is_aggregation_query();
             if aggregation_view && conjunctive_query && !self.options.enable_expand {
                 reports.push(CandidateReport {
@@ -582,7 +890,7 @@ impl<'a> Rewriter<'a> {
                 for m in &one_to_one {
                     any = true;
                     let outcome = self
-                        .apply(&state, view, m, &closure, mode, &mut aux_counter)
+                        .apply(&state, view, m, &closure, mode)
                         .map(|s| s.canonical.to_query().to_string());
                     reports.push(CandidateReport {
                         view: view.name.clone(),
@@ -606,7 +914,7 @@ impl<'a> Rewriter<'a> {
                     }
                     any = true;
                     let outcome = self
-                        .apply(&state, view, &m, &closure, ApplyMode::SetSemantics, &mut aux_counter)
+                        .apply(&state, view, &m, &closure, ApplyMode::SetSemantics)
                         .map(|s| s.canonical.to_query().to_string());
                     reports.push(CandidateReport {
                         view: view.name.clone(),
@@ -630,21 +938,29 @@ impl<'a> Rewriter<'a> {
 }
 
 fn collect_const_terms(root: &Canonical, views: &[PreparedView]) -> Vec<Term> {
+    let mut consts = const_terms_of(&root.conds);
+    for v in views {
+        for t in &v.consts {
+            if !consts.contains(t) {
+                consts.push(t.clone());
+            }
+        }
+    }
+    consts
+}
+
+/// The distinct constant terms mentioned in `conds`, in first-appearance
+/// order.
+fn const_terms_of(conds: &[Atom]) -> Vec<Term> {
     let mut consts: Vec<Term> = Vec::new();
     let mut push = |t: &Term| {
         if matches!(t, Term::Const(_)) && !consts.contains(t) {
             consts.push(t.clone());
         }
     };
-    for a in &root.conds {
+    for a in conds {
         push(&a.lhs);
         push(&a.rhs);
-    }
-    for v in views {
-        for a in &v.canonical.conds {
-            push(&a.lhs);
-            push(&a.rhs);
-        }
     }
     consts
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_1.json: the F3 (view-pool size) and F4 (query size)
+# rewrite-search sweeps, sequential baseline vs. parallel+indexed, with
+# the RewriteStats counters of the instrumented run.
+#
+# Usage: scripts/bench_snapshot.sh
+# Writes: BENCH_1.json (repo root) and prints the rendered tables.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p aggview-bench
+./target/release/repro --json f3 f4
+echo
+echo "BENCH_1.json:"
+cat BENCH_1.json

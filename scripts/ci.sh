@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The tier-1 gate: release build, full test suite, and clippy clean.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "ci: all checks passed"

@@ -10,6 +10,7 @@
 //!   --paper-va     use the paper's V^a strategy instead of weighted sums
 //!   --no-multi     single-view rewritings only
 //!   --interactive  REPL: read statements from stdin, execute per `;`
+//!                  (`:stats` toggles per-query rewrite-search counters)
 //! ```
 //!
 //! Script statements: `CREATE TABLE t (col, ..., KEY (col, ...))`,
@@ -17,7 +18,7 @@
 //! `SELECT ...`, `EXPLAIN SELECT ...` — semicolon-separated, `--` comments.
 
 use aggview::rewrite::Strategy;
-use aggview::session::{Session, SessionOptions};
+use aggview::session::{Session, SessionOptions, StatementOutcome};
 use aggview::sql::parse_script;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
@@ -97,12 +98,19 @@ fn main() -> ExitCode {
 }
 
 /// Line-based REPL: statements accumulate until a terminating `;`; errors
-/// are reported without ending the session. `quit` / `exit` / EOF leave.
+/// are reported without ending the session. `quit` / `exit` / EOF leave;
+/// `:stats` toggles a per-query line with the rewrite-search counters
+/// (states expanded, candidates prefiltered/attempted, closure-cache hit
+/// rate, threads, per-phase wall times).
 fn repl(options: SessionOptions) -> ExitCode {
     let mut session = Session::new(options);
     let stdin = std::io::stdin();
     let mut buffer = String::new();
-    eprintln!("aggview interactive session — end statements with `;`, `quit` to leave");
+    let mut show_stats = false;
+    eprintln!(
+        "aggview interactive session — end statements with `;`, `:stats` to toggle \
+         search counters, `quit` to leave"
+    );
     loop {
         let prompt = if buffer.trim().is_empty() {
             "aggview> "
@@ -124,6 +132,14 @@ fn repl(options: SessionOptions) -> ExitCode {
         if buffer.trim().is_empty() && matches!(trimmed, "quit" | "exit" | r"\q") {
             break;
         }
+        if buffer.trim().is_empty() && trimmed == ":stats" {
+            show_stats = !show_stats;
+            eprintln!(
+                "search stats {}",
+                if show_stats { "on" } else { "off" }
+            );
+            continue;
+        }
         buffer.push_str(&line);
         if !buffer.trim_end().ends_with(';') {
             continue;
@@ -132,7 +148,14 @@ fn repl(options: SessionOptions) -> ExitCode {
             Ok(stmts) => {
                 for stmt in &stmts {
                     match session.execute(stmt) {
-                        Ok(outcome) => print!("{outcome}"),
+                        Ok(outcome) => {
+                            print!("{outcome}");
+                            if show_stats {
+                                if let StatementOutcome::Answer { search, .. } = &outcome {
+                                    println!("-- search: {}", search.summary());
+                                }
+                            }
+                        }
                         Err(e) => eprintln!("error: {e}"),
                     }
                 }

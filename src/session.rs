@@ -15,7 +15,7 @@
 use crate::run::{execute_rewriting, rewriting_equivalent};
 use aggview_catalog::{Catalog, TableSchema};
 use aggview_core::advisor::suggest_views;
-use aggview_core::{RewriteOptions, Rewriter, Rewriting, TableStats, ViewDef};
+use aggview_core::{RewriteOptions, RewriteStats, Rewriter, Rewriting, TableStats, ViewDef};
 use aggview_engine::maintenance::{maintain_view, DeltaKind};
 use aggview_engine::{execute, Database, Relation, Value};
 use aggview_sql::ast::Literal;
@@ -51,6 +51,10 @@ pub enum StatementOutcome {
         verified: Option<bool>,
         /// Evaluation time of the executed query, milliseconds.
         elapsed_ms: f64,
+        /// Instrumentation of the rewrite search that produced the plan
+        /// (not printed by `Display`; the REPL surfaces it behind the
+        /// `:stats` toggle).
+        search: RewriteStats,
     },
     /// `EXPLAIN` output: one line per candidate.
     Explanation(Vec<String>),
@@ -67,6 +71,7 @@ impl fmt::Display for StatementOutcome {
                 candidates,
                 verified,
                 elapsed_ms,
+                search: _,
             } => {
                 if views_used.is_empty() {
                     writeln!(
@@ -303,8 +308,8 @@ impl Session {
 
     fn select(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
         let rewriter = self.rewriter();
-        let mut rewritings: Vec<Rewriting> = rewriter
-            .rewrite(q, &self.views)
+        let (mut rewritings, search): (Vec<Rewriting>, RewriteStats) = rewriter
+            .rewrite_with_stats(q, &self.views)
             .map_err(|e| err(e.to_string()))?;
         let stats = self.stats();
         rewritings.sort_by(|a, b| {
@@ -324,6 +329,7 @@ impl Session {
                     candidates: 0,
                     verified: None,
                     elapsed_ms: t.elapsed().as_secs_f64() * 1e3,
+                    search,
                 })
             }
             Some(best) => {
@@ -346,14 +352,15 @@ impl Session {
                     candidates,
                     verified,
                     elapsed_ms,
+                    search,
                 })
             }
         }
     }
 
     fn explain(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        let reports = self
-            .rewriter()
+        let rewriter = self.rewriter();
+        let reports = rewriter
             .explain(q, &self.views)
             .map_err(|e| err(e.to_string()))?;
         if reports.is_empty() {
@@ -361,9 +368,13 @@ impl Session {
                 "no views defined".to_string()
             ]));
         }
-        Ok(StatementOutcome::Explanation(
-            reports.iter().map(|r| r.to_string()).collect(),
-        ))
+        let mut lines: Vec<String> = reports.iter().map(|r| r.to_string()).collect();
+        // Tail line: what the full search does with these candidates.
+        let (_, search) = rewriter
+            .rewrite_with_stats(q, &self.views)
+            .map_err(|e| err(e.to_string()))?;
+        lines.push(format!("-- search: {}", search.summary()));
+        Ok(StatementOutcome::Explanation(lines))
     }
 
     fn suggest(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
@@ -531,8 +542,10 @@ mod tests {
         let StatementOutcome::Explanation(lines) = &outcomes[2] else {
             panic!("expected an explanation")
         };
-        assert_eq!(lines.len(), 1);
+        assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("not usable"), "{lines:?}");
+        assert!(lines[1].contains("-- search:"), "{lines:?}");
+        assert!(lines[1].contains("states="), "{lines:?}");
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the subset of the criterion 0.x API used by the
+//! workspace's benches: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], `bench_with_input` / `bench_function`
+//! on the group, [`Bencher::iter`], [`BenchmarkId`], and [`Throughput`].
+//!
+//! Measurement is deliberately simple: per benchmark point it warms up,
+//! sizes an iteration batch to roughly `measurement_ms`, takes
+//! `SAMPLES` timed samples and reports the median (plus min/max and,
+//! when a [`Throughput`] is set, elements per second). No HTML reports,
+//! no statistical regression tests — numbers print to stdout, which is
+//! what the repo's `scripts/bench_snapshot.sh` consumes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 7;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// Target measurement time per sample batch, milliseconds.
+    measurement_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        // `cargo bench` passes `--bench`; anything else non-flag is a
+        // name filter, mirroring criterion's CLI contract.
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            measurement_ms: 300,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// An identifier for one benchmark point.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmark points sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration for subsequent points.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.wants(&full) {
+            let mut b = Bencher::new(self.criterion.measurement_ms);
+            f(&mut b, input);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// Measure `f`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.wants(&full) {
+            let mut b = Bencher::new(self.criterion.measurement_ms);
+            f(&mut b);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    measurement_ms: u64,
+    samples: Vec<Duration>, // per-iteration durations
+}
+
+impl Bencher {
+    fn new(measurement_ms: u64) -> Self {
+        Bencher {
+            measurement_ms,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Run `f` repeatedly and record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim each sample batch at roughly
+        // measurement_ms / SAMPLES of wall time.
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(self.measurement_ms) / SAMPLES as u32;
+        let batch = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!(
+                "  {:>12.0} elem/s",
+                n as f64 / median.as_secs_f64().max(1e-12)
+            ),
+            Some(Throughput::Bytes(n)) => format!(
+                "  {:>12.0} B/s",
+                n as f64 / median.as_secs_f64().max(1e-12)
+            ),
+            None => String::new(),
+        };
+        println!(
+            "{id:<40} time: [{} {} {}]{rate}",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions under one callable symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(10);
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(b.samples.len(), SAMPLES);
+        assert!(b.samples.iter().all(|d| d.as_nanos() > 0));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+    }
+}
