@@ -47,17 +47,13 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("f6_maintenance");
-    group.bench_with_input(
-        BenchmarkId::new("incremental", 1000),
-        &delta,
-        |b, delta| {
-            b.iter(|| {
-                let mut v = view.clone();
-                plan.apply_insert(&mut v, delta).expect("maintenance");
-                black_box(v)
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("incremental", 1000), &delta, |b, delta| {
+        b.iter(|| {
+            let mut v = view.clone();
+            plan.apply_insert(&mut v, delta, None).expect("maintenance");
+            black_box(v)
+        })
+    });
     group.bench_function(BenchmarkId::new("recompute", 1000), |b| {
         b.iter(|| black_box(execute(&view_q, &db).expect("view evaluates")))
     });

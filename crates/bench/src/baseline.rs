@@ -93,7 +93,9 @@ fn syntactic_usable_with(query: &Canonical, view: &Canonical, mapping: &Mapping)
         )
     });
     for agg in query.agg_exprs() {
-        let AggExpr::Plain(spec) = agg else { return false };
+        let AggExpr::Plain(spec) = agg else {
+            return false;
+        };
         match spec.arg {
             Some(a) if image[a] => {
                 if view_is_aggregated {

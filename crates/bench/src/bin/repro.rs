@@ -5,10 +5,13 @@
 //!   repro --full          # all experiments, full scale (use --release!)
 //!   repro t1 f1 ...       # selected experiments only
 //!   repro --json f3 f4    # also write BENCH_1.json (seq-vs-par F3/F4 sweep)
+//!   repro --json s1 s2    # also write BENCH_2.json (serving cold-vs-warm,
+//!                         # grouped-index probe-vs-scan)
 
 use aggview_bench::experiments as exp;
 use aggview_bench::experiments::SearchPoint;
 use aggview_bench::report::Table;
+use aggview_bench::serving;
 
 /// Hand-rolled JSON for the F3/F4 search points (no serde in this tree).
 fn points_json(points: &[SearchPoint], axis: &str) -> String {
@@ -35,6 +38,47 @@ fn points_json(points: &[SearchPoint], axis: &str) -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+/// Hand-rolled JSON for the S1/S2 serving points.
+fn serving_json(serving: &[serving::ServingPoint], probe: &[serving::ProbePoint]) -> String {
+    let s_rows: Vec<String> = serving
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"label\": \"{}\", \"write_pct\": {}, \"cold_us\": {:.1}, \
+                 \"warm_us\": {:.1}, \"speedup\": {:.1}, \"qps\": {:.0}, \
+                 \"hits\": {}, \"misses\": {}, \"invalidations\": {}}}",
+                p.label,
+                p.write_pct,
+                p.cold_us,
+                p.warm_us,
+                p.speedup(),
+                p.qps,
+                p.hits,
+                p.misses,
+                p.invalidations,
+            )
+        })
+        .collect();
+    let p_rows: Vec<String> = probe
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"groups\": {}, \"probe_us\": {:.1}, \"scan_us\": {:.1}, \
+                 \"speedup\": {:.1}}}",
+                p.groups,
+                p.probe_us,
+                p.scan_us,
+                p.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"serving\": [\n{}\n  ],\n  \"probe\": [\n{}\n  ]\n}}\n",
+        s_rows.join(",\n"),
+        p_rows.join(",\n"),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -46,7 +90,7 @@ fn main() {
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    if json {
+    if json && (want("f3") || want("f4")) {
         let f3 = exp::f3_points();
         let f4 = exp::f4_points();
         let doc = format!(
@@ -56,6 +100,12 @@ fn main() {
         );
         let path = "BENCH_1.json";
         std::fs::write(path, &doc).expect("write BENCH_1.json");
+        println!("wrote {path}");
+    }
+    if json && (want("s1") || want("s2")) {
+        let doc = serving_json(&serving::serving_points(full), &serving::probe_points(full));
+        let path = "BENCH_2.json";
+        std::fs::write(path, &doc).expect("write BENCH_2.json");
         println!("wrote {path}");
     }
 
@@ -104,6 +154,12 @@ fn main() {
     if want("f6") {
         tables.push(exp::f6_maintenance(full));
     }
+    if want("s1") {
+        tables.push(serving::s1_serving(full));
+    }
+    if want("s2") {
+        tables.push(serving::s2_probe(full));
+    }
 
     for t in &tables {
         println!("{}", t.render());
@@ -111,6 +167,10 @@ fn main() {
     println!(
         "{} experiment table(s) regenerated{}.",
         tables.len(),
-        if full { " (full scale)" } else { " (quick scale; pass --full for the paper-scale sweep)" }
+        if full {
+            " (full scale)"
+        } else {
+            " (quick scale; pass --full for the paper-scale sweep)"
+        }
     );
 }

@@ -39,7 +39,8 @@ fn r1r2_catalog() -> Catalog {
     let mut cat = Catalog::new();
     cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
         .expect("fresh");
-    cat.add_table(TableSchema::new("R2", ["E", "F"])).expect("fresh");
+    cat.add_table(TableSchema::new("R2", ["E", "F"]))
+        .expect("fresh");
     cat
 }
 
@@ -90,8 +91,10 @@ fn t1_cases() -> Vec<T1Case> {
     // Example 3.1 — conjunctive view with residual D = 6.
     let cat31 = {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R1", ["A", "B"])).expect("fresh");
-        cat.add_table(TableSchema::new("R2", ["C", "D"])).expect("fresh");
+        cat.add_table(TableSchema::new("R1", ["A", "B"]))
+            .expect("fresh");
+        cat.add_table(TableSchema::new("R2", ["C", "D"]))
+            .expect("fresh");
         cat
     };
     let db31 = {
@@ -199,7 +202,8 @@ fn t1_cases() -> Vec<T1Case> {
     // Example 4.5 — aggregation view, conjunctive query: unusable.
     let cat45 = {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).expect("fresh");
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+            .expect("fresh");
         cat
     };
     let db45 = {
@@ -287,13 +291,17 @@ pub fn t1_paper_examples() -> Table {
             let mut db = case.db.clone();
             materialize_views(&mut db, &case.views).expect("views materialize");
             for rw in &rewritings {
-                verified &=
-                    rewriting_equivalent(&query, rw, &db).expect("rewriting executes");
+                verified &= rewriting_equivalent(&query, rw, &db).expect("rewriting executes");
             }
         }
         table.push(vec![
             case.id.to_string(),
-            if case.expect_usable { "usable" } else { "not usable" }.to_string(),
+            if case.expect_usable {
+                "usable"
+            } else {
+                "not usable"
+            }
+            .to_string(),
             if found { "usable" } else { "not usable" }.to_string(),
             if !found {
                 "n/a".to_string()
@@ -354,7 +362,12 @@ pub fn t2_soundness(trials: u64) -> Table {
     }
     let mut table = Table::new(
         "T2 — randomized soundness (both strategies)",
-        &["trials", "instances with rewritings", "rewritings checked", "violations"],
+        &[
+            "trials",
+            "instances with rewritings",
+            "rewritings checked",
+            "violations",
+        ],
     );
     table.push(vec![
         (trials * 2).to_string(),
@@ -383,9 +396,7 @@ pub fn t3_church_rosser(instances: u64) -> Table {
         let query = random_query(&mut rng, &catalog, &cfg);
         let mut views = Vec::new();
         for i in 0..3 {
-            if let Some(v) =
-                embedded_view(&mut rng, &query, &catalog, &format!("V{i}"), i == 2)
-            {
+            if let Some(v) = embedded_view(&mut rng, &query, &catalog, &format!("V{i}"), i == 2) {
                 views.push(v);
             }
         }
@@ -415,7 +426,11 @@ pub fn t3_church_rosser(instances: u64) -> Table {
     }
     let mut table = Table::new(
         "T3 — Church-Rosser: view order does not change the rewriting set",
-        &["instances compared", "multi-rewriting instances", "order mismatches"],
+        &[
+            "instances compared",
+            "multi-rewriting instances",
+            "order mismatches",
+        ],
     );
     table.push(vec![
         compared.to_string(),
@@ -470,7 +485,12 @@ pub fn t4_completeness(instances: u64) -> Table {
     }
     let mut table = Table::new(
         "T4 — completeness on constructed (usable-by-construction) instances",
-        &["cases", "rewriting found", "multi-view cases", "multi-view found"],
+        &[
+            "cases",
+            "rewriting found",
+            "multi-view cases",
+            "multi-view found",
+        ],
     );
     table.push(vec![
         cases.to_string(),
@@ -489,7 +509,12 @@ pub fn t5_closure_vs_syntactic() -> Table {
     let rewriter = Rewriter::new(&catalog);
     let mut table = Table::new(
         "T5 — closure-based usability vs. syntactic matching",
-        &["case", "needs closure reasoning", "full rewriter", "syntactic matcher"],
+        &[
+            "case",
+            "needs closure reasoning",
+            "full rewriter",
+            "syntactic matcher",
+        ],
     );
     let mut full_count = 0;
     let mut syn_count = 0;
@@ -534,7 +559,8 @@ pub fn t6_keys_ablation() -> Table {
     };
     let without_keys = {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).expect("fresh");
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+            .expect("fresh");
         cat
     };
     let cases = [
@@ -569,7 +595,10 @@ pub fn t6_keys_ablation() -> Table {
             if found_with { "usable" } else { "-" }.to_string(),
             if found_without { "usable" } else { "-" }.to_string(),
         ]);
-        assert!(found_with && !found_without, "{name}: key ablation expectation");
+        assert!(
+            found_with && !found_without,
+            "{name}: key ablation expectation"
+        );
     }
     // Section 5.2: DISTINCT substitutes for keys (both results are sets by
     // definition), so this case is usable even on the keyless catalog.
@@ -588,7 +617,10 @@ pub fn t6_keys_ablation() -> Table {
             "n/a".to_string(),
             if found { "usable" } else { "-" }.to_string(),
         ]);
-        assert!(found, "Section 5.2 DISTINCT case must be usable without keys");
+        assert!(
+            found,
+            "Section 5.2 DISTINCT case must be usable without keys"
+        );
     }
     table
 }
@@ -596,7 +628,8 @@ pub fn t6_keys_ablation() -> Table {
 /// T7 — ablation: HAVING move-around (Section 3.3) unlocks usability.
 pub fn t7_having_ablation() -> Table {
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R", ["A", "B"])).expect("fresh");
+    cat.add_table(TableSchema::new("R", ["A", "B"]))
+        .expect("fresh");
     let cases = [
         (
             "grouping-column predicate",
@@ -637,7 +670,10 @@ pub fn t7_having_ablation() -> Table {
             if found_on { "usable" } else { "-" }.to_string(),
             if found_off { "usable" } else { "-" }.to_string(),
         ]);
-        assert!(found_on && !found_off, "{name}: HAVING ablation expectation");
+        assert!(
+            found_on && !found_off,
+            "{name}: HAVING ablation expectation"
+        );
     }
     table
 }
@@ -646,7 +682,8 @@ pub fn t7_having_ablation() -> Table {
 /// conjunctive queries through the interpreted `Nat` table.
 pub fn t8_expand() -> Table {
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).expect("fresh");
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+        .expect("fresh");
     let db = {
         let mut rng = StdRng::seed_from_u64(80);
         let mut db = Database::new();
@@ -702,7 +739,11 @@ pub fn t8_expand() -> Table {
             let mut scratch = db.clone();
             materialize_views(&mut scratch, std::slice::from_ref(&v)).expect("materializes");
             let ok = rewriting_equivalent(&q, rw, &scratch).expect("executes");
-            verified = if ok { "equivalent".into() } else { "MISMATCH".into() };
+            verified = if ok {
+                "equivalent".into()
+            } else {
+                "MISMATCH".into()
+            };
             assert!(ok, "{name}: expansion rewriting not equivalent");
         }
         assert!(plain.is_empty(), "{name}: section 4.5 must hold by default");
@@ -792,7 +833,14 @@ pub fn f1_speedup(full: bool) -> Table {
     let v1 = telephony_v1();
     let mut table = Table::new(
         "F1 — Example 1.1 speedup vs. Calls cardinality",
-        &["calls", "view rows", "t(Q) ms", "t(Q') ms", "speedup", "equivalent"],
+        &[
+            "calls",
+            "view rows",
+            "t(Q) ms",
+            "t(Q') ms",
+            "speedup",
+            "equivalent",
+        ],
     );
     for &n in scales {
         let mut db = telephony(
@@ -840,7 +888,14 @@ pub fn f2_compression(full: bool) -> Table {
     let v1 = telephony_v1();
     let mut table = Table::new(
         "F2 — speedup vs. view compression (groups = plans x months x years)",
-        &["plans", "view rows", "compression", "t(Q) ms", "t(Q') ms", "speedup"],
+        &[
+            "plans",
+            "view rows",
+            "compression",
+            "t(Q) ms",
+            "t(Q') ms",
+            "speedup",
+        ],
     );
     for n_plans in [2usize, 10, 50, 250, 1000] {
         let mut db = telephony(
@@ -948,8 +1003,14 @@ fn measure_search_point(
         par_rewriter.rewrite(q, pool).expect("rewrite runs");
         par_us = par_us.min(t.elapsed().as_secs_f64() * 1e6);
     }
-    let (rws, stats) = par_rewriter.rewrite_with_stats(q, pool).expect("rewrite runs");
-    assert_eq!(rws.len(), n_rws, "sequential and parallel counts must agree");
+    let (rws, stats) = par_rewriter
+        .rewrite_with_stats(q, pool)
+        .expect("rewrite runs");
+    assert_eq!(
+        rws.len(),
+        n_rws,
+        "sequential and parallel counts must agree"
+    );
     SearchPoint {
         x,
         rewritings: n_rws,
@@ -1104,7 +1165,8 @@ pub fn f6_maintenance(full: bool) -> Table {
         db.insert("Calls", calls);
 
         let t = Instant::now();
-        plan.apply_insert(&mut view, &delta).expect("incremental maintenance");
+        plan.apply_insert(&mut view, &delta, None)
+            .expect("incremental maintenance");
         t_incr += t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -1120,7 +1182,13 @@ pub fn f6_maintenance(full: bool) -> Table {
 
     let mut table = Table::new(
         "F6 — incremental maintenance vs. recomputation (per 1000-row batch)",
-        &["base rows", "batches", "incremental ms", "recompute ms", "speedup"],
+        &[
+            "base rows",
+            "batches",
+            "incremental ms",
+            "recompute ms",
+            "speedup",
+        ],
     );
     table.push(vec![
         base_calls.to_string(),

@@ -1,0 +1,368 @@
+//! End-to-end serving benchmark: parse → rewrite → execute through a
+//! [`Session`], steady state, with a configurable write mix.
+//!
+//! Two figures come out of this module (snapshotted to `BENCH_2.json` by
+//! `scripts/bench_snapshot.sh`):
+//!
+//! * **S1 — cold vs. warm serving latency.** The same query stream runs
+//!   against a cache-disabled session (every `SELECT` pays
+//!   canonicalization, the rewrite search, cost ranking, and physical
+//!   planning) and a cache-enabled one (canonically repeated queries bind
+//!   a compiled [`aggview::engine::PhysicalPlan`] and run). The stream
+//!   rotates textual variants that share one canonical form, plus an
+//!   optional write mix that exercises incremental view maintenance
+//!   between reads.
+//! * **S2 — grouped-index probe vs. scan.** Point lookups on a view's
+//!   grouping column served by a session with [`GroupIndex`]es on
+//!   materialized views versus one without (both warm, so the difference
+//!   is purely probe-vs-scan inside plan execution).
+//!
+//! [`GroupIndex`]: aggview::engine::GroupIndex
+
+use crate::report::Table;
+use aggview::session::{Session, SessionOptions};
+use aggview_sql::{parse_script, Statement};
+use std::time::Instant;
+
+/// One measured serving scenario: the same statement stream against a
+/// cold (cache-disabled) and a warm (cache-enabled) session.
+#[derive(Debug, Clone)]
+pub struct ServingPoint {
+    /// Scenario name.
+    pub label: String,
+    /// Percentage of loop iterations that issue an `INSERT` before the
+    /// measured `SELECT` (0 = read-only).
+    pub write_pct: usize,
+    /// Mean per-`SELECT` latency with the plan cache disabled, µs.
+    pub cold_us: f64,
+    /// Mean per-`SELECT` steady-state latency with the cache enabled, µs.
+    pub warm_us: f64,
+    /// Warm steady-state query throughput (selects / wall second,
+    /// including the interleaved writes).
+    pub qps: f64,
+    /// Plan-cache hits accumulated by the warm session.
+    pub hits: u64,
+    /// Plan-cache misses accumulated by the warm session.
+    pub misses: u64,
+    /// Plan-cache invalidations accumulated by the warm session.
+    pub invalidations: u64,
+}
+
+impl ServingPoint {
+    /// Warm-path speedup over the cold path.
+    pub fn speedup(&self) -> f64 {
+        self.cold_us / self.warm_us.max(1e-9)
+    }
+}
+
+/// One measured point-lookup scenario: indexed probe vs. full view scan.
+#[derive(Debug, Clone)]
+pub struct ProbePoint {
+    /// Number of groups in the probed view (= its row count).
+    pub groups: usize,
+    /// Mean point-query latency with a [`aggview::engine::GroupIndex`] on
+    /// the view, µs.
+    pub probe_us: f64,
+    /// Mean point-query latency scanning the unindexed view, µs.
+    pub scan_us: f64,
+}
+
+impl ProbePoint {
+    /// Probe speedup over the scan.
+    pub fn speedup(&self) -> f64 {
+        self.scan_us / self.probe_us.max(1e-9)
+    }
+}
+
+/// Deterministic xorshift, so runs are reproducible without seeding a
+/// generator from the clock.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Schema + data + two grouped views, as one SQL script.
+fn setup_script(rows: usize, regions: usize, products: usize) -> String {
+    let mut s = String::from("CREATE TABLE Calls (Region, Product, Amount);\n");
+    s.push_str("INSERT INTO Calls VALUES ");
+    let mut rng = 0x5eed_cafe_f00d_u64;
+    for i in 0..rows {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let r = xorshift(&mut rng) as usize % regions;
+        let p = xorshift(&mut rng) as usize % products;
+        let a = xorshift(&mut rng) % 500;
+        s.push_str(&format!("({r}, {p}, {a})"));
+    }
+    s.push_str(
+        ";\nCREATE VIEW RegionTotals AS \
+         SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N \
+         FROM Calls GROUP BY Region;\n\
+         CREATE VIEW ProductTotals AS \
+         SELECT Product, SUM(Amount) AS T, COUNT(Amount) AS N \
+         FROM Calls GROUP BY Product;\n\
+         CREATE VIEW FineTotals AS \
+         SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N \
+         FROM Calls GROUP BY Region, Product;\n",
+    );
+    // A realistic deployment carries many more materialized views than
+    // any one query uses; the rewrite search must consider (and mostly
+    // reject) each of them per cold SELECT, while the warm path is
+    // indifferent to pool size.
+    for i in 0..8 {
+        s.push_str(&format!(
+            "CREATE VIEW Slice{i} AS \
+             SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N \
+             FROM Calls WHERE Amount < {} GROUP BY Region, Product;\n",
+            50 * (i + 1),
+        ));
+    }
+    s
+}
+
+fn session_with(script: &str, plan_cache_cap: usize, index_views: bool) -> Session {
+    let stmts = parse_script(script).expect("setup script parses");
+    let mut session = Session::new(SessionOptions {
+        plan_cache_cap,
+        index_views,
+        ..SessionOptions::default()
+    });
+    session.run_script(&stmts).expect("setup script runs");
+    session
+}
+
+fn parse_one(sql: &str) -> Statement {
+    let stmts = parse_script(sql).expect("statement parses");
+    assert_eq!(stmts.len(), 1, "one statement expected");
+    stmts.into_iter().next().expect("one statement")
+}
+
+/// The measured query stream: textual variants of the same canonical
+/// queries (exercising canonical fingerprinting), one point lookup, and
+/// one query over the second view.
+fn query_stream(regions: usize) -> Vec<Statement> {
+    let probe_region = regions / 2;
+    [
+        "SELECT Region, SUM(Amount) FROM Calls GROUP BY Region".to_string(),
+        // Same canonical form, different binding name: must hit the same
+        // cache entry as the previous query.
+        "SELECT c.Region, SUM(c.Amount) FROM Calls c GROUP BY c.Region".to_string(),
+        format!(
+            "SELECT Region, SUM(Amount) FROM Calls WHERE Region = {probe_region} \
+             GROUP BY Region"
+        ),
+        "SELECT Product, SUM(Amount) FROM Calls GROUP BY Product".to_string(),
+    ]
+    .iter()
+    .map(|sql| parse_one(sql))
+    .collect()
+}
+
+/// A rotating pool of single-row inserts (the write mix).
+fn write_stream(regions: usize, products: usize) -> Vec<Statement> {
+    let mut rng = 0xbead_5eed_u64;
+    (0..16)
+        .map(|_| {
+            let r = xorshift(&mut rng) as usize % regions;
+            let p = xorshift(&mut rng) as usize % products;
+            let a = xorshift(&mut rng) % 500;
+            parse_one(&format!("INSERT INTO Calls VALUES ({r}, {p}, {a})"))
+        })
+        .collect()
+}
+
+/// Drive `iters` SELECTs (interleaving one write every `write_every`
+/// iterations when nonzero) and return (mean select latency µs, selects
+/// per wall second).
+fn drive(
+    session: &mut Session,
+    queries: &[Statement],
+    writes: &[Statement],
+    iters: usize,
+    write_every: usize,
+) -> (f64, f64) {
+    // Warmup pass: populate the cache (a no-op for cache-disabled
+    // sessions) so the measured loop is steady state.
+    for q in queries {
+        session.execute(q).expect("warmup select");
+    }
+    let mut select_us = 0.0;
+    let wall = Instant::now();
+    for i in 0..iters {
+        if write_every > 0 && i % write_every == 0 {
+            session
+                .execute(&writes[(i / write_every) % writes.len()])
+                .expect("write");
+        }
+        let q = &queries[i % queries.len()];
+        let t = Instant::now();
+        session.execute(q).expect("select");
+        select_us += t.elapsed().as_secs_f64() * 1e6;
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    (select_us / iters as f64, iters as f64 / wall_s.max(1e-9))
+}
+
+/// S1 data — cold vs. warm serving latency across write mixes.
+pub fn serving_points(full: bool) -> Vec<ServingPoint> {
+    let (rows, iters) = if full { (20_000, 1_000) } else { (2_000, 200) };
+    // Few distinct groups: aggregate views compress heavily (the paper's
+    // premise), so the per-query execution cost is small and the cold
+    // path is dominated by the rewrite search the warm path skips.
+    let (regions, products) = (12, 6);
+    let script = setup_script(rows, regions, products);
+    let queries = query_stream(regions);
+    let writes = write_stream(regions, products);
+    [("read-only", 0usize), ("10% writes", 10)]
+        .iter()
+        .map(|&(label, write_pct)| {
+            let write_every = if write_pct == 0 { 0 } else { 100 / write_pct };
+            let mut cold = session_with(&script, 0, true);
+            let (cold_us, _) = drive(&mut cold, &queries, &writes, iters, write_every);
+            let mut warm = session_with(&script, 64, true);
+            let (warm_us, qps) = drive(&mut warm, &queries, &writes, iters, write_every);
+            ServingPoint {
+                label: label.to_string(),
+                write_pct,
+                cold_us,
+                warm_us,
+                qps,
+                hits: warm.plan_cache().hits(),
+                misses: warm.plan_cache().misses(),
+                invalidations: warm.plan_cache().invalidations(),
+            }
+        })
+        .collect()
+}
+
+/// S2 data — grouped-index probe vs. view scan on point lookups.
+pub fn probe_points(full: bool) -> Vec<ProbePoint> {
+    let group_counts: &[usize] = if full {
+        &[1_000, 10_000, 50_000]
+    } else {
+        &[1_000, 5_000]
+    };
+    let iters = if full { 2_000 } else { 400 };
+    group_counts
+        .iter()
+        .map(|&groups| {
+            // One row per region, so the view has `groups` rows.
+            let script = setup_script(groups, groups, 10);
+            let mut rng = 0xface_feed_u64;
+            let points: Vec<Statement> = (0..32)
+                .map(|_| {
+                    let g = xorshift(&mut rng) as usize % groups;
+                    parse_one(&format!(
+                        "SELECT Region, SUM(Amount) FROM Calls WHERE Region = {g} \
+                         GROUP BY Region"
+                    ))
+                })
+                .collect();
+            let mut indexed = session_with(&script, 64, true);
+            let (probe_us, _) = drive(&mut indexed, &points, &[], iters, 0);
+            let mut scanned = session_with(&script, 64, false);
+            let (scan_us, _) = drive(&mut scanned, &points, &[], iters, 0);
+            ProbePoint {
+                groups,
+                probe_us,
+                scan_us,
+            }
+        })
+        .collect()
+}
+
+/// S1 — cold vs. warm end-to-end serving latency.
+pub fn s1_serving(full: bool) -> Table {
+    let mut table = Table::new(
+        "S1 — end-to-end serving latency, plan cache off vs. on",
+        &[
+            "scenario", "writes %", "cold us", "warm us", "speedup", "warm qps", "hits", "misses",
+        ],
+    );
+    for p in serving_points(full) {
+        table.push(vec![
+            p.label.clone(),
+            p.write_pct.to_string(),
+            format!("{:.1}", p.cold_us),
+            format!("{:.1}", p.warm_us),
+            format!("{:.1}x", p.speedup()),
+            format!("{:.0}", p.qps),
+            p.hits.to_string(),
+            p.misses.to_string(),
+        ]);
+    }
+    table
+}
+
+/// S2 — grouped-index probe vs. scan on view point lookups.
+pub fn s2_probe(full: bool) -> Table {
+    let mut table = Table::new(
+        "S2 — view point lookups, grouped index vs. scan",
+        &["groups", "probe us", "scan us", "speedup"],
+    );
+    for p in probe_points(full) {
+        table.push(vec![
+            p.groups.to_string(),
+            format!("{:.1}", p.probe_us),
+            format!("{:.1}", p.scan_us),
+            format!("{:.1}x", p.speedup()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_point_smoke() {
+        // Tiny scale: the numbers are meaningless, but the harness must
+        // run, hit the cache, and keep warm no slower than 5x cold (it is
+        // typically >10x faster; the slack absorbs CI noise).
+        let script = setup_script(200, 20, 5);
+        let queries = query_stream(20);
+        let writes = write_stream(20, 5);
+        let mut cold = session_with(&script, 0, true);
+        let (cold_us, _) = drive(&mut cold, &queries, &writes, 40, 10);
+        let mut warm = session_with(&script, 64, true);
+        let (warm_us, qps) = drive(&mut warm, &queries, &writes, 40, 10);
+        assert!(warm.plan_cache().hits() > 0, "cache must be exercised");
+        assert!(qps > 0.0);
+        assert!(
+            warm_us <= cold_us * 5.0,
+            "warm {warm_us:.1}us vs cold {cold_us:.1}us"
+        );
+    }
+
+    #[test]
+    fn probe_point_smoke() {
+        let points = probe_points(false);
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.probe_us > 0.0 && p.scan_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn textual_variants_share_one_cache_entry() {
+        let script = setup_script(100, 10, 5);
+        let queries = query_stream(10);
+        let mut session = session_with(&script, 64, true);
+        for q in &queries {
+            session.execute(q).expect("select");
+        }
+        // 4 queries, 3 canonical forms: the second pass over the stream
+        // plus the variant in the first pass are all hits.
+        assert_eq!(session.plan_cache().misses(), 3);
+        for q in &queries {
+            session.execute(q).expect("select");
+        }
+        assert_eq!(session.plan_cache().hits(), 5);
+    }
+}

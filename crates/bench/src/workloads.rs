@@ -67,9 +67,7 @@ pub fn chain_catalog() -> Catalog {
 pub fn chain_query(n: usize) -> Query {
     assert!(n >= 1);
     let from: Vec<String> = (0..n).map(|i| format!("Link t{i}")).collect();
-    let mut conds: Vec<String> = (1..n)
-        .map(|i| format!("t{}.B = t{}.A", i - 1, i))
-        .collect();
+    let mut conds: Vec<String> = (1..n).map(|i| format!("t{}.B = t{}.A", i - 1, i)).collect();
     conds.push("t0.P = 1".to_string());
     parse_query(&format!(
         "SELECT t0.A, SUM(t{}.B) FROM {} WHERE {} GROUP BY t0.A",

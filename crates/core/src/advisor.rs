@@ -69,8 +69,8 @@ pub fn suggest_views(
     catalog: &Catalog,
     stats: &TableStats,
 ) -> Result<Vec<ViewSuggestion>, crate::rewrite::RewriteError> {
-    let canonical = Canonical::from_query(query, catalog)
-        .map_err(crate::rewrite::RewriteError::Query)?;
+    let canonical =
+        Canonical::from_query(query, catalog).map_err(crate::rewrite::RewriteError::Query)?;
     if !canonical.is_plain() {
         return Ok(Vec::new());
     }
@@ -131,11 +131,7 @@ pub fn suggest_views(
         });
     }
 
-    suggestions.sort_by(|a, b| {
-        b.benefit()
-            .partial_cmp(&a.benefit())
-            .expect("finite costs")
-    });
+    suggestions.sort_by(|a, b| b.benefit().partial_cmp(&a.benefit()).expect("finite costs"));
     Ok(suggestions)
 }
 
@@ -185,7 +181,9 @@ fn synthesize(query: &Canonical, subset: &[usize]) -> Option<Canonical> {
     // SUM/COUNT/AVG in the query needs the COUNT column (always added).
     let mut view_aggs: Vec<AggSpec> = Vec::new();
     for agg in query.agg_exprs() {
-        let AggExpr::Plain(spec) = agg else { return None };
+        let AggExpr::Plain(spec) = agg else {
+            return None;
+        };
         match spec.arg {
             Some(a) if in_subset(a) => {
                 // AVG decomposes into SUM + COUNT; COUNT is added anyway.
@@ -194,10 +192,7 @@ fn synthesize(query: &Canonical, subset: &[usize]) -> Option<Canonical> {
                     aggview_sql::AggFunc::Count => continue,
                     f => f,
                 };
-                let candidate = AggSpec {
-                    func,
-                    arg: Some(a),
-                };
+                let candidate = AggSpec { func, arg: Some(a) };
                 if !view_aggs.contains(&candidate) {
                     view_aggs.push(candidate);
                 }
@@ -263,8 +258,10 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("Facts", ["K", "Dim", "M"])).unwrap();
-        cat.add_table(TableSchema::new("Dims", ["D", "Name"])).unwrap();
+        cat.add_table(TableSchema::new("Facts", ["K", "Dim", "M"]))
+            .unwrap();
+        cat.add_table(TableSchema::new("Dims", ["D", "Name"]))
+            .unwrap();
         cat
     }
 
@@ -276,14 +273,15 @@ mod tests {
 
     #[test]
     fn suggests_pushdown_summary_for_join_aggregate() {
-        let q = parse_query(
-            "SELECT Name, SUM(M) FROM Facts, Dims WHERE Dim = D GROUP BY Name",
-        )
-        .unwrap();
+        let q = parse_query("SELECT Name, SUM(M) FROM Facts, Dims WHERE Dim = D GROUP BY Name")
+            .unwrap();
         let suggestions = suggest_views(&q, &catalog(), &stats()).unwrap();
         assert!(!suggestions.is_empty());
         let best = &suggestions[0];
-        assert!(best.benefit() > 0.0, "summary must pay off on a huge fact table");
+        assert!(
+            best.benefit() > 0.0,
+            "summary must pay off on a huge fact table"
+        );
         // The winning suggestion summarizes Facts by the join column.
         let sql = best.view.query.to_string();
         assert!(sql.contains("FROM Facts"), "got {sql}");
@@ -312,10 +310,7 @@ mod tests {
 
     #[test]
     fn local_filters_are_absorbed() {
-        let q = parse_query(
-            "SELECT Dim, SUM(M) FROM Facts WHERE K > 100 GROUP BY Dim",
-        )
-        .unwrap();
+        let q = parse_query("SELECT Dim, SUM(M) FROM Facts WHERE K > 100 GROUP BY Dim").unwrap();
         let suggestions = suggest_views(&q, &catalog(), &stats()).unwrap();
         // Some suggestion must absorb the filter... or expose K. Either
         // way, the rewriter validated it — just check one exists.

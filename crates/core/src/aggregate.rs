@@ -232,9 +232,8 @@ pub fn rewrite_aggregate(
                 // row stands for COUNT-column-many original rows, in or out
                 // of the image alike (C4' parts 1(b) and 2).
                 let _ = arg;
-                let n = count_idx.ok_or_else(|| {
-                    fail("no COUNT column in the view to recover multiplicities")
-                })?;
+                let n = count_idx
+                    .ok_or_else(|| fail("no COUNT column in the view to recover multiplicities"))?;
                 Ok(Plan::ViewAgg {
                     func: AggFunc::Sum,
                     sel_idx: n,
@@ -261,8 +260,7 @@ pub fn rewrite_aggregate(
                             count_idx: n,
                             val_idx: raw,
                         })
-                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx)
-                    {
+                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx) {
                         // SUM = Σ N·AVG (Section 4.4 identity).
                         Ok(Plan::WeightedView {
                             count_idx: n,
@@ -285,8 +283,7 @@ pub fn rewrite_aggregate(
                             count_idx: n,
                             val_idx: raw,
                         })
-                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx)
-                    {
+                    } else if let (Some(avg), Some(n)) = (agg_expose(a, AggFunc::Avg), count_idx) {
                         Ok(Plan::WeightedAvgView {
                             count_idx: n,
                             val_idx: avg,
@@ -765,8 +762,7 @@ fn try_paper_va(
 
     // Build the main query over V^a (the view occurrence is pruned).
     let frame = Frame::build(query, &mapping.image_occs(), aux_name, &va_out_names);
-    let va_pos_of_view_idx =
-        |i: usize| -> Option<usize> { va_groups.iter().position(|&g| g == i) };
+    let va_pos_of_view_idx = |i: usize| -> Option<usize> { va_groups.iter().position(|&g| g == i) };
     let trans = |c: ColId| -> Option<ColId> {
         if image[c] {
             let i = expose(c)?;
@@ -891,18 +887,14 @@ mod tests {
         let cl = PredClosure::build(&q.conds, &universe);
         enumerate_mappings(v, q, true, Some(&cl))
             .into_iter()
-            .filter_map(|m| {
-                rewrite_aggregate(q, v, name, &out_names, &m, &cl, mode, "Va").ok()
-            })
+            .filter_map(|m| rewrite_aggregate(q, v, name, &out_names, &m, &cl, mode, "Va").ok())
             .collect()
     }
 
     #[test]
     fn example_4_1_coalescing_subgroups() {
         // Paper Example 4.1: COUNT of coarser groups = SUM of finer COUNTs.
-        let q = canon(
-            "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
-        );
+        let q = canon("SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E");
         let v = canon("SELECT A, C, COUNT(D) FROM R1 WHERE B = D GROUP BY A, C");
         let rws = rewrite_all(&q, &v, "V1", &["A", "C", "N"], VaMode::Weighted);
         assert_eq!(rws.len(), 1);

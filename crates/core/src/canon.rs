@@ -23,9 +23,19 @@ use aggview_sql::ast::{
     TableRef,
 };
 use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// Identity of a column in a canonical query (dense index).
 pub type ColId = usize;
+
+/// Process-stable 64-bit hash (`DefaultHasher` with its fixed default
+/// keys). Used for conjunct ordering and query fingerprints; never for
+/// equality decisions.
+fn stable_hash<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
 
 /// One `FROM` occurrence (range variable).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -93,14 +103,10 @@ impl Atom {
         let flip = |a: &Atom| Atom::new(a.rhs.clone(), a.op.flip(), a.lhs.clone());
         match (&self.lhs, &self.rhs) {
             (Term::Const(_), Term::Col(_)) => flip(self),
-            (Term::Col(a), Term::Col(b))
-                if matches!(self.op, CmpOp::Eq | CmpOp::Ne) && a > b =>
-            {
+            (Term::Col(a), Term::Col(b)) if matches!(self.op, CmpOp::Eq | CmpOp::Ne) && a > b => {
                 flip(self)
             }
-            (Term::Col(a), Term::Col(b))
-                if matches!(self.op, CmpOp::Gt | CmpOp::Ge) && a != b =>
-            {
+            (Term::Col(a), Term::Col(b)) if matches!(self.op, CmpOp::Gt | CmpOp::Ge) && a != b => {
                 flip(self)
             }
             _ => self.clone(),
@@ -193,8 +199,9 @@ impl AggExpr {
                 v.extend(spec.arg);
                 v
             }
-            AggExpr::WeightedSum { weight, arg }
-            | AggExpr::WeightedAvg { weight, arg } => vec![*weight, *arg],
+            AggExpr::WeightedSum { weight, arg } | AggExpr::WeightedAvg { weight, arg } => {
+                vec![*weight, *arg]
+            }
             AggExpr::RatioOfSums { num, den } => vec![*num, *den],
         }
     }
@@ -262,7 +269,10 @@ impl fmt::Display for CanonError {
             }
             CanonError::Unsupported(m) => write!(f, "outside the supported fragment: {m}"),
             CanonError::NonGroupedColumn(c) => {
-                write!(f, "column `{c}` must appear in GROUP BY or inside an aggregate")
+                write!(
+                    f,
+                    "column `{c}` must appear in GROUP BY or inside an aggregate"
+                )
             }
             CanonError::AggregateInWhere => write!(f, "aggregate call in WHERE clause"),
         }
@@ -272,7 +282,7 @@ impl fmt::Display for CanonError {
 impl std::error::Error for CanonError {}
 
 /// A query in canonical form.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Canonical {
     /// `SELECT DISTINCT`?
     pub distinct: bool,
@@ -379,6 +389,34 @@ impl Canonical {
     /// produce (i.e., can it be fed back through the rewriter)?
     pub fn is_plain(&self) -> bool {
         self.agg_exprs().iter().all(|a| a.is_plain())
+    }
+
+    /// Cache-normalized copy: every `WHERE` conjunct in canonical
+    /// orientation ([`Atom::normalized`]) and the commutative conjunctions
+    /// (`WHERE`, `HAVING`) sorted into a stable order. Queries that differ
+    /// only in conjunct order, comparison orientation, or binding aliases
+    /// (aliases never reach the canonical form) normalize identically —
+    /// the serving layer keys its plan cache on this form.
+    pub fn normalized(&self) -> Canonical {
+        let mut c = self.clone();
+        for a in &mut c.conds {
+            *a = a.normalized();
+        }
+        // No `Ord` on literals: sort by stable hash. Equal hashes keep
+        // their relative order (stable sort), so the result is
+        // deterministic; a cross-query hash collision costs at worst a
+        // cache miss, never a wrong hit (keys compare the full form).
+        c.conds.sort_by_key(stable_hash);
+        c.gconds.sort_by_key(stable_hash);
+        c
+    }
+
+    /// Stable 64-bit fingerprint of the [`Canonical::normalized`] form.
+    /// Canonically identical queries share a fingerprint; it is used for
+    /// display and statistics only — cache lookups compare the full
+    /// normalized form, so a fingerprint collision cannot alias entries.
+    pub fn fingerprint(&self) -> u64 {
+        stable_hash(&self.normalized())
     }
 
     /// Canonicalize an AST query against a schema source.
@@ -733,10 +771,44 @@ mod tests {
     }
 
     #[test]
+    fn normalized_form_ignores_surface_variation() {
+        // Same query under alias renaming, conjunct reordering, and
+        // comparison flipping: one normalized form, one fingerprint.
+        let a = canon("SELECT A, SUM(B) FROM R1, R2 WHERE C = F AND 3 < D GROUP BY A");
+        let b =
+            canon("SELECT x.A, SUM(x.B) FROM R1 x, R2 y WHERE x.D > 3 AND y.F = x.C GROUP BY x.A");
+        assert_ne!(a, b, "surface forms differ before normalization");
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_queries() {
+        let fps: Vec<u64> = [
+            "SELECT A, SUM(B) FROM R1 GROUP BY A",
+            "SELECT A, SUM(C) FROM R1 GROUP BY A",
+            "SELECT A, SUM(B) FROM R1 WHERE D > 3 GROUP BY A",
+            "SELECT A, COUNT(B) FROM R1 GROUP BY A",
+            "SELECT DISTINCT A FROM R1",
+        ]
+        .iter()
+        .map(|sql| canon(sql).fingerprint())
+        .collect();
+        let mut uniq = fps.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), fps.len(), "fingerprints collide: {fps:?}");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let sql = "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F GROUP BY A, E";
+        assert_eq!(canon(sql).fingerprint(), canon(sql).fingerprint());
+    }
+
+    #[test]
     fn canonicalizes_example_4_1_query() {
-        let c = canon(
-            "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
-        );
+        let c = canon("SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E");
         assert_eq!(c.tables.len(), 2);
         assert_eq!(c.n_cols(), 6);
         // A=0,B=1,C=2,D=3 in R1; E=4,F=5 in R2.
@@ -782,9 +854,7 @@ mod tests {
 
     #[test]
     fn having_terms_resolve() {
-        let c = canon(
-            "SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) < 100 AND A > 2",
-        );
+        let c = canon("SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) < 100 AND A > 2");
         assert_eq!(c.gconds.len(), 2);
         assert_eq!(
             c.gconds[0].lhs,
@@ -795,9 +865,11 @@ mod tests {
 
     #[test]
     fn rejects_non_grouped_select_column() {
-        let err =
-            Canonical::from_query(&parse_query("SELECT B, SUM(A) FROM R1 GROUP BY A").unwrap(), &catalog())
-                .unwrap_err();
+        let err = Canonical::from_query(
+            &parse_query("SELECT B, SUM(A) FROM R1 GROUP BY A").unwrap(),
+            &catalog(),
+        )
+        .unwrap_err();
         assert_eq!(err, CanonError::NonGroupedColumn("B".into()));
     }
 
@@ -849,8 +921,11 @@ mod tests {
     fn rejects_ambiguity_and_duplicate_bindings() {
         // A exists only in R1, but add two R1 occurrences without aliases.
         assert_eq!(
-            Canonical::from_query(&parse_query("SELECT x.A FROM R1 x, R1 x").unwrap(), &catalog())
-                .unwrap_err(),
+            Canonical::from_query(
+                &parse_query("SELECT x.A FROM R1 x, R1 x").unwrap(),
+                &catalog()
+            )
+            .unwrap_err(),
             CanonError::DuplicateBinding("x".into())
         );
         assert_eq!(

@@ -686,10 +686,7 @@ mod tests {
 
     #[test]
     fn constants_are_ordered() {
-        let atoms = vec![
-            atom(col(0), CmpOp::Le, k(3)),
-            atom(col(1), CmpOp::Ge, k(5)),
-        ];
+        let atoms = vec![atom(col(0), CmpOp::Le, k(3)), atom(col(1), CmpOp::Ge, k(5))];
         let c = PredClosure::build(&atoms, &[]);
         assert!(c.implies_atom(&atom(col(0), CmpOp::Lt, col(1))));
         assert!(c.implies_atom(&atom(col(0), CmpOp::Ne, col(1))));
@@ -716,10 +713,7 @@ mod tests {
 
     #[test]
     fn contradiction_detected_via_constants() {
-        let atoms = vec![
-            atom(col(0), CmpOp::Eq, k(3)),
-            atom(col(0), CmpOp::Eq, k(4)),
-        ];
+        let atoms = vec![atom(col(0), CmpOp::Eq, k(3)), atom(col(0), CmpOp::Eq, k(4))];
         assert!(!PredClosure::build(&atoms, &[]).satisfiable());
         let atoms = vec![atom(col(0), CmpOp::Gt, k(5)), atom(col(0), CmpOp::Lt, k(2))];
         assert!(!PredClosure::build(&atoms, &[]).satisfiable());
@@ -842,8 +836,14 @@ mod tests {
 
     #[test]
     fn equivalent_conjunctions() {
-        let a = vec![atom(col(0), CmpOp::Eq, col(1)), atom(col(1), CmpOp::Lt, k(5))];
-        let b = vec![atom(col(1), CmpOp::Eq, col(0)), atom(col(0), CmpOp::Lt, k(5))];
+        let a = vec![
+            atom(col(0), CmpOp::Eq, col(1)),
+            atom(col(1), CmpOp::Lt, k(5)),
+        ];
+        let b = vec![
+            atom(col(1), CmpOp::Eq, col(0)),
+            atom(col(0), CmpOp::Lt, k(5)),
+        ];
         assert!(equivalent(&a, &b));
         let c = vec![atom(col(0), CmpOp::Eq, col(1))];
         assert!(!equivalent(&a, &c));

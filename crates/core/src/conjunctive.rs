@@ -397,9 +397,7 @@ mod tests {
     #[test]
     fn example_3_1_rewrites() {
         // Paper Example 3.1.
-        let q = canon(
-            "SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A",
-        );
+        let q = canon("SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A");
         let v = canon("SELECT C, D FROM R1, R2 WHERE A = C AND B = D");
         let rewritings = rewrite_all(&q, &v, "V1", &["C", "D"]);
         assert_eq!(rewritings.len(), 1);

@@ -46,11 +46,7 @@ impl TableStats {
 /// its `FROM` relations plus an estimated join-output cardinality, where
 /// each equality conjunct contributes a selectivity factor of `0.1`.
 pub fn estimate_cost(query: &Query, stats: &TableStats) -> f64 {
-    let scan: f64 = query
-        .from
-        .iter()
-        .map(|t| stats.get(&t.table) as f64)
-        .sum();
+    let scan: f64 = query.from.iter().map(|t| stats.get(&t.table) as f64).sum();
     let product: f64 = query
         .from
         .iter()

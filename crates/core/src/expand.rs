@@ -146,8 +146,11 @@ pub fn rewrite_expand(
         .map(|a| Atom::new(remap_term(&a.lhs), a.op, remap_term(&a.rhs)))
         .collect();
     // The expansion join: Nat.k <= V.count.
-    out.conds
-        .push(Atom::new(Term::Col(nat_col), CmpOp::Le, Term::Col(count_col)));
+    out.conds.push(Atom::new(
+        Term::Col(nat_col),
+        CmpOp::Le,
+        Term::Col(count_col),
+    ));
     Ok(out)
 }
 
@@ -160,7 +163,8 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+        cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+            .unwrap();
         cat
     }
 

@@ -81,7 +81,10 @@ impl fmt::Display for WhyNot {
                 "condition C2: needed column `{column}` is projected out of the view"
             ),
             WhyNot::AggregateNotComputable { agg, missing } => {
-                write!(f, "condition C4: cannot compute `{agg}` from the view ({missing})")
+                write!(
+                    f,
+                    "condition C4: cannot compute `{agg}` from the view ({missing})"
+                )
             }
             WhyNot::ViewHavingWithCoalescing => write!(
                 f,
@@ -159,11 +162,9 @@ mod tests {
     fn display_names_conditions() {
         assert!(WhyNot::NoColumnMapping.to_string().contains("C1"));
         assert!(WhyNot::NoResidual.to_string().contains("C3"));
-        assert!(WhyNot::SelectColumnNotExposed {
-            column: "A".into()
-        }
-        .to_string()
-        .contains("C2"));
+        assert!(WhyNot::SelectColumnNotExposed { column: "A".into() }
+            .to_string()
+            .contains("C2"));
         assert!(WhyNot::AggregateNotComputable {
             agg: "SUM(B)".into(),
             missing: "no COUNT column".into()

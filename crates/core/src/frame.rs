@@ -35,10 +35,7 @@ impl Frame {
             if image_occs.contains(&qi) {
                 continue;
             }
-            let names: Vec<String> = t
-                .cols()
-                .map(|c| query.columns[c].name.clone())
-                .collect();
+            let names: Vec<String> = t.cols().map(|c| query.columns[c].name.clone()).collect();
             let new_occ = new_q.add_table(t.base.clone(), names);
             for (pos, c) in t.cols().enumerate() {
                 trans_keep[c] = Some(new_q.col_of(new_occ, pos));
@@ -69,11 +66,7 @@ mod tests {
         let mut cat = Catalog::new();
         cat.add_table(TableSchema::new("R1", ["A", "B"])).unwrap();
         cat.add_table(TableSchema::new("R2", ["C"])).unwrap();
-        let q = Canonical::from_query(
-            &parse_query("SELECT A FROM R1, R2").unwrap(),
-            &cat,
-        )
-        .unwrap();
+        let q = Canonical::from_query(&parse_query("SELECT A FROM R1, R2").unwrap(), &cat).unwrap();
         let image: HashSet<usize> = [0].into_iter().collect();
         let f = Frame::build(&q, &image, "V", &["x".into(), "y".into()]);
         // R2 kept as occ 0; V appended as occ 1.

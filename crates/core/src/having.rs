@@ -81,7 +81,10 @@ fn movable(atom: &GAtom, all_aggs: &[AggExpr]) -> Option<Atom> {
     let arg = spec.arg?;
     let applies = matches!(
         (spec.func, op),
-        (AggFunc::Max, CmpOp::Gt) | (AggFunc::Max, CmpOp::Ge) | (AggFunc::Min, CmpOp::Lt) | (AggFunc::Min, CmpOp::Le)
+        (AggFunc::Max, CmpOp::Gt)
+            | (AggFunc::Max, CmpOp::Ge)
+            | (AggFunc::Min, CmpOp::Lt)
+            | (AggFunc::Min, CmpOp::Le)
     );
     if !applies {
         return None;
@@ -90,11 +93,7 @@ fn movable(atom: &GAtom, all_aggs: &[AggExpr]) -> Option<Atom> {
     if !all_aggs.iter().all(|a| a == agg) {
         return None;
     }
-    Some(Atom::new(
-        Term::Col(arg),
-        op,
-        Term::Const(konst.clone()),
-    ))
+    Some(Atom::new(Term::Col(arg), op, Term::Const(konst.clone())))
 }
 
 fn scalar_term(t: &GTerm) -> Option<Term> {
@@ -114,7 +113,8 @@ mod tests {
 
     fn canon(sql: &str) -> Canonical {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+        cat.add_table(TableSchema::new("R", ["A", "B", "C"]))
+            .unwrap();
         Canonical::from_query(&parse_query(sql).unwrap(), &cat).unwrap()
     }
 
@@ -124,9 +124,11 @@ mod tests {
         let moved = normalize_having(&mut q);
         assert_eq!(moved, 1);
         assert_eq!(q.gconds.len(), 1);
-        assert!(q
-            .conds
-            .contains(&Atom::new(Term::Col(0), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(5)))));
+        assert!(q.conds.contains(&Atom::new(
+            Term::Col(0),
+            CmpOp::Gt,
+            Term::Const(aggview_sql::Literal::Int(5))
+        )));
     }
 
     #[test]
@@ -135,9 +137,11 @@ mod tests {
         let moved = normalize_having(&mut q);
         assert_eq!(moved, 1);
         assert!(q.gconds.is_empty());
-        assert!(q
-            .conds
-            .contains(&Atom::new(Term::Col(1), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(10)))));
+        assert!(q.conds.contains(&Atom::new(
+            Term::Col(1),
+            CmpOp::Gt,
+            Term::Const(aggview_sql::Literal::Int(10))
+        )));
     }
 
     #[test]
@@ -153,7 +157,11 @@ mod tests {
         assert_eq!(normalize_having(&mut q), 1);
         assert_eq!(
             q.conds.last().unwrap(),
-            &Atom::new(Term::Col(1), CmpOp::Gt, Term::Const(aggview_sql::Literal::Int(10)))
+            &Atom::new(
+                Term::Col(1),
+                CmpOp::Gt,
+                Term::Const(aggview_sql::Literal::Int(10))
+            )
         );
     }
 
@@ -169,8 +177,7 @@ mod tests {
     #[test]
     fn max_gt_blocked_by_other_aggregates() {
         // COUNT(C) would observe the rows removed by B > 10.
-        let mut q =
-            canon("SELECT A, MAX(B), COUNT(C) FROM R GROUP BY A HAVING MAX(B) > 10");
+        let mut q = canon("SELECT A, MAX(B), COUNT(C) FROM R GROUP BY A HAVING MAX(B) > 10");
         assert_eq!(normalize_having(&mut q), 0);
     }
 

@@ -24,12 +24,12 @@
 pub mod advisor;
 pub mod aggregate;
 pub mod canon;
-mod frame;
 pub mod closure;
 pub mod conjunctive;
 pub mod cost;
 pub mod expand;
 pub mod explain;
+mod frame;
 pub mod having;
 pub mod mapping;
 pub mod rewrite;
@@ -37,7 +37,9 @@ pub mod set_mode;
 pub mod simplify;
 
 pub use advisor::{suggest_views, ViewSuggestion};
-pub use canon::{AggExpr, AggSpec, Atom, CanonError, Canonical, ColId, GAtom, GTerm, SelItem, Term};
+pub use canon::{
+    AggExpr, AggSpec, Atom, CanonError, Canonical, ColId, GAtom, GTerm, SelItem, Term,
+};
 pub use closure::{ClosureCache, ClosureCacheStats, PredClosure};
 pub use cost::{estimate_cost, TableStats};
 pub use explain::{CandidateMode, CandidateReport, WhyNot};

@@ -189,6 +189,14 @@ pub struct RewriteStats {
     pub search_time: Duration,
     /// Worker threads used for candidate evaluation.
     pub threads: usize,
+    /// Serving-layer plan-cache hits (the search and planning above were
+    /// skipped entirely). Filled in by the session, not the search.
+    pub plan_cache_hits: u64,
+    /// Serving-layer plan-cache misses (this search ran).
+    pub plan_cache_misses: u64,
+    /// Serving-layer plan-cache entries invalidated by catalog or data
+    /// changes since the session started.
+    pub plan_cache_invalidations: u64,
 }
 
 impl RewriteStats {
@@ -229,6 +237,15 @@ impl RewriteStats {
             self.threads,
             self.prepare_time.as_secs_f64() * 1e3,
             self.search_time.as_secs_f64() * 1e3,
+        )
+    }
+
+    /// One-line plan-cache summary (`hits/misses/invalidations` are
+    /// session-cumulative, unlike the per-search counters above).
+    pub fn plan_cache_summary(&self) -> String {
+        format!(
+            "plan-cache: {} hit(s), {} miss(es), {} invalidation(s)",
+            self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_invalidations
         )
     }
 }
@@ -320,6 +337,10 @@ impl std::error::Error for RewriteError {}
 pub struct Rewriter<'a> {
     catalog: &'a Catalog,
     options: RewriteOptions,
+    /// `options.threads` resolved once at construction: on Linux,
+    /// `available_parallelism()` re-reads cgroup limits on every call
+    /// (several µs), which would dominate small searches.
+    threads: usize,
     /// Memoized predicate closures, shared across states, levels, and
     /// repeated `rewrite` calls on this rewriter.
     closure_cache: ClosureCache,
@@ -388,19 +409,21 @@ impl<'a> Rewriter<'a> {
 
     /// A rewriter with explicit options.
     pub fn with_options(catalog: &'a Catalog, options: RewriteOptions) -> Self {
+        let threads = match options.threads {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
         Rewriter {
             catalog,
             options,
+            threads,
             closure_cache: ClosureCache::default(),
         }
     }
 
     /// The number of worker threads candidate evaluation will use.
     fn thread_count(&self) -> usize {
-        match self.options.threads {
-            Some(n) => n.get(),
-            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        }
+        self.threads
     }
 
     /// The active options.
@@ -633,7 +656,16 @@ impl<'a> Rewriter<'a> {
             (produced, n)
         };
 
-        let workers = threads.min(tasks.len());
+        // Below this many tasks the thread spawns cost more than the work
+        // they distribute (BENCH_1.json: parallel eval is slower than
+        // sequential up to ~4 candidate views), so small levels always run
+        // sequentially.
+        const SMALL_FRONTIER: usize = 4;
+        let workers = if tasks.len() <= SMALL_FRONTIER {
+            1
+        } else {
+            threads.min(tasks.len())
+        };
         if workers <= 1 {
             let mut scratch = Vec::new();
             return tasks.iter().map(|t| eval(t, &mut scratch)).collect();
@@ -666,7 +698,10 @@ impl<'a> Rewriter<'a> {
         for (i, outcome) in per_worker.into_iter().flatten() {
             slots[i] = Some(outcome);
         }
-        slots.into_iter().map(|o| o.expect("task evaluated")).collect()
+        slots
+            .into_iter()
+            .map(|o| o.expect("task evaluated"))
+            .collect()
     }
 
     /// The prefilter: could `(state, view)` produce any mapping on any
@@ -675,11 +710,8 @@ impl<'a> Rewriter<'a> {
     /// checked (which `candidate_mappings` would re-derive anyway).
     fn candidate_admissible(&self, ctx: &StateCtx, view: &PreparedView) -> bool {
         let one_to_one_path = view.conjunctive
-            || (view.aggregation_view
-                && (ctx.is_aggregation || self.options.enable_expand));
-        let set_path = view.conjunctive_core
-            && view.result_set
-            && ctx.set_eligible;
+            || (view.aggregation_view && (ctx.is_aggregation || self.options.enable_expand));
+        let set_path = view.conjunctive_core && view.result_set && ctx.set_eligible;
         if !self.options.prefilter {
             return one_to_one_path || set_path;
         }
@@ -718,8 +750,7 @@ impl<'a> Rewriter<'a> {
         // mappings always; 1-1 mappings too when the multiset path was
         // closed (DISTINCT views).
         if view.conjunctive_core && view.result_set && ctx.set_eligible {
-            for m in enumerate_mappings(&view.canonical, &state.canonical, false, Some(closure))
-            {
+            for m in enumerate_mappings(&view.canonical, &state.canonical, false, Some(closure)) {
                 if !m.is_one_to_one() || !view.conjunctive {
                     out.push((m, ApplyMode::SetSemantics));
                 }
@@ -995,7 +1026,9 @@ mod tests {
         cat.add_table(
             TableSchema::new(
                 "Calls",
-                ["Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge"],
+                [
+                    "Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge",
+                ],
             )
             .with_key(["Call_Id"]),
         )
@@ -1183,8 +1216,7 @@ mod tests {
         let rewriter = Rewriter::new(&cat);
         let rws = rewriter.rewrite(&q, &[va, vb]).unwrap();
         // {VA}, then {VA,VB} via mapping VB onto the VA occurrence.
-        let sigs: BTreeSet<Vec<String>> =
-            rws.iter().map(|r| r.views_used.clone()).collect();
+        let sigs: BTreeSet<Vec<String>> = rws.iter().map(|r| r.views_used.clone()).collect();
         assert!(sigs.contains(&vec!["VA".to_string()]));
         assert!(sigs.contains(&vec!["VA".to_string(), "VB".to_string()]));
     }
@@ -1209,7 +1241,8 @@ mod tests {
         );
         // Without keys, no rewriting exists at all.
         let mut cat2 = Catalog::new();
-        cat2.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+        cat2.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+            .unwrap();
         let rewriter2 = Rewriter::new(&cat2);
         assert!(rewriter2.rewrite(&q, &[v]).unwrap().is_empty());
     }
@@ -1223,10 +1256,7 @@ mod tests {
         let q = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A").unwrap();
         let v = ViewDef::new(
             "V2",
-            parse_query(
-                "SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B",
-            )
-            .unwrap(),
+            parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
         );
         let opts = RewriteOptions {
             strategy: Strategy::PaperFaithful,
@@ -1275,7 +1305,10 @@ mod tests {
             .unwrap(),
         );
         let rewriter = Rewriter::new(&cat);
-        assert!(rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+        assert!(rewriter
+            .rewrite(&q, std::slice::from_ref(&v))
+            .unwrap()
+            .is_empty());
         let reports = rewriter.explain(&q, &[v]).unwrap();
         assert_eq!(
             reports[0].outcome,

@@ -117,9 +117,7 @@ pub fn rewrite_set_mode(
                 continue;
             }
             let base = &view.tables[o1].base;
-            let schema = catalog
-                .table(base)
-                .ok_or(WhyNot::SetSemanticsRequired)?;
+            let schema = catalog.table(base).ok_or(WhyNot::SetSemanticsRequired)?;
             let mut found = false;
             'key: for key in &schema.keys {
                 let mut pairs = Vec::with_capacity(key.len());
@@ -271,11 +269,8 @@ mod tests {
                 .with_key(["B"]),
         )
         .unwrap();
-        let q = Canonical::from_query(
-            &parse_query("SELECT A FROM R1 WHERE B = C").unwrap(),
-            &cat,
-        )
-        .unwrap();
+        let q = Canonical::from_query(&parse_query("SELECT A FROM R1 WHERE B = C").unwrap(), &cat)
+            .unwrap();
         let v = Canonical::from_query(
             &parse_query("SELECT u.A, w.B FROM R1 u, R1 w WHERE u.B = w.C").unwrap(),
             &cat,

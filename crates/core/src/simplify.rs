@@ -80,7 +80,8 @@ mod tests {
 
     fn canon(sql: &str) -> Canonical {
         let mut cat = Catalog::new();
-        cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+        cat.add_table(TableSchema::new("R", ["A", "B", "C"]))
+            .unwrap();
         Canonical::from_query(&parse_query(sql).unwrap(), &cat).unwrap()
     }
 

@@ -1,6 +1,7 @@
 //! A named collection of relations: base tables plus materialized views.
 
 use crate::error::{EngineError, EngineResult};
+use crate::index::GroupIndex;
 use crate::relation::Relation;
 use aggview_catalog::SchemaSource;
 use std::collections::BTreeMap;
@@ -8,9 +9,15 @@ use std::collections::BTreeMap;
 /// A database instance. Materialized views are stored exactly like base
 /// tables — the paper's rewritten queries reference them by name in their
 /// `FROM` clause.
+///
+/// A relation may carry a [`GroupIndex`] (grouped views do, when the
+/// session enables them). Replacing a relation with [`Database::insert`]
+/// drops its index — callers that maintain a relation in place re-attach
+/// the maintained index afterwards with [`Database::set_index`].
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    indexes: BTreeMap<String, GroupIndex>,
 }
 
 impl Database {
@@ -19,9 +26,12 @@ impl Database {
         Database::default()
     }
 
-    /// Insert (or replace) a relation under `name`.
+    /// Insert (or replace) a relation under `name`. Any index on the old
+    /// relation is dropped (its row positions are stale).
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
-        self.relations.insert(name.into(), relation);
+        let name = name.into();
+        self.indexes.remove(&name);
+        self.relations.insert(name, relation);
         self
     }
 
@@ -37,9 +47,34 @@ impl Database {
         self.relations.contains_key(name)
     }
 
-    /// Remove a relation (e.g. a temporary auxiliary view).
+    /// Remove a relation (e.g. a temporary auxiliary view) and its index.
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.indexes.remove(name);
         self.relations.remove(name)
+    }
+
+    /// Attach (or replace) a [`GroupIndex`] for `name`. Debug builds assert
+    /// the index is consistent with the stored relation.
+    pub fn set_index(&mut self, name: impl Into<String>, index: GroupIndex) -> &mut Self {
+        let name = name.into();
+        debug_assert!(
+            self.relations
+                .get(&name)
+                .is_some_and(|r| index.is_consistent_with(r)),
+            "index inconsistent with relation `{name}`"
+        );
+        self.indexes.insert(name, index);
+        self
+    }
+
+    /// The index on `name`, when one is attached.
+    pub fn index(&self, name: &str) -> Option<&GroupIndex> {
+        self.indexes.get(name)
+    }
+
+    /// Detach and return the index on `name` (for in-place maintenance).
+    pub fn take_index(&mut self, name: &str) -> Option<GroupIndex> {
+        self.indexes.remove(name)
     }
 
     /// Iterate over `(name, relation)` pairs in name order.
@@ -98,6 +133,26 @@ mod tests {
             db.get("U").unwrap_err(),
             EngineError::UnknownTable("U".into())
         );
+    }
+
+    #[test]
+    fn insert_drops_stale_index() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a", "s"], &[&[1, 5]]));
+        let idx = GroupIndex::build(db.get("T").unwrap(), vec![0]);
+        db.set_index("T", idx);
+        assert!(db.index("T").is_some());
+        db.insert("T", rel_of_ints(["a", "s"], &[&[2, 7]]));
+        assert!(db.index("T").is_none());
+    }
+
+    #[test]
+    fn take_index_detaches() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a"], &[&[1]]));
+        db.set_index("T", GroupIndex::build(db.get("T").unwrap(), vec![0]));
+        assert!(db.take_index("T").is_some());
+        assert!(db.index("T").is_none());
     }
 
     #[test]

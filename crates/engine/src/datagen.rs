@@ -64,7 +64,9 @@ pub fn telephony_catalog() -> Catalog {
     cat.add_table(
         TableSchema::new(
             "Calls",
-            ["Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge"],
+            [
+                "Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge",
+            ],
         )
         .with_key(["Call_Id"]),
     )

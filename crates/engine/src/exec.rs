@@ -6,13 +6,31 @@
 //! greedy hash-join plan over the equality predicates so that the benchmark
 //! sweeps (millions of `Calls` rows) run in sensible time; all other
 //! predicates are applied as soon as their columns are bound.
+//!
+//! Evaluation is split into two phases so the serving path can cache work:
+//!
+//! * [`PhysicalPlan::compile`] resolves columns against a schema source,
+//!   compiles scalar expressions and aggregate slots, and classifies the
+//!   `WHERE` conjuncts (constant / single-occurrence / equi-join /
+//!   residual). It never touches row data, so a compiled plan stays valid
+//!   across `INSERT`/`DELETE` as long as the schemas it was compiled
+//!   against are unchanged.
+//! * [`PhysicalPlan::run`] binds the named relations in a database and
+//!   evaluates. Join *order* is chosen here (greedily, by live filtered
+//!   cardinalities — it is data-dependent and cheap); column resolution,
+//!   expression compilation and predicate classification are not redone.
+//!
+//! When a scanned relation carries a [`GroupIndex`](crate::index::GroupIndex)
+//! and the plan's local predicates bind every key column to a constant, the
+//! scan becomes an index probe.
 
 use crate::agg::Accumulator;
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::relation::Relation;
 use crate::value::{self, Value};
-use aggview_sql::ast::{AggFunc, ArithOp, BoolExpr, CmpOp, ColumnRef, Expr, Literal, Query};
+use aggview_catalog::SchemaSource;
+use aggview_sql::ast::{AggFunc, ArithOp, BoolExpr, CmpOp, ColumnRef, Expr, Query};
 use std::collections::HashMap;
 
 /// Execute `query` against `db`, returning the result relation.
@@ -38,7 +56,7 @@ use std::collections::HashMap;
 /// ]);
 /// ```
 pub fn execute(query: &Query, db: &Database) -> EngineResult<Relation> {
-    Executor::new(query, db)?.run()
+    PhysicalPlan::compile(query, db)?.run(db)
 }
 
 /// Compiled scalar expression with resolved column slots (core-table
@@ -67,72 +85,124 @@ struct CPred {
 
 /// One aggregate to compute: the function and its compiled argument
 /// (`None` = `COUNT(*)`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AggSlot {
     func: AggFunc,
     arg: Option<CExpr>,
 }
 
-struct Occurrence<'a> {
-    binding: String,
-    relation: &'a Relation,
+/// One `FROM` occurrence of a compiled plan: the relation is bound by
+/// *name* at run time.
+#[derive(Debug, Clone)]
+struct PlanOcc {
+    table: String,
     offset: usize,
+    arity: usize,
 }
 
-struct Executor<'a> {
-    query: &'a Query,
-    occurrences: Vec<Occurrence<'a>>,
+/// Classification of a multi-occurrence `WHERE` conjunct.
+#[derive(Debug, Clone, Copy)]
+enum PredKind {
+    /// Pure column-column equality between two occurrences: a hash-join
+    /// key candidate (core column ids).
+    Equi(usize, usize),
+    /// Anything else: applied as soon as all its columns are bound.
+    Residual,
+}
+
+/// A multi-occurrence `WHERE` conjunct with its referenced core columns.
+#[derive(Debug, Clone)]
+struct PlanPred {
+    pred: CPred,
+    cols: Vec<usize>,
+    kind: PredKind,
+}
+
+/// A compiled physical plan: resolved columns, compiled expressions and
+/// classified predicates, detached from any concrete row data. Compile
+/// once with [`PhysicalPlan::compile`], re-execute with
+/// [`PhysicalPlan::run`] as the data changes.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    distinct: bool,
+    output_names: Vec<String>,
+    occs: Vec<PlanOcc>,
     n_core_cols: usize,
     grouped: bool,
     group_exprs: Vec<usize>, // core indexes of GROUP BY columns
     agg_slots: Vec<AggSlot>,
     select: Vec<CExpr>,
     having: Vec<CPred>,
-    where_preds: Vec<CPred>,
+    /// Multi-occurrence `WHERE` conjuncts (join keys and residuals).
+    preds: Vec<PlanPred>,
+    /// Single-occurrence conjuncts, pre-shifted into each occurrence's
+    /// local column space (applied during the scan, or the index probe).
+    local_preds: Vec<Vec<CPred>>,
+    /// A constant `WHERE` conjunct evaluated to false at compile time.
+    const_false: bool,
 }
 
-impl<'a> Executor<'a> {
-    fn new(query: &'a Query, db: &'a Database) -> EngineResult<Self> {
-        // Bind FROM occurrences.
-        let mut occurrences: Vec<Occurrence<'a>> = Vec::with_capacity(query.from.len());
+/// Compile-time state: per-occurrence schemas for column resolution.
+struct Compiler {
+    occs: Vec<PlanOcc>,
+    occ_cols: Vec<Vec<String>>,
+    grouped: bool,
+    group_exprs: Vec<usize>,
+    agg_slots: Vec<AggSlot>,
+    bindings: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Compile `query` against a schema source (a [`Database`] works: it
+    /// reports the schemas of its relations). Row data is not consulted.
+    pub fn compile(query: &Query, schemas: &dyn SchemaSource) -> EngineResult<Self> {
+        // Bind FROM occurrences against the schemas.
+        let mut occs: Vec<PlanOcc> = Vec::with_capacity(query.from.len());
+        let mut occ_cols: Vec<Vec<String>> = Vec::with_capacity(query.from.len());
+        let mut bindings: Vec<String> = Vec::with_capacity(query.from.len());
         let mut offset = 0usize;
         for tref in &query.from {
             let binding = tref.binding_name().to_string();
-            if occurrences.iter().any(|o| o.binding == binding) {
+            if bindings.contains(&binding) {
                 return Err(EngineError::DuplicateBinding(binding));
             }
-            let relation = db.get(&tref.table)?;
-            occurrences.push(Occurrence {
-                binding,
-                relation,
+            let cols = schemas
+                .table_columns(&tref.table)
+                .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+            occs.push(PlanOcc {
+                table: tref.table.clone(),
                 offset,
+                arity: cols.len(),
             });
-            offset += relation.arity();
+            offset += cols.len();
+            occ_cols.push(cols);
+            bindings.push(binding);
         }
         let n_core_cols = offset;
 
-        let mut ex = Executor {
-            query,
-            occurrences,
-            n_core_cols,
+        let mut c = Compiler {
+            occs,
+            occ_cols,
             grouped: false,
             group_exprs: Vec::new(),
             agg_slots: Vec::new(),
-            select: Vec::new(),
-            having: Vec::new(),
-            where_preds: Vec::new(),
+            bindings,
         };
 
         // Grouping columns.
-        for c in &query.group_by {
-            let idx = ex.resolve(c)?;
-            ex.group_exprs.push(idx);
+        for col in &query.group_by {
+            let idx = c.resolve(col)?;
+            c.group_exprs.push(idx);
         }
 
         let any_select_agg = query.select.iter().any(|s| s.expr.contains_aggregate());
-        ex.grouped = !query.group_by.is_empty() || any_select_agg || query.having.is_some();
+        c.grouped = !query.group_by.is_empty() || any_select_agg || query.having.is_some();
 
-        // Compile WHERE (no aggregates allowed).
+        // Compile and classify WHERE (no aggregates allowed).
+        let n_occ = c.occs.len();
+        let mut preds: Vec<PlanPred> = Vec::new();
+        let mut local_preds: Vec<Vec<CPred>> = vec![Vec::new(); n_occ];
+        let mut const_false = false;
         if let Some(w) = &query.where_clause {
             for atom in w.conjuncts() {
                 let BoolExpr::Cmp { lhs, op, rhs } = atom else {
@@ -142,133 +212,112 @@ impl<'a> Executor<'a> {
                     return Err(EngineError::MisplacedAggregate);
                 }
                 let p = CPred {
-                    lhs: ex.compile_scalar(lhs)?,
+                    lhs: c.compile_scalar(lhs)?,
                     op: *op,
-                    rhs: ex.compile_scalar(rhs)?,
+                    rhs: c.compile_scalar(rhs)?,
                 };
-                ex.where_preds.push(p);
+                let mut cols = Vec::new();
+                collect_cols(&p.lhs, &mut cols);
+                collect_cols(&p.rhs, &mut cols);
+                let mut pred_occs: Vec<usize> =
+                    cols.iter().map(|&col| occ_of(&c.occs, col)).collect();
+                pred_occs.sort_unstable();
+                pred_occs.dedup();
+                match pred_occs.as_slice() {
+                    [] => {
+                        // Constant predicate: decided here, once. A false
+                        // one empties the result.
+                        if !eval_pred(&p, &[], &[])? {
+                            const_false = true;
+                        }
+                    }
+                    [oi] => {
+                        let off = c.occs[*oi].offset;
+                        local_preds[*oi].push(shift_pred(&p, off));
+                    }
+                    _ => {
+                        let kind = match (&p.lhs, &p.rhs) {
+                            (CExpr::Col(a), CExpr::Col(b)) if p.op == CmpOp::Eq => {
+                                PredKind::Equi(*a, *b)
+                            }
+                            _ => PredKind::Residual,
+                        };
+                        cols.sort_unstable();
+                        cols.dedup();
+                        preds.push(PlanPred {
+                            pred: p,
+                            cols,
+                            kind,
+                        });
+                    }
+                }
             }
         }
 
         // Compile SELECT.
+        let mut select = Vec::with_capacity(query.select.len());
         for item in &query.select {
-            let compiled = if ex.grouped {
-                ex.compile_grouped(&item.expr)?
+            let compiled = if c.grouped {
+                c.compile_grouped(&item.expr)?
             } else {
-                ex.compile_scalar(&item.expr)?
+                c.compile_scalar(&item.expr)?
             };
-            ex.select.push(compiled);
+            select.push(compiled);
         }
 
         // Compile HAVING.
+        let mut having = Vec::new();
         if let Some(h) = &query.having {
             for atom in h.conjuncts() {
                 let BoolExpr::Cmp { lhs, op, rhs } = atom else {
                     unreachable!("conjuncts() yields comparisons");
                 };
-                let p = CPred {
-                    lhs: ex.compile_grouped(lhs)?,
+                having.push(CPred {
+                    lhs: c.compile_grouped(lhs)?,
                     op: *op,
-                    rhs: ex.compile_grouped(rhs)?,
-                };
-                ex.having.push(p);
-            }
-        }
-
-        Ok(ex)
-    }
-
-    /// Resolve a column reference to a core-table index.
-    fn resolve(&self, c: &ColumnRef) -> EngineResult<usize> {
-        match &c.table {
-            Some(binding) => {
-                let occ = self
-                    .occurrences
-                    .iter()
-                    .find(|o| o.binding == *binding)
-                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
-                let pos = occ
-                    .relation
-                    .column_index(&c.column)
-                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
-                Ok(occ.offset + pos)
-            }
-            None => {
-                let mut found = None;
-                for occ in &self.occurrences {
-                    if let Some(pos) = occ.relation.column_index(&c.column) {
-                        if found.is_some() {
-                            return Err(EngineError::AmbiguousColumn(c.column.clone()));
-                        }
-                        found = Some(occ.offset + pos);
-                    }
-                }
-                found.ok_or_else(|| EngineError::UnknownColumn(c.column.clone()))
-            }
-        }
-    }
-
-    /// Compile a scalar (aggregate-free) expression.
-    fn compile_scalar(&self, e: &Expr) -> EngineResult<CExpr> {
-        match e {
-            Expr::Column(c) => Ok(CExpr::Col(self.resolve(c)?)),
-            Expr::Literal(l) => Ok(CExpr::Lit(lit_value(l))),
-            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
-                Box::new(self.compile_scalar(lhs)?),
-                *op,
-                Box::new(self.compile_scalar(rhs)?),
-            )),
-            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_scalar(inner)?))),
-            Expr::Agg(_) => Err(EngineError::MisplacedAggregate),
-        }
-    }
-
-    /// Compile an expression appearing in a grouped context (`SELECT` or
-    /// `HAVING` of a grouped query): aggregate calls become slot
-    /// references, and bare columns must be grouping columns.
-    fn compile_grouped(&mut self, e: &Expr) -> EngineResult<CExpr> {
-        match e {
-            Expr::Column(c) => {
-                let idx = self.resolve(c)?;
-                if !self.grouped || self.group_exprs.contains(&idx) {
-                    Ok(CExpr::Col(idx))
-                } else {
-                    Err(EngineError::NonGroupedColumn(c.to_string()))
-                }
-            }
-            Expr::Literal(l) => Ok(CExpr::Lit(lit_value(l))),
-            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
-                Box::new(self.compile_grouped(lhs)?),
-                *op,
-                Box::new(self.compile_grouped(rhs)?),
-            )),
-            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_grouped(inner)?))),
-            Expr::Agg(agg) => {
-                let arg = match &agg.arg {
-                    None => None,
-                    Some(a) => {
-                        if a.contains_aggregate() {
-                            return Err(EngineError::MisplacedAggregate);
-                        }
-                        Some(self.compile_scalar(a)?)
-                    }
-                };
-                let slot = self.agg_slots.len();
-                self.agg_slots.push(AggSlot {
-                    func: agg.func,
-                    arg,
+                    rhs: c.compile_grouped(rhs)?,
                 });
-                Ok(CExpr::AggRef(slot))
             }
         }
+
+        Ok(PhysicalPlan {
+            distinct: query.distinct,
+            output_names: query.output_names(),
+            occs: c.occs,
+            n_core_cols,
+            grouped: c.grouped,
+            group_exprs: c.group_exprs,
+            agg_slots: c.agg_slots,
+            select,
+            having,
+            preds,
+            local_preds,
+            const_false,
+        })
     }
 
-    fn run(mut self) -> EngineResult<Relation> {
-        let core = self.build_core()?;
-        let names = self.query.output_names();
+    /// Execute the compiled plan against `db`. The relations named by the
+    /// plan's `FROM` occurrences must exist with the arity they were
+    /// compiled against (callers caching plans across DDL guard this with
+    /// an epoch; the arity check catches misuse).
+    pub fn run(&self, db: &Database) -> EngineResult<Relation> {
+        let mut rels: Vec<&Relation> = Vec::with_capacity(self.occs.len());
+        for o in &self.occs {
+            let r = db.get(&o.table)?;
+            if r.arity() != o.arity {
+                return Err(EngineError::TypeError(format!(
+                    "stale plan: `{}` has arity {} but the plan was compiled with {}",
+                    o.table,
+                    r.arity(),
+                    o.arity
+                )));
+            }
+            rels.push(r);
+        }
+        let core = self.build_core(&rels, db)?;
 
         if !self.grouped {
-            let mut out = Relation::empty(names);
+            let mut out = Relation::empty(self.output_names.clone());
             for row in &core {
                 let mut cells = Vec::with_capacity(self.select.len());
                 for e in &self.select {
@@ -276,7 +325,7 @@ impl<'a> Executor<'a> {
                 }
                 out.push(cells);
             }
-            if self.query.distinct {
+            if self.distinct {
                 dedup(&mut out);
             }
             return Ok(out);
@@ -288,11 +337,7 @@ impl<'a> Executor<'a> {
         let mut groups: HashMap<Vec<Value>, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
         let mut group_order: Vec<Vec<Value>> = Vec::new();
         for row in &core {
-            let key: Vec<Value> = self
-                .group_exprs
-                .iter()
-                .map(|&i| row[i].clone())
-                .collect();
+            let key: Vec<Value> = self.group_exprs.iter().map(|&i| row[i].clone()).collect();
             let entry = groups.entry(key.clone()).or_insert_with(|| {
                 group_order.push(key);
                 (
@@ -314,7 +359,7 @@ impl<'a> Executor<'a> {
             }
         }
 
-        let mut out = Relation::empty(names);
+        let mut out = Relation::empty(self.output_names.clone());
         'group: for key in &group_order {
             let (rep, accs) = &groups[key];
             let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
@@ -329,7 +374,7 @@ impl<'a> Executor<'a> {
             }
             out.push(cells);
         }
-        if self.query.distinct {
+        if self.distinct {
             dedup(&mut out);
         }
         Ok(out)
@@ -338,69 +383,22 @@ impl<'a> Executor<'a> {
     /// Build the core table (FROM × WHERE) with a greedy hash-join plan.
     /// Returns rows in the *core column space* (concatenation of FROM
     /// occurrences in declaration order).
-    fn build_core(&mut self) -> EngineResult<Vec<Vec<Value>>> {
-        let n_occ = self.occurrences.len();
-
-        // Classify predicates.
-        let mut applied = vec![false; self.where_preds.len()];
-        let mut local: Vec<Vec<usize>> = vec![Vec::new(); n_occ]; // per-occurrence preds
-        let mut equi: Vec<(usize, usize, usize)> = Vec::new(); // (pred, core_l, core_r)
-        for (pi, p) in self.where_preds.iter().enumerate() {
-            let mut cols = Vec::new();
-            collect_cols(&p.lhs, &mut cols);
-            collect_cols(&p.rhs, &mut cols);
-            let occs: Vec<usize> = {
-                let mut v: Vec<usize> = cols.iter().map(|&c| self.occ_of(c)).collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            };
-            match occs.len() {
-                0 => {
-                    // Constant predicate: evaluate once; a false constant
-                    // predicate empties the result.
-                    if !eval_pred(p, &[], &[])? {
-                        return Ok(Vec::new());
-                    }
-                    applied[pi] = true;
-                }
-                1 => {
-                    local[occs[0]].push(pi);
-                    applied[pi] = true; // applied during the scan below
-                }
-                _ => {
-                    // Pure column-to-column equality between two
-                    // occurrences is a hash-join candidate.
-                    if p.op == CmpOp::Eq {
-                        if let (CExpr::Col(a), CExpr::Col(b)) = (&p.lhs, &p.rhs) {
-                            equi.push((pi, *a, *b));
-                        }
-                    }
-                }
-            }
+    fn build_core(&self, rels: &[&Relation], db: &Database) -> EngineResult<Vec<Vec<Value>>> {
+        let n_occ = self.occs.len();
+        if self.const_false || n_occ == 0 {
+            return Ok(Vec::new());
         }
 
-        // Scan and locally filter each occurrence.
+        // Scan (or index-probe) and locally filter each occurrence.
         let mut scans: Vec<Vec<Vec<Value>>> = Vec::with_capacity(n_occ);
-        for (oi, occ) in self.occurrences.iter().enumerate() {
-            let mut rows = Vec::new();
-            'row: for r in &occ.relation.rows {
-                // Local predicates reference core indexes; build a sparse
-                // core row view for this occurrence.
-                for &pi in &local[oi] {
-                    let p = &self.where_preds[pi];
-                    if !eval_pred_offset(p, r, occ.offset)? {
-                        continue 'row;
-                    }
-                }
-                rows.push(r.clone());
-            }
-            scans.push(rows);
+        for (oi, rel) in rels.iter().enumerate() {
+            scans.push(self.scan(oi, rel, db)?);
         }
 
         // Greedy join order: start with the smallest scan, then repeatedly
         // join the smallest occurrence connected by an equi predicate
         // (falling back to the smallest unconnected — a cross product).
+        let mut applied = vec![false; self.preds.len()];
         let mut remaining: Vec<usize> = (0..n_occ).collect();
         remaining.sort_by_key(|&oi| scans[oi].len());
         let first = remaining.remove(0);
@@ -408,7 +406,7 @@ impl<'a> Executor<'a> {
         // `layout[oi] = Some(offset in intermediate row)` once joined.
         let mut layout: Vec<Option<usize>> = vec![None; n_occ];
         layout[first] = Some(0);
-        let mut width = self.occurrences[first].relation.arity();
+        let mut width = self.occs[first].arity;
         let mut inter: Vec<Vec<Value>> = scans[first].clone();
 
         while !remaining.is_empty() {
@@ -416,12 +414,16 @@ impl<'a> Executor<'a> {
             let connected_pos = remaining
                 .iter()
                 .position(|&oi| {
-                    equi.iter().any(|&(pi, a, b)| {
-                        !applied[pi] && {
-                            let (oa, ob) = (self.occ_of(a), self.occ_of(b));
-                            (oa == oi && layout[ob].is_some())
-                                || (ob == oi && layout[oa].is_some())
-                        }
+                    self.preds.iter().enumerate().any(|(pi, p)| {
+                        !applied[pi]
+                            && match p.kind {
+                                PredKind::Equi(a, b) => {
+                                    let (oa, ob) = (self.occ_of(a), self.occ_of(b));
+                                    (oa == oi && layout[ob].is_some())
+                                        || (ob == oi && layout[oa].is_some())
+                                }
+                                PredKind::Residual => false,
+                            }
                     })
                 })
                 .unwrap_or(0);
@@ -431,7 +433,10 @@ impl<'a> Executor<'a> {
             // current layout.
             let mut build_cols = Vec::new(); // local to `next`
             let mut probe_cols = Vec::new(); // positions in intermediate
-            for &(pi, a, b) in &equi {
+            for (pi, p) in self.preds.iter().enumerate() {
+                let PredKind::Equi(a, b) = p.kind else {
+                    continue;
+                };
                 if applied[pi] {
                     continue;
                 }
@@ -443,9 +448,10 @@ impl<'a> Executor<'a> {
                 } else {
                     continue;
                 };
-                build_cols.push(nc - self.occurrences[next].offset);
-                probe_cols
-                    .push(layout[self.occ_of(ic)].unwrap() + (ic - self.occurrences[self.occ_of(ic)].offset));
+                build_cols.push(nc - self.occs[next].offset);
+                probe_cols.push(
+                    layout[self.occ_of(ic)].unwrap() + (ic - self.occs[self.occ_of(ic)].offset),
+                );
                 applied[pi] = true;
             }
 
@@ -480,29 +486,32 @@ impl<'a> Executor<'a> {
                 }
             }
             layout[next] = Some(width);
-            width += self.occurrences[next].relation.arity();
+            width += self.occs[next].arity;
             inter = joined;
 
             // Apply any not-yet-applied predicates whose columns are all
-            // bound now (non-equi joins, redundant equalities, ...).
-            let bound_preds: Vec<usize> = (0..self.where_preds.len())
+            // bound now (non-equi joins, redundant equalities, ...). The
+            // predicate is remapped into the intermediate layout once, not
+            // per row.
+            let bound_preds: Vec<usize> = (0..self.preds.len())
                 .filter(|&pi| {
-                    !applied[pi] && {
-                        let p = &self.where_preds[pi];
-                        let mut cols = Vec::new();
-                        collect_cols(&p.lhs, &mut cols);
-                        collect_cols(&p.rhs, &mut cols);
-                        cols.iter().all(|&c| layout[self.occ_of(c)].is_some())
-                    }
+                    !applied[pi]
+                        && self.preds[pi]
+                            .cols
+                            .iter()
+                            .all(|&col| layout[self.occ_of(col)].is_some())
                 })
                 .collect();
             if !bound_preds.is_empty() {
                 let remap = self.remap_for(&layout);
+                let remapped: Vec<CPred> = bound_preds
+                    .iter()
+                    .map(|&pi| remap_pred(&self.preds[pi].pred, &remap))
+                    .collect();
                 let mut filtered = Vec::with_capacity(inter.len());
                 'jrow: for row in inter {
-                    for &pi in &bound_preds {
-                        let p = &self.where_preds[pi];
-                        if !eval_pred_remap(p, &row, &remap)? {
+                    for p in &remapped {
+                        if !eval_pred(p, &row, &[])? {
                             continue 'jrow;
                         }
                     }
@@ -527,13 +536,111 @@ impl<'a> Executor<'a> {
             .collect())
     }
 
+    /// Produce the locally filtered rows of occurrence `oi`: an index probe
+    /// when the relation carries a [`GroupIndex`](crate::index::GroupIndex)
+    /// whose key columns are all bound to constants, a scan otherwise.
+    /// Both paths yield identical rows in identical order.
+    fn scan(&self, oi: usize, rel: &Relation, db: &Database) -> EngineResult<Vec<Vec<Value>>> {
+        let locals = &self.local_preds[oi];
+        if let Some(rows) = self.index_probe(oi, rel, db)? {
+            return Ok(rows);
+        }
+        let mut rows = Vec::new();
+        'row: for r in &rel.rows {
+            for p in locals {
+                if !eval_pred(p, r, &[])? {
+                    continue 'row;
+                }
+            }
+            rows.push(r.clone());
+        }
+        Ok(rows)
+    }
+
+    /// Try to answer the scan of occurrence `oi` from an attached index:
+    /// applicable when the local predicates bind every key column to a
+    /// constant. Probes cover the numeric cross-type equalities of
+    /// [`Value::cmp_sql`] (`1 = 1.0`); near the f64 precision edge the
+    /// probe declines and the caller falls back to the scan.
+    fn index_probe(
+        &self,
+        oi: usize,
+        rel: &Relation,
+        db: &Database,
+    ) -> EngineResult<Option<Vec<Vec<Value>>>> {
+        let Some(idx) = db.index(&self.occs[oi].table) else {
+            return Ok(None);
+        };
+        let locals = &self.local_preds[oi];
+        if locals.is_empty() {
+            return Ok(None);
+        }
+        // Constant-equality bindings in the occurrence's local column space.
+        let mut bound: HashMap<usize, &Value> = HashMap::new();
+        for p in locals {
+            if p.op != CmpOp::Eq {
+                continue;
+            }
+            if let (CExpr::Col(c), CExpr::Lit(v)) | (CExpr::Lit(v), CExpr::Col(c)) =
+                (&p.lhs, &p.rhs)
+            {
+                bound.entry(*c).or_insert(v);
+            }
+        }
+        let mut per_col: Vec<Vec<Value>> = Vec::with_capacity(idx.key_cols().len());
+        for &k in idx.key_cols() {
+            let Some(v) = bound.get(&k) else {
+                return Ok(None);
+            };
+            let Some(variants) = probe_variants(v) else {
+                return Ok(None);
+            };
+            per_col.push(variants);
+        }
+
+        // Union the probe results over the cartesian product of the
+        // per-column variants; ascending positions keep row order identical
+        // to the scan path.
+        let mut positions: Vec<usize> = Vec::new();
+        let mut choice = vec![0usize; per_col.len()];
+        loop {
+            let key: Vec<Value> = per_col
+                .iter()
+                .zip(&choice)
+                .map(|(vs, &i)| vs[i].clone())
+                .collect();
+            positions.extend_from_slice(idx.probe(&key));
+            // Odometer over the variant choices.
+            let mut digit = 0;
+            loop {
+                if digit == choice.len() {
+                    positions.sort_unstable();
+                    positions.dedup();
+                    let mut rows = Vec::with_capacity(positions.len());
+                    'row: for &ri in &positions {
+                        let r = &rel.rows[ri];
+                        for p in locals {
+                            if !eval_pred(p, r, &[])? {
+                                continue 'row;
+                            }
+                        }
+                        rows.push(r.clone());
+                    }
+                    return Ok(Some(rows));
+                }
+                choice[digit] += 1;
+                if choice[digit] < per_col[digit].len() {
+                    break;
+                }
+                choice[digit] = 0;
+                digit += 1;
+            }
+        }
+    }
+
     /// Map core index → occurrence index.
     fn occ_of(&self, core: usize) -> usize {
-        // Occurrences are few; a linear scan beats a binary search here.
-        self.occurrences
-            .iter()
-            .rposition(|o| o.offset <= core)
-            .expect("core index within range")
+        occ_of(&self.occs, core)
     }
 
     /// Map core index → position in the intermediate layout. Columns of
@@ -541,9 +648,9 @@ impl<'a> Executor<'a> {
     /// evaluate predicates whose columns are all bound.
     fn remap_for(&self, layout: &[Option<usize>]) -> Vec<usize> {
         let mut remap = vec![usize::MAX; self.n_core_cols];
-        for (oi, occ) in self.occurrences.iter().enumerate() {
+        for (oi, occ) in self.occs.iter().enumerate() {
             let Some(base) = layout[oi] else { continue };
-            for k in 0..occ.relation.arity() {
+            for k in 0..occ.arity {
                 remap[occ.offset + k] = base + k;
             }
         }
@@ -551,12 +658,169 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn lit_value(l: &Literal) -> Value {
-    match l {
-        Literal::Int(v) => Value::Int(*v),
-        Literal::Double(v) => Value::Double(*v),
-        Literal::Str(v) => Value::Str(v.clone()),
-        Literal::Bool(v) => Value::Bool(*v),
+impl Compiler {
+    /// Resolve a column reference to a core-table index.
+    fn resolve(&self, c: &ColumnRef) -> EngineResult<usize> {
+        match &c.table {
+            Some(binding) => {
+                let oi = self
+                    .bindings
+                    .iter()
+                    .position(|b| b == binding)
+                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
+                let pos = self.occ_cols[oi]
+                    .iter()
+                    .position(|col| col == &c.column)
+                    .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))?;
+                Ok(self.occs[oi].offset + pos)
+            }
+            None => {
+                let mut found = None;
+                for (oi, cols) in self.occ_cols.iter().enumerate() {
+                    if let Some(pos) = cols.iter().position(|col| col == &c.column) {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(c.column.clone()));
+                        }
+                        found = Some(self.occs[oi].offset + pos);
+                    }
+                }
+                found.ok_or_else(|| EngineError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// Compile a scalar (aggregate-free) expression.
+    fn compile_scalar(&self, e: &Expr) -> EngineResult<CExpr> {
+        match e {
+            Expr::Column(c) => Ok(CExpr::Col(self.resolve(c)?)),
+            Expr::Literal(l) => Ok(CExpr::Lit(value::lit_value(l))),
+            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
+                Box::new(self.compile_scalar(lhs)?),
+                *op,
+                Box::new(self.compile_scalar(rhs)?),
+            )),
+            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_scalar(inner)?))),
+            Expr::Agg(_) => Err(EngineError::MisplacedAggregate),
+        }
+    }
+
+    /// Compile an expression appearing in a grouped context (`SELECT` or
+    /// `HAVING` of a grouped query): aggregate calls become slot
+    /// references, and bare columns must be grouping columns.
+    fn compile_grouped(&mut self, e: &Expr) -> EngineResult<CExpr> {
+        match e {
+            Expr::Column(c) => {
+                let idx = self.resolve(c)?;
+                if !self.grouped || self.group_exprs.contains(&idx) {
+                    Ok(CExpr::Col(idx))
+                } else {
+                    Err(EngineError::NonGroupedColumn(c.to_string()))
+                }
+            }
+            Expr::Literal(l) => Ok(CExpr::Lit(value::lit_value(l))),
+            Expr::Binary { lhs, op, rhs } => Ok(CExpr::Bin(
+                Box::new(self.compile_grouped(lhs)?),
+                *op,
+                Box::new(self.compile_grouped(rhs)?),
+            )),
+            Expr::Neg(inner) => Ok(CExpr::Neg(Box::new(self.compile_grouped(inner)?))),
+            Expr::Agg(agg) => {
+                let arg = match &agg.arg {
+                    None => None,
+                    Some(a) => {
+                        if a.contains_aggregate() {
+                            return Err(EngineError::MisplacedAggregate);
+                        }
+                        Some(self.compile_scalar(a)?)
+                    }
+                };
+                let slot = self.agg_slots.len();
+                self.agg_slots.push(AggSlot {
+                    func: agg.func,
+                    arg,
+                });
+                Ok(CExpr::AggRef(slot))
+            }
+        }
+    }
+}
+
+/// Map core index → occurrence index (occurrences are few; a linear scan
+/// beats a binary search here).
+fn occ_of(occs: &[PlanOcc], core: usize) -> usize {
+    occs.iter()
+        .rposition(|o| o.offset <= core)
+        .expect("core index within range")
+}
+
+/// Exact-integer range of f64: cross-type probe variants are only generated
+/// below this magnitude, where `Int(x) == Double(y)` under SQL comparison
+/// iff the twin conversion is exact.
+const F64_EXACT: f64 = 9007199254740992.0; // 2^53
+
+/// The index keys a constant can equal under [`Value::cmp_sql`]: the value
+/// itself plus its numeric cross-type twin. `None` = semantics not
+/// representable by hash probes (precision edge, non-finite) — scan.
+fn probe_variants(v: &Value) -> Option<Vec<Value>> {
+    Some(match v {
+        Value::Int(x) => {
+            if (x.unsigned_abs() as f64) < F64_EXACT {
+                vec![Value::Int(*x), Value::Double(*x as f64)]
+            } else {
+                return None;
+            }
+        }
+        Value::Double(d) => {
+            if !d.is_finite() || d.abs() >= F64_EXACT {
+                return None;
+            }
+            if d.fract() == 0.0 {
+                vec![Value::Double(*d), Value::Int(*d as i64)]
+            } else {
+                vec![Value::Double(*d)]
+            }
+        }
+        other => vec![other.clone()],
+    })
+}
+
+/// Shift a predicate from core column space into a single occurrence's
+/// local column space (compile-time; the scan then evaluates rows as-is).
+fn shift_pred(p: &CPred, offset: usize) -> CPred {
+    fn shift(e: &CExpr, offset: usize) -> CExpr {
+        match e {
+            CExpr::Col(i) => CExpr::Col(i - offset),
+            CExpr::Lit(v) => CExpr::Lit(v.clone()),
+            CExpr::Bin(a, op, b) => {
+                CExpr::Bin(Box::new(shift(a, offset)), *op, Box::new(shift(b, offset)))
+            }
+            CExpr::Neg(a) => CExpr::Neg(Box::new(shift(a, offset))),
+            CExpr::AggRef(i) => CExpr::AggRef(*i),
+        }
+    }
+    CPred {
+        lhs: shift(&p.lhs, offset),
+        op: p.op,
+        rhs: shift(&p.rhs, offset),
+    }
+}
+
+/// Remap a predicate's core columns into an intermediate layout (once per
+/// join step, not per row).
+fn remap_pred(p: &CPred, remap: &[usize]) -> CPred {
+    fn rm(e: &CExpr, remap: &[usize]) -> CExpr {
+        match e {
+            CExpr::Col(i) => CExpr::Col(remap[*i]),
+            CExpr::Lit(v) => CExpr::Lit(v.clone()),
+            CExpr::Bin(a, op, b) => CExpr::Bin(Box::new(rm(a, remap)), *op, Box::new(rm(b, remap))),
+            CExpr::Neg(a) => CExpr::Neg(Box::new(rm(a, remap))),
+            CExpr::AggRef(i) => CExpr::AggRef(*i),
+        }
+    }
+    CPred {
+        lhs: rm(&p.lhs, remap),
+        op: p.op,
+        rhs: rm(&p.rhs, remap),
     }
 }
 
@@ -611,65 +875,12 @@ fn eval(e: &CExpr, row: &[Value], aggs: &[Value]) -> EngineResult<Value> {
 fn eval_pred(p: &CPred, row: &[Value], aggs: &[Value]) -> EngineResult<bool> {
     let l = eval(&p.lhs, row, aggs)?;
     let r = eval(&p.rhs, row, aggs)?;
-    compare(&l, p.op, &r)
-}
-
-/// Evaluate a predicate whose columns all live in one occurrence, against a
-/// single-table row at the given core offset.
-fn eval_pred_offset(p: &CPred, row: &[Value], offset: usize) -> EngineResult<bool> {
-    fn shift(e: &CExpr, offset: usize) -> CExpr {
-        match e {
-            CExpr::Col(i) => CExpr::Col(i - offset),
-            CExpr::Lit(v) => CExpr::Lit(v.clone()),
-            CExpr::Bin(a, op, b) => CExpr::Bin(
-                Box::new(shift(a, offset)),
-                *op,
-                Box::new(shift(b, offset)),
-            ),
-            CExpr::Neg(a) => CExpr::Neg(Box::new(shift(a, offset))),
-            CExpr::AggRef(i) => CExpr::AggRef(*i),
-        }
-    }
-    let l = eval(&shift(&p.lhs, offset), row, &[])?;
-    let r = eval(&shift(&p.rhs, offset), row, &[])?;
-    compare(&l, p.op, &r)
-}
-
-/// Evaluate a predicate against an intermediate row through a core→layout
-/// remap.
-fn eval_pred_remap(p: &CPred, row: &[Value], remap: &[usize]) -> EngineResult<bool> {
-    fn rm(e: &CExpr, remap: &[usize]) -> CExpr {
-        match e {
-            CExpr::Col(i) => CExpr::Col(remap[*i]),
-            CExpr::Lit(v) => CExpr::Lit(v.clone()),
-            CExpr::Bin(a, op, b) => {
-                CExpr::Bin(Box::new(rm(a, remap)), *op, Box::new(rm(b, remap)))
-            }
-            CExpr::Neg(a) => CExpr::Neg(Box::new(rm(a, remap))),
-            CExpr::AggRef(i) => CExpr::AggRef(*i),
-        }
-    }
-    let l = eval(&rm(&p.lhs, remap), row, &[])?;
-    let r = eval(&rm(&p.rhs, remap), row, &[])?;
-    compare(&l, p.op, &r)
-}
-
-fn compare(l: &Value, op: CmpOp, r: &Value) -> EngineResult<bool> {
-    use std::cmp::Ordering;
-    let ord = l.cmp_sql(r).ok_or_else(|| {
+    value::compare(&l, p.op, &r).ok_or_else(|| {
         EngineError::TypeError(format!(
             "comparison of {} and {}",
             l.type_name(),
             r.type_name()
         ))
-    })?;
-    Ok(match op {
-        CmpOp::Eq => ord == Ordering::Equal,
-        CmpOp::Ne => ord != Ordering::Equal,
-        CmpOp::Lt => ord == Ordering::Less,
-        CmpOp::Le => ord != Ordering::Greater,
-        CmpOp::Gt => ord == Ordering::Greater,
-        CmpOp::Ge => ord != Ordering::Less,
     })
 }
 
@@ -681,7 +892,8 @@ fn dedup(rel: &mut Relation) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::relation::rel_of_ints;
+    use crate::index::GroupIndex;
+    use crate::relation::{multiset_eq, rel_of_ints};
     use aggview_sql::parse_query;
 
     fn db2() -> Database {
@@ -690,7 +902,10 @@ mod tests {
             "R1",
             rel_of_ints(["A", "B"], &[&[1, 10], &[1, 20], &[2, 30], &[2, 30]]),
         );
-        db.insert("R2", rel_of_ints(["C", "D"], &[&[1, 100], &[2, 200], &[3, 300]]));
+        db.insert(
+            "R2",
+            rel_of_ints(["C", "D"], &[&[1, 100], &[2, 200], &[3, 300]]),
+        );
         db
     }
 
@@ -740,7 +955,10 @@ mod tests {
 
     #[test]
     fn group_by_with_aggregates() {
-        let out = run("SELECT A, SUM(B), COUNT(B), MIN(B), MAX(B) FROM R1 GROUP BY A", &db2());
+        let out = run(
+            "SELECT A, SUM(B), COUNT(B), MIN(B), MAX(B) FROM R1 GROUP BY A",
+            &db2(),
+        );
         let rows = out.sorted_rows();
         assert_eq!(
             rows,
@@ -912,10 +1130,7 @@ mod tests {
     fn three_way_join_ordering() {
         let mut db = db2();
         db.insert("R3", rel_of_ints(["E", "F"], &[&[100, 7], &[300, 9]]));
-        let out = run(
-            "SELECT A, F FROM R1, R2, R3 WHERE A = C AND D = E",
-            &db,
-        );
+        let out = run("SELECT A, F FROM R1, R2, R3 WHERE A = C AND D = E", &db);
         // A=C gives (1,100)x2,(2,200)x2; D=E keeps D=100 → 2 rows with F=7.
         assert_eq!(
             out.sorted_rows(),
@@ -1035,5 +1250,104 @@ mod tests {
         assert!(out.is_empty());
         let out = run("SELECT SUM(B) FROM R1 HAVING SUM(B) > 10", &db2());
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn compiled_plan_survives_data_changes() {
+        // The tentpole contract: compile once, re-run as rows change.
+        let mut db = db2();
+        let q = parse_query("SELECT A, SUM(B) FROM R1 GROUP BY A").unwrap();
+        let plan = PhysicalPlan::compile(&q, &db).unwrap();
+        let before = plan.run(&db).unwrap();
+        assert_eq!(before.sorted_rows(), run(&q.to_string(), &db).sorted_rows());
+
+        let mut r1 = db.get("R1").unwrap().clone();
+        r1.push(vec![Value::Int(3), Value::Int(40)]);
+        db.insert("R1", r1);
+        let after = plan.run(&db).unwrap();
+        assert_eq!(after.sorted_rows(), run(&q.to_string(), &db).sorted_rows());
+        assert_eq!(after.len(), 3);
+    }
+
+    #[test]
+    fn stale_plan_arity_is_rejected() {
+        let mut db = db2();
+        let q = parse_query("SELECT A FROM R1").unwrap();
+        let plan = PhysicalPlan::compile(&q, &db).unwrap();
+        db.insert("R1", rel_of_ints(["A", "B", "C"], &[&[1, 2, 3]]));
+        assert!(matches!(
+            plan.run(&db).unwrap_err(),
+            EngineError::TypeError(_)
+        ));
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut db = Database::new();
+        let rel = rel_of_ints(
+            ["a", "b", "s"],
+            &[&[1, 1, 5], &[1, 2, 7], &[2, 1, 9], &[2, 2, 11]],
+        );
+        db.insert("V", rel);
+        let sql = "SELECT s FROM V WHERE a = 2 AND b = 1";
+        let scanned = run(sql, &db);
+        db.set_index("V", GroupIndex::build(db.get("V").unwrap(), vec![0, 1]));
+        let probed = run(sql, &db);
+        assert_eq!(scanned.rows, probed.rows);
+        assert_eq!(probed.rows, vec![vec![Value::Int(9)]]);
+    }
+
+    #[test]
+    fn index_probe_covers_cross_type_equality() {
+        // `a = 2` must find a Double(2.0) key — cmp_sql equates them.
+        let mut db = Database::new();
+        db.insert(
+            "V",
+            Relation::new(
+                ["a", "s"],
+                vec![
+                    vec![Value::Double(2.0), Value::Int(9)],
+                    vec![Value::Int(3), Value::Int(11)],
+                ],
+            ),
+        );
+        let sql = "SELECT s FROM V WHERE a = 2";
+        let scanned = run(sql, &db);
+        db.set_index("V", GroupIndex::build(db.get("V").unwrap(), vec![0]));
+        let probed = run(sql, &db);
+        assert_eq!(scanned.rows, probed.rows);
+        assert_eq!(probed.rows, vec![vec![Value::Int(9)]]);
+    }
+
+    #[test]
+    fn index_probe_respects_extra_predicates() {
+        // Bindings cover the key, but a further local predicate must still
+        // filter the probed rows.
+        let mut db = Database::new();
+        db.insert("V", rel_of_ints(["a", "s"], &[&[1, 5], &[2, 9]]));
+        db.set_index("V", GroupIndex::build(db.get("V").unwrap(), vec![0]));
+        let out = run("SELECT s FROM V WHERE a = 2 AND s > 100", &db);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn partial_key_binding_falls_back_to_scan() {
+        let mut db = Database::new();
+        db.insert("V", rel_of_ints(["a", "b", "s"], &[&[1, 1, 5], &[1, 2, 7]]));
+        db.set_index("V", GroupIndex::build(db.get("V").unwrap(), vec![0, 1]));
+        // Only `a` is bound — the composite key cannot be probed.
+        let out = run("SELECT s FROM V WHERE a = 1", &db);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn indexed_join_equals_unindexed_join() {
+        let mut db = db2();
+        let sql = "SELECT A, D FROM R1, R2 WHERE A = C AND C = 2";
+        let plain = run(sql, &db);
+        db.set_index("R2", GroupIndex::build(db.get("R2").unwrap(), vec![0]));
+        let indexed = run(sql, &db);
+        assert!(multiset_eq(&plain, &indexed));
+        assert_eq!(indexed.len(), 2);
     }
 }

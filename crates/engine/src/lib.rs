@@ -29,6 +29,7 @@ pub mod database;
 pub mod datagen;
 pub mod error;
 pub mod exec;
+pub mod index;
 pub mod maintenance;
 pub mod reference;
 pub mod relation;
@@ -36,7 +37,8 @@ pub mod value;
 
 pub use database::Database;
 pub use error::{EngineError, EngineResult};
-pub use exec::execute;
+pub use exec::{execute, PhysicalPlan};
+pub use index::GroupIndex;
 pub use reference::execute_reference;
 pub use relation::{multiset_eq, set_eq, Relation};
 pub use value::Value;

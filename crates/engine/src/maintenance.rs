@@ -22,6 +22,7 @@
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::exec::execute;
+use crate::index::GroupIndex;
 use crate::relation::Relation;
 use crate::value::{self, Value};
 use aggview_sql::ast::{AggFunc, BoolExpr, CmpOp, ColumnRef, Expr, Literal, Query};
@@ -96,11 +97,7 @@ fn try_plan(q: &Query, db: &Database) -> Option<IncrementalPlan> {
     };
 
     // Grouping columns.
-    let group_positions: Vec<usize> = q
-        .group_by
-        .iter()
-        .map(resolve)
-        .collect::<Option<Vec<_>>>()?;
+    let group_positions: Vec<usize> = q.group_by.iter().map(resolve).collect::<Option<Vec<_>>>()?;
 
     // Select outputs.
     let mut outputs = Vec::with_capacity(q.select.len());
@@ -143,11 +140,9 @@ fn try_plan(q: &Query, db: &Database) -> Option<IncrementalPlan> {
             let operand = |e: &Expr| -> Option<Operand> {
                 match e {
                     Expr::Column(c) => Some(Operand::Col(resolve(c)?)),
-                    Expr::Literal(l) => Some(Operand::Const(lit(l))),
+                    Expr::Literal(l) => Some(Operand::Const(value::lit_value(l))),
                     Expr::Neg(inner) => match inner.as_ref() {
-                        Expr::Literal(Literal::Int(v)) => {
-                            Some(Operand::Const(Value::Int(-v)))
-                        }
+                        Expr::Literal(Literal::Int(v)) => Some(Operand::Const(Value::Int(-v))),
                         Expr::Literal(Literal::Double(v)) => {
                             Some(Operand::Const(Value::Double(-v)))
                         }
@@ -200,7 +195,39 @@ impl IncrementalPlan {
         has_count
     }
 
-    /// Apply deleted base rows to the materialized view relation.
+    /// The [`GroupIndex`] key columns an index must have to serve this
+    /// plan's group lookups: the view positions of the grouping columns.
+    pub fn index_key_cols(&self) -> &[usize] {
+        &self.group_outputs
+    }
+
+    /// Does the delta row pass the view's WHERE filter?
+    fn passes_filter(&self, row: &[Value]) -> EngineResult<bool> {
+        for (l, op, r) in &self.filter {
+            let a = operand_value(l, row);
+            let b = operand_value(r, row);
+            if !compare(a, *op, b)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The view-relation group key of a base-table delta row.
+    fn delta_key(&self, row: &[Value]) -> Vec<Value> {
+        self.group_outputs
+            .iter()
+            .map(|&o| match &self.outputs[o] {
+                OutputKind::Group(pos) => row[*pos].clone(),
+                OutputKind::Agg(..) => unreachable!("group output"),
+            })
+            .collect()
+    }
+
+    /// Apply deleted base rows to the materialized view relation. When a
+    /// [`GroupIndex`] on the grouping columns is supplied, group lookups
+    /// probe it instead of building a scratch map; the index is rebuilt at
+    /// the end (dropping emptied groups shifts row positions).
     ///
     /// Precondition: [`IncrementalPlan::supports_delete`]; the deleted rows
     /// must actually have been in the base table (the view is otherwise
@@ -209,39 +236,33 @@ impl IncrementalPlan {
         &self,
         view: &mut Relation,
         deleted_rows: &[Vec<Value>],
+        index: Option<&mut GroupIndex>,
     ) -> EngineResult<()> {
         debug_assert!(self.supports_delete());
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(view.len());
-        for (ri, row) in view.rows.iter().enumerate() {
-            let key: Vec<Value> = self
-                .group_outputs
-                .iter()
-                .map(|&o| row[o].clone())
-                .collect();
-            index.insert(key, ri);
-        }
+        let usable = index
+            .as_ref()
+            .is_some_and(|idx| idx.key_cols() == self.index_key_cols());
+        let scratch: Option<HashMap<Vec<Value>, usize>> =
+            (!usable).then(|| self.scratch_index(view));
 
         'delta: for row in deleted_rows {
-            for (l, op, r) in &self.filter {
-                let a = operand_value(l, row);
-                let b = operand_value(r, row);
-                if !compare(a, *op, b)? {
-                    continue 'delta;
-                }
+            if !self.passes_filter(row)? {
+                continue 'delta;
             }
-            let key: Vec<Value> = self
-                .group_outputs
-                .iter()
-                .map(|&o| match &self.outputs[o] {
-                    OutputKind::Group(pos) => row[*pos].clone(),
-                    OutputKind::Agg(..) => unreachable!("group output"),
-                })
-                .collect();
-            let Some(&ri) = index.get(&key) else {
+            let key = self.delta_key(row);
+            let ri = match &scratch {
+                Some(map) => map.get(&key).copied(),
+                None => index
+                    .as_ref()
+                    .and_then(|idx| idx.probe(&key).last().copied()),
+            };
+            let Some(ri) = ri else {
                 return Err(EngineError::TypeError(
                     "delete delta references a group absent from the view".into(),
                 ));
             };
+            // Only aggregate cells change: group keys stay put, so an
+            // attached index stays valid throughout the loop.
             for (oi, out) in self.outputs.iter().enumerate() {
                 if let OutputKind::Agg(func, arg) = out {
                     let cell = &view.rows[ri][oi];
@@ -257,45 +278,41 @@ impl IncrementalPlan {
             .position(|o| matches!(o, OutputKind::Agg(AggFunc::Count, _)))
             .expect("supports_delete checked");
         view.rows.retain(|r| r[count_pos] != Value::Int(0));
+        if let Some(idx) = index {
+            idx.rebuild(view);
+        }
         Ok(())
     }
 
-    /// Apply inserted base rows to the materialized view relation.
+    /// Apply inserted base rows to the materialized view relation. When a
+    /// [`GroupIndex`] on the grouping columns is supplied, group lookups
+    /// probe it and the index is kept in sync as fresh groups are appended
+    /// — the per-batch scratch map disappears from the serving write path.
     pub fn apply_insert(
         &self,
         view: &mut Relation,
         delta_rows: &[Vec<Value>],
+        mut index: Option<&mut GroupIndex>,
     ) -> EngineResult<()> {
-        // Index existing groups by their grouping values.
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(view.len());
-        for (ri, row) in view.rows.iter().enumerate() {
-            let key: Vec<Value> = self
-                .group_outputs
-                .iter()
-                .map(|&o| row[o].clone())
-                .collect();
-            index.insert(key, ri);
-        }
+        let usable = index
+            .as_ref()
+            .is_some_and(|idx| idx.key_cols() == self.index_key_cols());
+        let mut scratch: Option<HashMap<Vec<Value>, usize>> =
+            (!usable).then(|| self.scratch_index(view));
 
         'delta: for row in delta_rows {
-            for (l, op, r) in &self.filter {
-                let a = operand_value(l, row);
-                let b = operand_value(r, row);
-                if !compare(a, *op, b)? {
-                    continue 'delta;
-                }
+            if !self.passes_filter(row)? {
+                continue 'delta;
             }
-            let key: Vec<Value> = self
-                .group_outputs
-                .iter()
-                .map(|&o| match &self.outputs[o] {
-                    OutputKind::Group(pos) => row[*pos].clone(),
-                    OutputKind::Agg(..) => unreachable!("group output"),
-                })
-                .collect();
-
-            match index.get(&key) {
-                Some(&ri) => {
+            let key = self.delta_key(row);
+            let ri = match &scratch {
+                Some(map) => map.get(&key).copied(),
+                None => index
+                    .as_ref()
+                    .and_then(|idx| idx.probe(&key).last().copied()),
+            };
+            match ri {
+                Some(ri) => {
                     for (oi, out) in self.outputs.iter().enumerate() {
                         if let OutputKind::Agg(func, arg) = out {
                             let cell = &view.rows[ri][oi];
@@ -311,12 +328,32 @@ impl IncrementalPlan {
                             OutputKind::Agg(func, arg) => init(*func, *arg, row)?,
                         });
                     }
-                    index.insert(key, view.rows.len());
+                    match (&mut scratch, &mut index) {
+                        (Some(map), _) => {
+                            map.insert(key, view.rows.len());
+                        }
+                        (None, Some(idx)) => idx.note_push(&fresh, view.rows.len()),
+                        (None, None) => unreachable!("scratch built when no usable index"),
+                    }
                     view.push(fresh);
                 }
             }
         }
+        // A supplied-but-mismatched index was bypassed; re-sync it.
+        if let (Some(idx), false) = (index, usable) {
+            idx.rebuild(view);
+        }
         Ok(())
+    }
+
+    /// One-shot group → row map for the unindexed maintenance path.
+    fn scratch_index(&self, view: &Relation) -> HashMap<Vec<Value>, usize> {
+        let mut map = HashMap::with_capacity(view.len());
+        for (ri, row) in view.rows.iter().enumerate() {
+            let key: Vec<Value> = self.group_outputs.iter().map(|&o| row[o].clone()).collect();
+            map.insert(key, ri);
+        }
+        map
     }
 }
 
@@ -328,21 +365,12 @@ fn operand_value<'a>(op: &'a Operand, row: &'a [Value]) -> &'a Value {
 }
 
 fn compare(a: &Value, op: CmpOp, b: &Value) -> EngineResult<bool> {
-    use std::cmp::Ordering;
-    let ord = a.cmp_sql(b).ok_or_else(|| {
+    value::compare(a, op, b).ok_or_else(|| {
         EngineError::TypeError(format!(
             "comparison of {} and {}",
             a.type_name(),
             b.type_name()
         ))
-    })?;
-    Ok(match op {
-        CmpOp::Eq => ord == Ordering::Equal,
-        CmpOp::Ne => ord != Ordering::Equal,
-        CmpOp::Lt => ord == Ordering::Less,
-        CmpOp::Le => ord != Ordering::Greater,
-        CmpOp::Gt => ord == Ordering::Greater,
-        CmpOp::Ge => ord != Ordering::Less,
     })
 }
 
@@ -397,25 +425,18 @@ fn unmerge(func: AggFunc, cell: &Value, arg: Option<usize>, row: &[Value]) -> En
     })
 }
 
-fn lit(l: &Literal) -> Value {
-    match l {
-        Literal::Int(v) => Value::Int(*v),
-        Literal::Double(v) => Value::Double(*v),
-        Literal::Str(s) => Value::Str(s.clone()),
-        Literal::Bool(b) => Value::Bool(*b),
-    }
-}
-
 /// Maintain a materialized view after `delta` changed `changed_table`:
 /// incrementally when the plan allows, by recomputation otherwise. `db`
-/// must already reflect the change. Returns whether the incremental path
-/// was taken.
+/// must already reflect the change. A supplied [`GroupIndex`] is probed and
+/// kept consistent with the maintained relation on every path. Returns
+/// whether the incremental path was taken.
 pub fn maintain_view(
     view_query: &Query,
     view_rel: &mut Relation,
     changed_table: &str,
     delta: DeltaKind<'_>,
     db: &Database,
+    index: Option<&mut GroupIndex>,
 ) -> EngineResult<bool> {
     // A view not reading the changed table is untouched.
     if !view_query.from.iter().any(|t| t.table == changed_table) {
@@ -425,11 +446,11 @@ pub fn maintain_view(
         if plan.base_table() == changed_table {
             match delta {
                 DeltaKind::Insert(rows) => {
-                    plan.apply_insert(view_rel, rows)?;
+                    plan.apply_insert(view_rel, rows, index)?;
                     return Ok(true);
                 }
                 DeltaKind::Delete(rows) if plan.supports_delete() => {
-                    plan.apply_delete(view_rel, rows)?;
+                    plan.apply_delete(view_rel, rows, index)?;
                     return Ok(true);
                 }
                 DeltaKind::Delete(_) => {}
@@ -439,6 +460,9 @@ pub fn maintain_view(
     let names = view_rel.columns.clone();
     *view_rel = execute(view_query, db)?;
     view_rel.columns = names;
+    if let Some(idx) = index {
+        idx.rebuild(view_rel);
+    }
     Ok(false)
 }
 
@@ -481,12 +505,12 @@ mod tests {
         let mut db = base_db(&[&[1, 2, 3]]);
         db.insert("U", rel_of_ints(["x"], &[&[1]]));
         for sql in [
-            "SELECT a, AVG(b) FROM T GROUP BY a",              // AVG
+            "SELECT a, AVG(b) FROM T GROUP BY a",                   // AVG
             "SELECT a, SUM(b) FROM T GROUP BY a HAVING SUM(b) > 1", // HAVING
-            "SELECT a, b FROM T",                               // conjunctive
-            "SELECT DISTINCT a, SUM(b) FROM T GROUP BY a",      // DISTINCT
-            "SELECT a, SUM(x) FROM T, U GROUP BY a",            // join
-            "SELECT SUM(b) FROM T GROUP BY a",                  // group col hidden
+            "SELECT a, b FROM T",                                   // conjunctive
+            "SELECT DISTINCT a, SUM(b) FROM T GROUP BY a",          // DISTINCT
+            "SELECT a, SUM(x) FROM T, U GROUP BY a",                // join
+            "SELECT SUM(b) FROM T GROUP BY a",                      // group col hidden
         ] {
             let q = parse_query(sql).unwrap();
             assert_eq!(
@@ -527,7 +551,7 @@ mod tests {
                 .collect();
             let all: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
             db = base_db(&all);
-            plan.apply_insert(&mut view, &batch).unwrap();
+            plan.apply_insert(&mut view, &batch, None).unwrap();
             let recomputed = materialize(&q, &db);
             assert!(
                 multiset_eq(&view, &recomputed),
@@ -548,14 +572,14 @@ mod tests {
         t.push(delta[0].clone());
         db.insert("T", t);
         let incremental =
-            maintain_view(&q, &mut view, "T", DeltaKind::Insert(&delta), &db).unwrap();
+            maintain_view(&q, &mut view, "T", DeltaKind::Insert(&delta), &db, None).unwrap();
         assert!(incremental);
         assert!(multiset_eq(&view, &materialize(&q, &db)));
 
         // Unrelated table: untouched.
         let before = view.clone();
         let incremental =
-            maintain_view(&q, &mut view, "Other", DeltaKind::Insert(&[]), &db).unwrap();
+            maintain_view(&q, &mut view, "Other", DeltaKind::Insert(&[]), &db, None).unwrap();
         assert!(incremental);
         assert_eq!(view.rows, before.rows);
 
@@ -568,6 +592,7 @@ mod tests {
             "T",
             DeltaKind::Insert(&delta),
             &db,
+            None,
         )
         .unwrap();
         assert!(!incremental);
@@ -577,10 +602,8 @@ mod tests {
     #[test]
     fn delete_support_detection() {
         let db = base_db(&[&[1, 2, 3]]);
-        let with_minmax = parse_query(
-            "SELECT a, MIN(b) AS mn, COUNT(b) AS n FROM T GROUP BY a",
-        )
-        .unwrap();
+        let with_minmax =
+            parse_query("SELECT a, MIN(b) AS mn, COUNT(b) AS n FROM T GROUP BY a").unwrap();
         let MaintenancePlan::Incremental(p) = plan_for_view(&with_minmax, &db) else {
             panic!()
         };
@@ -599,10 +622,8 @@ mod tests {
 
     #[test]
     fn incremental_delete_matches_recompute() {
-        let q = parse_query(
-            "SELECT a, SUM(b) AS s, COUNT(*) AS n FROM T WHERE c <> 0 GROUP BY a",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a, SUM(b) AS s, COUNT(*) AS n FROM T WHERE c <> 0 GROUP BY a")
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         // Base data.
         let mut rows: Vec<Vec<i64>> = (0..40)
@@ -633,7 +654,7 @@ mod tests {
             }
             let all: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
             db = base_db(&all);
-            plan.apply_delete(&mut view, &batch).unwrap();
+            plan.apply_delete(&mut view, &batch, None).unwrap();
             let recomputed = materialize(&q, &db);
             assert!(
                 multiset_eq(&view, &recomputed),
@@ -645,6 +666,78 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn indexed_maintenance_matches_unindexed() {
+        // The serving write path: a persistent GroupIndex rides along with
+        // the view through inserts and deletes, and stays consistent.
+        let q = parse_query("SELECT a, SUM(b) AS s, COUNT(*) AS n FROM T WHERE c <> 0 GROUP BY a")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        let db = base_db(&[]);
+        let mut plain = materialize(&q, &db);
+        let mut indexed = plain.clone();
+        let MaintenancePlan::Incremental(plan) = plan_for_view(&q, &db) else {
+            panic!("expected incremental plan")
+        };
+        let mut idx = GroupIndex::build(&indexed, plan.index_key_cols().to_vec());
+
+        for step in 0..30 {
+            let delete = step % 3 == 2 && !rows.is_empty();
+            if delete {
+                let k = rng.random_range(1..3).min(rows.len());
+                let mut batch: Vec<Vec<Value>> = Vec::new();
+                for _ in 0..k {
+                    let i = rng.random_range(0..rows.len());
+                    batch.push(rows.remove(i).into_iter().map(Value::Int).collect());
+                }
+                plan.apply_delete(&mut plain, &batch, None).unwrap();
+                plan.apply_delete(&mut indexed, &batch, Some(&mut idx))
+                    .unwrap();
+            } else {
+                let batch: Vec<Vec<Value>> = (0..rng.random_range(1..4))
+                    .map(|_| {
+                        let r = vec![
+                            rng.random_range(0..4),
+                            rng.random_range(-3..10),
+                            rng.random_range(-1..3),
+                        ];
+                        rows.push(r.clone());
+                        r.into_iter().map(Value::Int).collect()
+                    })
+                    .collect();
+                plan.apply_insert(&mut plain, &batch, None).unwrap();
+                plan.apply_insert(&mut indexed, &batch, Some(&mut idx))
+                    .unwrap();
+            }
+            assert_eq!(plain.rows, indexed.rows, "paths diverged at step {step}");
+            assert!(
+                idx.is_consistent_with(&indexed),
+                "index stale at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_index_is_resynced() {
+        let q = parse_query("SELECT a, COUNT(*) AS n FROM T GROUP BY a").unwrap();
+        let db = base_db(&[]);
+        let MaintenancePlan::Incremental(plan) = plan_for_view(&q, &db) else {
+            panic!()
+        };
+        let mut view = materialize(&q, &db);
+        // Index keyed on the COUNT column — unusable for group routing,
+        // but must still be valid after maintenance.
+        let mut idx = GroupIndex::build(&view, vec![1]);
+        plan.apply_insert(
+            &mut view,
+            &[vec![Value::Int(1), Value::Int(5), Value::Int(0)]],
+            Some(&mut idx),
+        )
+        .unwrap();
+        assert!(idx.is_consistent_with(&view));
     }
 
     #[test]
@@ -661,6 +754,7 @@ mod tests {
                 vec![Value::Int(1), Value::Int(5), Value::Int(0)],
                 vec![Value::Int(1), Value::Int(-5), Value::Int(0)],
             ],
+            None,
         )
         .unwrap();
         assert_eq!(view.rows, vec![vec![Value::Int(1), Value::Int(1)]]);

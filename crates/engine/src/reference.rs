@@ -92,7 +92,12 @@ pub fn execute_reference(query: &Query, db: &Database) -> EngineResult<Relation>
             }
             let mut cells = Vec::with_capacity(query.select.len());
             for item in &query.select {
-                cells.push(eval_expr(&item.expr, &bindings, member_rows[0], Some(&member_rows))?);
+                cells.push(eval_expr(
+                    &item.expr,
+                    &bindings,
+                    member_rows[0],
+                    Some(&member_rows),
+                )?);
             }
             out.push(cells);
         }
@@ -208,8 +213,9 @@ fn eval_bool(
     group: Option<&[&Vec<&Value>]>,
 ) -> EngineResult<bool> {
     match b {
-        BoolExpr::And(x, y) => Ok(eval_bool(x, bindings, row, group)?
-            && eval_bool(y, bindings, row, group)?),
+        BoolExpr::And(x, y) => {
+            Ok(eval_bool(x, bindings, row, group)? && eval_bool(y, bindings, row, group)?)
+        }
         BoolExpr::Cmp { lhs, op, rhs } => {
             let a = eval_expr(lhs, bindings, row, group)?;
             let c = eval_expr(rhs, bindings, row, group)?;
@@ -255,7 +261,10 @@ mod tests {
             "R1",
             rel_of_ints(["A", "B"], &[&[1, 10], &[1, 20], &[2, 30], &[2, 30]]),
         );
-        db.insert("R2", rel_of_ints(["C", "D"], &[&[1, 100], &[2, 200], &[3, 300]]));
+        db.insert(
+            "R2",
+            rel_of_ints(["C", "D"], &[&[1, 100], &[2, 200], &[3, 300]]),
+        );
         db
     }
 

@@ -129,11 +129,9 @@ pub fn multiset_eq(a: &Relation, b: &Relation) -> bool {
     }
     let ra = a.sorted_rows();
     let rb = b.sorted_rows();
-    ra.iter().zip(rb.iter()).all(|(x, y)| {
-        x.iter()
-            .zip(y.iter())
-            .all(|(vx, vy)| vx.approx_eq(vy))
-    })
+    ra.iter()
+        .zip(rb.iter())
+        .all(|(x, y)| x.iter().zip(y.iter()).all(|(vx, vy)| vx.approx_eq(vy)))
 }
 
 /// Set equality: both relations, viewed as sets of rows, are equal.

@@ -1,5 +1,6 @@
 //! Dynamically typed values with SQL comparison and arithmetic semantics.
 
+use aggview_sql::ast::{CmpOp, Literal};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -181,6 +182,31 @@ impl From<bool> for Value {
     }
 }
 
+/// The engine's runtime value of an AST literal.
+pub fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Double(v) => Value::Double(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Apply a comparison operator under SQL semantics ([`Value::cmp_sql`]).
+/// Returns `None` for incomparable type combinations (a type error
+/// upstream).
+pub fn compare(a: &Value, op: CmpOp, b: &Value) -> Option<bool> {
+    let ord = a.cmp_sql(b)?;
+    Some(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
 /// Numeric addition with int preservation: `Int + Int = Int` (checked,
 /// promoting to double on overflow), anything involving a double is double.
 pub fn add(a: &Value, b: &Value) -> Option<Value> {
@@ -318,6 +344,34 @@ mod tests {
         assert_eq!(neg(&Value::Int(5)), Some(Value::Int(-5)));
         assert_eq!(neg(&Value::Double(2.5)), Some(Value::Double(-2.5)));
         assert_eq!(neg(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn compare_applies_operators() {
+        assert_eq!(
+            compare(&Value::Int(1), CmpOp::Lt, &Value::Int(2)),
+            Some(true)
+        );
+        assert_eq!(
+            compare(&Value::Int(2), CmpOp::Eq, &Value::Double(2.0)),
+            Some(true)
+        );
+        assert_eq!(
+            compare(&Value::Str("a".into()), CmpOp::Ne, &Value::Str("b".into())),
+            Some(true)
+        );
+        assert_eq!(
+            compare(&Value::Str("a".into()), CmpOp::Lt, &Value::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn lit_value_converts_all_variants() {
+        assert_eq!(lit_value(&Literal::Int(3)), Value::Int(3));
+        assert_eq!(lit_value(&Literal::Double(0.5)), Value::Double(0.5));
+        assert_eq!(lit_value(&Literal::Str("s".into())), Value::Str("s".into()));
+        assert_eq!(lit_value(&Literal::Bool(true)), Value::Bool(true));
     }
 
     #[test]

@@ -516,7 +516,14 @@ mod tests {
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             assert_eq!(op.negate().negate(), op);
         }

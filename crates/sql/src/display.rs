@@ -156,7 +156,10 @@ mod tests {
         let printed = q1.to_string();
         let q2 = parse_query(&printed)
             .unwrap_or_else(|e| panic!("re-parse `{printed}` (from `{sql}`): {e}"));
-        assert_eq!(q1, q2, "round trip changed the AST for `{sql}` -> `{printed}`");
+        assert_eq!(
+            q1, q2,
+            "round trip changed the AST for `{sql}` -> `{printed}`"
+        );
     }
 
     #[test]

@@ -171,21 +171,23 @@ impl Parser {
 
     fn select_item(&mut self) -> SqlResult<SelectItem> {
         let expr = self.expr()?;
-        let alias = if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
         Ok(SelectItem { expr, alias })
     }
 
     fn table_ref(&mut self) -> SqlResult<TableRef> {
         let table = self.ident()?;
-        let alias = if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
         Ok(TableRef { table, alias })
     }
 
@@ -332,11 +334,9 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Literal(Literal::Bool(false)))
             }
-            TokenKind::Keyword(kw @ (Keyword::Min
-            | Keyword::Max
-            | Keyword::Sum
-            | Keyword::Count
-            | Keyword::Avg)) => {
+            TokenKind::Keyword(
+                kw @ (Keyword::Min | Keyword::Max | Keyword::Sum | Keyword::Count | Keyword::Avg),
+            ) => {
                 let span = self.peek().span;
                 self.bump();
                 self.agg_call(kw, span)
@@ -469,9 +469,7 @@ mod tests {
         let atoms = q.where_clause.unwrap();
         match atoms {
             BoolExpr::Cmp {
-                op: CmpOp::Lt,
-                lhs,
-                ..
+                op: CmpOp::Lt, lhs, ..
             } => assert!(matches!(lhs, Expr::Binary { .. })),
             other => panic!("unexpected {other:?}"),
         }

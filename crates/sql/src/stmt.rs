@@ -369,11 +369,15 @@ mod tests {
     #[test]
     fn parses_delete() {
         let s = parse_statement("DELETE FROM T WHERE a = 1 AND b > 2").unwrap();
-        let Statement::Delete(d) = s else { panic!("expected DELETE") };
+        let Statement::Delete(d) = s else {
+            panic!("expected DELETE")
+        };
         assert_eq!(d.table, "T");
         assert_eq!(d.filter.as_ref().unwrap().conjuncts().len(), 2);
         let s = parse_statement("DELETE FROM T").unwrap();
-        let Statement::Delete(d) = s else { panic!("expected DELETE") };
+        let Statement::Delete(d) = s else {
+            panic!("expected DELETE")
+        };
         assert!(d.filter.is_none());
     }
 
@@ -424,8 +428,8 @@ mod tests {
         ] {
             let s1 = parse_statement(sql).unwrap();
             let printed = s1.to_string();
-            let s2 = parse_statement(&printed)
-                .unwrap_or_else(|e| panic!("re-parse `{printed}`: {e}"));
+            let s2 =
+                parse_statement(&printed).unwrap_or_else(|e| panic!("re-parse `{printed}`: {e}"));
             assert_eq!(s1, s2, "round trip changed `{sql}` -> `{printed}`");
         }
     }

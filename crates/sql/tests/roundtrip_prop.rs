@@ -27,7 +27,10 @@ fn literal() -> impl Strategy<Value = Literal> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef { table: t, column: c })
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef {
+        table: t,
+        column: c,
+    })
 }
 
 fn arith_op() -> impl Strategy<Value = ArithOp> {
@@ -96,8 +99,11 @@ fn select_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn bool_expr() -> impl Strategy<Value = BoolExpr> {
-    let atom = (scalar_expr(), cmp_op(), scalar_expr())
-        .prop_map(|(l, op, r)| BoolExpr::Cmp { lhs: l, op, rhs: r });
+    let atom = (scalar_expr(), cmp_op(), scalar_expr()).prop_map(|(l, op, r)| BoolExpr::Cmp {
+        lhs: l,
+        op,
+        rhs: r,
+    });
     proptest::collection::vec(atom, 1..4)
         .prop_map(|atoms| BoolExpr::conjoin(atoms).expect("non-empty"))
 }
@@ -105,29 +111,28 @@ fn bool_expr() -> impl Strategy<Value = BoolExpr> {
 fn query() -> impl Strategy<Value = Query> {
     (
         any::<bool>(),
-        proptest::collection::vec(
-            (select_expr(), proptest::option::of(ident())),
-            1..4,
-        ),
+        proptest::collection::vec((select_expr(), proptest::option::of(ident())), 1..4),
         proptest::collection::vec((ident(), proptest::option::of(ident())), 1..3),
         proptest::option::of(bool_expr()),
         proptest::collection::vec(column_ref(), 0..3),
         proptest::option::of(bool_expr()),
     )
-        .prop_map(|(distinct, select, from, where_clause, group_by, having)| Query {
-            distinct,
-            select: select
-                .into_iter()
-                .map(|(expr, alias)| SelectItem { expr, alias })
-                .collect(),
-            from: from
-                .into_iter()
-                .map(|(table, alias)| TableRef { table, alias })
-                .collect(),
-            where_clause,
-            group_by,
-            having,
-        })
+        .prop_map(
+            |(distinct, select, from, where_clause, group_by, having)| Query {
+                distinct,
+                select: select
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem { expr, alias })
+                    .collect(),
+                from: from
+                    .into_iter()
+                    .map(|(table, alias)| TableRef { table, alias })
+                    .collect(),
+                where_clause,
+                group_by,
+                having,
+            },
+        )
 }
 
 proptest! {

@@ -58,7 +58,10 @@ fn main() {
     // The workload needs COUNT for the AVG query; extend the suggested view
     // if the advisor's pick lacks it (it includes COUNT by construction).
     let adopted = best.view.clone();
-    println!("\nadopting: CREATE VIEW {} AS {}", adopted.name, adopted.query);
+    println!(
+        "\nadopting: CREATE VIEW {} AS {}",
+        adopted.name, adopted.query
+    );
     let t = Instant::now();
     materialize_views(&mut db, std::slice::from_ref(&adopted)).expect("view builds");
     println!(
@@ -88,7 +91,10 @@ fn main() {
                 let via = execute_rewriting(rw, &db).expect("view evaluation");
                 let t_view = t.elapsed().as_secs_f64();
                 t_view_total += t_view;
-                assert!(multiset_eq(&truth, &via), "advisor view must answer exactly");
+                assert!(
+                    multiset_eq(&truth, &via),
+                    "advisor view must answer exactly"
+                );
                 println!(
                     "  HIT  ({:>7.2} ms -> {:>6.3} ms) {q}",
                     t_base * 1e3,

@@ -61,10 +61,8 @@ fn main() {
         ),
         ViewDef::new(
             "CachedSenders",
-            parse_query(
-                "SELECT Sender, MAX(Size) AS Biggest FROM Messages GROUP BY Sender",
-            )
-            .expect("valid SQL"),
+            parse_query("SELECT Sender, MAX(Size) AS Biggest FROM Messages GROUP BY Sender")
+                .expect("valid SQL"),
         ),
     ];
 
@@ -91,7 +89,10 @@ fn main() {
         let mut staging = server.clone();
         materialize_views(&mut staging, &cache).expect("cache fills");
         for v in &cache {
-            local.insert(v.name.clone(), staging.get(&v.name).expect("cached").clone());
+            local.insert(
+                v.name.clone(),
+                staging.get(&v.name).expect("cached").clone(),
+            );
         }
     }
 
@@ -119,6 +120,9 @@ fn main() {
             }
         }
     }
-    println!("\n{hits}/{} queries answered from the local cache", workload.len());
+    println!(
+        "\n{hits}/{} queries answered from the local cache",
+        workload.len()
+    );
     assert_eq!(hits, 4);
 }

@@ -28,8 +28,8 @@ fn main() {
     );
 
     // 3. A query the view can answer: totals per region alone.
-    let query = parse_query("SELECT Region, SUM(Amount) FROM Sales GROUP BY Region")
-        .expect("valid SQL");
+    let query =
+        parse_query("SELECT Region, SUM(Amount) FROM Sales GROUP BY Region").expect("valid SQL");
 
     // 4. Rewrite.
     let rewriter = Rewriter::new(&catalog);

@@ -101,6 +101,10 @@ fn main() {
         let truth = execute(&q, &db).expect("base evaluation");
         let fast = execute_rewriting(best, &db).expect("summary evaluation");
         assert!(multiset_eq(&truth, &fast), "summary answer must be exact");
-        println!("  -> answered from {:?} ({} rows)", best.views_used, fast.len());
+        println!(
+            "  -> answered from {:?} ({} rows)",
+            best.views_used,
+            fast.len()
+        );
     }
 }

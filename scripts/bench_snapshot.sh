@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_1.json: the F3 (view-pool size) and F4 (query size)
-# rewrite-search sweeps, sequential baseline vs. parallel+indexed, with
-# the RewriteStats counters of the instrumented run.
+# Regenerate the benchmark snapshots:
+#   BENCH_1.json — the F3 (view-pool size) and F4 (query size)
+#     rewrite-search sweeps, sequential baseline vs. parallel+indexed,
+#     with the RewriteStats counters of the instrumented run.
+#   BENCH_2.json — the serving-path figures: S1 cold-vs-warm end-to-end
+#     latency/QPS under write mixes, S2 grouped-index probe vs. scan.
 #
 # Usage: scripts/bench_snapshot.sh
-# Writes: BENCH_1.json (repo root) and prints the rendered tables.
+# Writes: BENCH_1.json and BENCH_2.json (repo root), prints the tables.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p aggview-bench
-./target/release/repro --json f3 f4
+./target/release/repro --json f3 f4 s1 s2
 echo
 echo "BENCH_1.json:"
 cat BENCH_1.json
+echo
+echo "BENCH_2.json:"
+cat BENCH_2.json

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# The tier-1 gate: release build, full test suite, and clippy clean.
+# The tier-1 gate: release build, full test suite, formatting, clippy
+# clean, and a quick serving-bench smoke (the S1/S2 harness must run and
+# produce a warm-path speedup > 1).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -7,5 +9,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+# Capture first, then grep: `grep -q` in a pipeline would close the pipe
+# early and kill repro with SIGPIPE under `pipefail`.
+smoke=$(./target/release/repro s1 s2)
+printf '%s\n' "$smoke" >&2
+grep -q "S1 — end-to-end serving latency" <<<"$smoke"
+grep -q "S2 — view point lookups" <<<"$smoke"
 echo "ci: all checks passed"

@@ -5,12 +5,14 @@
 //! ```text
 //! aggview [FLAGS] [script.sql ...]      # no files: read stdin
 //!
-//!   --verify       cross-check every rewritten answer against base tables
-//!   --expand       enable the footnote-3 Nat-table expansion
-//!   --paper-va     use the paper's V^a strategy instead of weighted sums
-//!   --no-multi     single-view rewritings only
-//!   --interactive  REPL: read statements from stdin, execute per `;`
-//!                  (`:stats` toggles per-query rewrite-search counters)
+//!   --verify         cross-check every rewritten answer against base tables
+//!   --expand         enable the footnote-3 Nat-table expansion
+//!   --paper-va       use the paper's V^a strategy instead of weighted sums
+//!   --no-multi       single-view rewritings only
+//!   --no-plan-cache  disable the serving-plan cache (full search per SELECT)
+//!   --no-view-index  do not build group indexes on materialized views
+//!   --interactive    REPL: read statements from stdin, execute per `;`
+//!                    (`:stats` toggles per-query rewrite-search counters)
 //! ```
 //!
 //! Script statements: `CREATE TABLE t (col, ..., KEY (col, ...))`,
@@ -33,11 +35,14 @@ fn main() -> ExitCode {
             "--expand" => options.rewrite.enable_expand = true,
             "--paper-va" => options.rewrite.strategy = Strategy::PaperFaithful,
             "--no-multi" => options.rewrite.multi_view = false,
+            "--no-plan-cache" => options.plan_cache_cap = 0,
+            "--no-view-index" => options.index_views = false,
             "--interactive" | "-i" => interactive = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
-                            [--interactive] [script.sql ...]"
+                            [--no-plan-cache] [--no-view-index] [--interactive] \
+                            [script.sql ...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -121,7 +126,7 @@ fn repl(options: SessionOptions) -> ExitCode {
         let _ = std::io::stderr().flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => break,           // EOF
+            Ok(0) => break, // EOF
             Ok(_) => {}
             Err(e) => {
                 eprintln!("error: {e}");
@@ -134,10 +139,7 @@ fn repl(options: SessionOptions) -> ExitCode {
         }
         if buffer.trim().is_empty() && trimmed == ":stats" {
             show_stats = !show_stats;
-            eprintln!(
-                "search stats {}",
-                if show_stats { "on" } else { "off" }
-            );
+            eprintln!("search stats {}", if show_stats { "on" } else { "off" });
             continue;
         }
         buffer.push_str(&line);
@@ -153,6 +155,7 @@ fn repl(options: SessionOptions) -> ExitCode {
                             if show_stats {
                                 if let StatementOutcome::Answer { search, .. } = &outcome {
                                     println!("-- search: {}", search.summary());
+                                    println!("-- {}", search.plan_cache_summary());
                                 }
                             }
                         }

@@ -53,8 +53,10 @@ pub fn experiment_catalog() -> Catalog {
     let mut cat = Catalog::new();
     cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
         .expect("fresh catalog");
-    cat.add_table(TableSchema::new("R2", ["E", "F"])).expect("fresh catalog");
-    cat.add_table(TableSchema::new("R3", ["G", "H", "I"])).expect("fresh catalog");
+    cat.add_table(TableSchema::new("R2", ["E", "F"]))
+        .expect("fresh catalog");
+    cat.add_table(TableSchema::new("R3", ["G", "H", "I"]))
+        .expect("fresh catalog");
     cat
 }
 
@@ -96,7 +98,9 @@ pub fn random_query(rng: &mut StdRng, catalog: &Catalog, cfg: &GenConfig) -> Que
     for _ in 0..n_atoms {
         let lhs = cols.choose(rng).expect("tables have columns").clone();
         let op = if cfg.inequalities && rng.random_bool(0.3) {
-            *[CmpOp::Lt, CmpOp::Le, CmpOp::Ne].choose(rng).expect("non-empty")
+            *[CmpOp::Lt, CmpOp::Le, CmpOp::Ne]
+                .choose(rng)
+                .expect("non-empty")
         } else {
             CmpOp::Eq
         };
@@ -140,7 +144,9 @@ pub fn random_query(rng: &mut StdRng, catalog: &Catalog, cfg: &GenConfig) -> Que
                 .push(SelectItem::expr(Expr::Agg(AggCall::on_column(func, arg))));
         }
         if rng.random_bool(0.3) {
-            let func = *[AggFunc::Sum, AggFunc::Count].choose(rng).expect("non-empty");
+            let func = *[AggFunc::Sum, AggFunc::Count]
+                .choose(rng)
+                .expect("non-empty");
             let arg = cols.choose(rng).expect("tables have columns").clone();
             query.having = Some(BoolExpr::cmp(
                 Expr::Agg(AggCall::on_column(func, arg)),
@@ -202,7 +208,9 @@ pub fn embedded_view(
     let mut vatoms = Vec::new();
     if let Some(w) = &query.where_clause {
         'atom: for atom in w.conjuncts() {
-            let BoolExpr::Cmp { lhs, op, rhs } = atom else { continue };
+            let BoolExpr::Cmp { lhs, op, rhs } = atom else {
+                continue;
+            };
             let mut sides = Vec::new();
             for side in [lhs, rhs] {
                 match side {

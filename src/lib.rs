@@ -54,6 +54,7 @@
 //! ```
 
 pub mod gen;
+pub mod plan_cache;
 pub mod run;
 pub mod session;
 

@@ -69,11 +69,7 @@ pub fn ensure_nat(db: &mut Database) {
 ///
 /// Multiset equality in general; set equality for Section 5 rewritings
 /// (whose guarantee is set-equivalence of provably-set results).
-pub fn rewriting_equivalent(
-    query: &Query,
-    rw: &Rewriting,
-    db: &Database,
-) -> EngineResult<bool> {
+pub fn rewriting_equivalent(query: &Query, rw: &Rewriting, db: &Database) -> EngineResult<bool> {
     let original = execute(query, db)?;
     let rewritten = execute_rewriting(rw, db)?;
     Ok(if rw.set_semantics {

@@ -12,23 +12,43 @@
 //! * `EXPLAIN SELECT` reports, per view and mapping, the produced
 //!   rewriting or the violated usability condition.
 
+use crate::plan_cache::{AnswerMeta, CacheKey, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 use crate::run::{execute_rewriting, rewriting_equivalent};
 use aggview_catalog::{Catalog, TableSchema};
 use aggview_core::advisor::suggest_views;
-use aggview_core::{RewriteOptions, RewriteStats, Rewriter, Rewriting, TableStats, ViewDef};
-use aggview_engine::maintenance::{maintain_view, DeltaKind};
-use aggview_engine::{execute, Database, Relation, Value};
-use aggview_sql::ast::Literal;
+use aggview_core::{
+    Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, TableStats, ViewDef,
+};
+use aggview_engine::maintenance::{maintain_view, plan_for_view, DeltaKind, MaintenancePlan};
+use aggview_engine::{execute, Database, GroupIndex, PhysicalPlan, Relation, Value};
 use aggview_sql::{Query, Statement};
 use std::fmt;
 
 /// Session configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SessionOptions {
     /// Rewriter options (strategy, set mode, expand, ...).
     pub rewrite: RewriteOptions,
     /// Cross-check every rewritten answer against base-table evaluation.
     pub verify: bool,
+    /// Maximum number of cached serving plans (`0` disables the cache and
+    /// every `SELECT` runs the full search).
+    pub plan_cache_cap: usize,
+    /// Attach a [`GroupIndex`] on the exposed grouping columns of every
+    /// materialized `GROUP BY` view, maintained through inserts/deletes
+    /// and probed by rewritten point lookups.
+    pub index_views: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            rewrite: RewriteOptions::default(),
+            verify: false,
+            plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
+            index_views: true,
+        }
+    }
 }
 
 /// The outcome of one executed statement.
@@ -53,8 +73,9 @@ pub enum StatementOutcome {
         elapsed_ms: f64,
         /// Instrumentation of the rewrite search that produced the plan
         /// (not printed by `Display`; the REPL surfaces it behind the
-        /// `:stats` toggle).
-        search: RewriteStats,
+        /// `:stats` toggle). Boxed: the stats block is by far the largest
+        /// field and would bloat every outcome otherwise.
+        search: Box<RewriteStats>,
     },
     /// `EXPLAIN` output: one line per candidate.
     Explanation(Vec<String>),
@@ -126,17 +147,26 @@ pub struct Session {
     catalog: Catalog,
     db: Database,
     views: Vec<ViewDef>,
+    plan_cache: PlanCache,
 }
 
 impl Session {
     /// A fresh session.
     pub fn new(options: SessionOptions) -> Self {
+        let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
         Session {
             options,
             catalog: Catalog::new(),
             db: Database::new(),
             views: Vec::new(),
+            plan_cache,
         }
+    }
+
+    /// The serving-plan cache (counters surface in `EXPLAIN` and the
+    /// REPL's `:stats`; benches read them directly).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The current database (base tables and materialized views).
@@ -162,6 +192,7 @@ impl Session {
                     .map_err(|e| err(e.to_string()))?;
                 self.db
                     .insert(ct.name.clone(), Relation::empty(ct.columns.clone()));
+                self.plan_cache.note_schema_change();
                 Ok(StatementOutcome::Ok(format!(
                     "table `{}` created ({} columns, {} key(s))",
                     ct.name,
@@ -181,7 +212,17 @@ impl Session {
                 rel.columns = view.output_names();
                 let n = rel.len();
                 self.db.insert(view.name.clone(), rel);
+                if self.options.index_views {
+                    if let Some(key_cols) = self.view_index_key(&view) {
+                        let idx = GroupIndex::build(
+                            self.db.get(&view.name).map_err(|e| err(e.to_string()))?,
+                            key_cols,
+                        );
+                        self.db.set_index(view.name.clone(), idx);
+                    }
+                }
                 self.views.push(view);
+                self.plan_cache.note_schema_change();
                 Ok(StatementOutcome::Ok(format!(
                     "view `{}` materialized ({n} rows)",
                     cv.name
@@ -210,13 +251,13 @@ impl Session {
                             rel.arity()
                         )));
                     }
-                    let values: Vec<Value> = row.iter().map(lit_value).collect();
+                    let values: Vec<Value> =
+                        row.iter().map(aggview_engine::value::lit_value).collect();
                     rel.push(values.clone());
                     delta.push(values);
                 }
                 self.db.insert(ins.table.clone(), rel);
-                let incremental =
-                    self.maintain_views(&ins.table, DeltaKind::Insert(&delta))?;
+                let incremental = self.maintain_views(&ins.table, DeltaKind::Insert(&delta))?;
                 Ok(StatementOutcome::Ok(format!(
                     "{} row(s) inserted into `{}`; {incremental} view(s) maintained                      incrementally",
                     ins.rows.len(),
@@ -244,9 +285,9 @@ impl Session {
                         select: all_cols
                             .iter()
                             .map(|c| {
-                                aggview_sql::ast::SelectItem::expr(
-                                    aggview_sql::ast::Expr::col(c.clone()),
-                                )
+                                aggview_sql::ast::SelectItem::expr(aggview_sql::ast::Expr::col(
+                                    c.clone(),
+                                ))
                             })
                             .collect(),
                         from: vec![aggview_sql::ast::TableRef::new(del.table.clone())],
@@ -290,7 +331,10 @@ impl Session {
     }
 
     /// Run a whole script, returning per-statement outcomes.
-    pub fn run_script(&mut self, stmts: &[Statement]) -> Result<Vec<StatementOutcome>, SessionError> {
+    pub fn run_script(
+        &mut self,
+        stmts: &[Statement],
+    ) -> Result<Vec<StatementOutcome>, SessionError> {
         stmts.iter().map(|s| self.execute(s)).collect()
     }
 
@@ -306,11 +350,83 @@ impl Session {
         stats
     }
 
-    fn select(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
+    /// The cache key of a query: its normalized canonical form (resolved
+    /// against every stored relation, views included) plus the output
+    /// column names. `None` = outside the canonical fragment, uncacheable.
+    fn cache_key(&self, q: &Query) -> Option<CacheKey> {
+        let canon = Canonical::from_query(q, &self.db).ok()?;
+        Some(CacheKey::new(&canon, q.output_names()))
+    }
+
+    /// The [`GroupIndex`] key columns for a materialized view: aligned
+    /// with the incremental-maintenance plan when one exists (so the same
+    /// index serves maintenance lookups), else the exposed grouping
+    /// columns of any other `GROUP BY` view; `None` for ungrouped views.
+    fn view_index_key(&self, view: &ViewDef) -> Option<Vec<usize>> {
+        if let MaintenancePlan::Incremental(plan) = plan_for_view(&view.query, &self.db) {
+            return Some(plan.index_key_cols().to_vec());
+        }
+        if view.query.group_by.is_empty() {
+            return None;
+        }
+        let canon = Canonical::from_query(&view.query, &self.db).ok()?;
+        let key: Vec<usize> = canon
+            .select
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                aggview_core::SelItem::Col(c) if canon.groups.contains(c) => Some(i),
+                _ => None,
+            })
+            .collect();
+        (!key.is_empty()).then_some(key)
+    }
+
+    fn select(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        let key = self.cache_key(q);
+        if let Some(k) = &key {
+            // Hit path: no search, no cost ranking, no physical planning —
+            // bind the stored relations and run. The entry is used by
+            // reference (disjoint field borrows), never cloned.
+            if let Some(cached) = self.plan_cache.lookup(k) {
+                let t = std::time::Instant::now();
+                let relation = match (&cached.plan, &cached.rewriting) {
+                    (Some(plan), _) => plan.run(&self.db).map_err(|e| err(e.to_string()))?,
+                    (None, Some(rw)) => {
+                        execute_rewriting(rw, &self.db).map_err(|e| err(e.to_string()))?
+                    }
+                    (None, None) => execute(q, &self.db).map_err(|e| err(e.to_string()))?,
+                };
+                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+                let verified = match (self.options.verify, &cached.rewriting) {
+                    (true, Some(rw)) => Some(
+                        rewriting_equivalent(q, rw, &self.db).map_err(|e| err(e.to_string()))?,
+                    ),
+                    _ => None,
+                };
+                let executed = cached.meta.executed.clone();
+                let views_used = cached.meta.views_used.clone();
+                let candidates = cached.meta.candidates;
+                // No search ran: report zeroed search counters plus the
+                // session-cumulative cache counters.
+                let mut search = RewriteStats::default();
+                self.plan_cache.fill_stats(&mut search);
+                return Ok(StatementOutcome::Answer {
+                    relation,
+                    executed,
+                    views_used,
+                    candidates,
+                    verified,
+                    elapsed_ms,
+                    search: Box::new(search),
+                });
+            }
+        }
         let rewriter = self.rewriter();
-        let (mut rewritings, search): (Vec<Rewriting>, RewriteStats) = rewriter
+        let (mut rewritings, mut search): (Vec<Rewriting>, RewriteStats) = rewriter
             .rewrite_with_stats(q, &self.views)
             .map_err(|e| err(e.to_string()))?;
+        self.plan_cache.fill_stats(&mut search);
         let stats = self.stats();
         rewritings.sort_by(|a, b| {
             a.cost(&stats)
@@ -320,39 +436,71 @@ impl Session {
         let candidates = rewritings.len();
         match rewritings.first() {
             None => {
+                // Base-table answer. Compile once, run, and cache the
+                // compiled plan for canonically identical arrivals.
+                let plan = PhysicalPlan::compile(q, &self.db).ok();
                 let t = std::time::Instant::now();
-                let relation = execute(q, &self.db).map_err(|e| err(e.to_string()))?;
+                let relation = match &plan {
+                    Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
+                    None => execute(q, &self.db).map_err(|e| err(e.to_string()))?,
+                };
+                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+                if let Some(k) = key {
+                    let meta = AnswerMeta {
+                        executed: q.to_string(),
+                        views_used: Vec::new(),
+                        candidates: 0,
+                    };
+                    self.plan_cache.store(k, None, plan, meta, search.clone());
+                }
                 Ok(StatementOutcome::Answer {
                     relation,
                     executed: q.to_string(),
                     views_used: Vec::new(),
                     candidates: 0,
                     verified: None,
-                    elapsed_ms: t.elapsed().as_secs_f64() * 1e3,
-                    search,
+                    elapsed_ms,
+                    search: Box::new(search),
                 })
             }
             Some(best) => {
+                // A rewriting that needs no scaffolding (auxiliary views,
+                // the Nat table) is a single block over stored relations:
+                // compile it once. Scaffolded rewritings cache without a
+                // plan — the hit still skips the whole search.
+                let plan = (best.aux_views.is_empty() && !best.requires_nat)
+                    .then(|| PhysicalPlan::compile(&best.query, &self.db).ok())
+                    .flatten();
                 let t = std::time::Instant::now();
-                let relation =
-                    execute_rewriting(best, &self.db).map_err(|e| err(e.to_string()))?;
+                let relation = match &plan {
+                    Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
+                    None => execute_rewriting(best, &self.db).map_err(|e| err(e.to_string()))?,
+                };
                 let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
                 let verified = if self.options.verify {
-                    Some(
-                        rewriting_equivalent(q, best, &self.db)
-                            .map_err(|e| err(e.to_string()))?,
-                    )
+                    Some(rewriting_equivalent(q, best, &self.db).map_err(|e| err(e.to_string()))?)
                 } else {
                     None
                 };
+                let executed = best.query.to_string();
+                let views_used = best.views_used.clone();
+                if let Some(k) = key {
+                    let meta = AnswerMeta {
+                        executed: executed.clone(),
+                        views_used: views_used.clone(),
+                        candidates,
+                    };
+                    self.plan_cache
+                        .store(k, Some(best.clone()), plan, meta, search.clone());
+                }
                 Ok(StatementOutcome::Answer {
                     relation,
-                    executed: best.query.to_string(),
-                    views_used: best.views_used.clone(),
+                    executed,
+                    views_used,
                     candidates,
                     verified,
                     elapsed_ms,
-                    search,
+                    search: Box::new(search),
                 })
             }
         }
@@ -374,6 +522,21 @@ impl Session {
             .rewrite_with_stats(q, &self.views)
             .map_err(|e| err(e.to_string()))?;
         lines.push(format!("-- search: {}", search.summary()));
+        // Tail line: serving-cache status for this query and the
+        // session-cumulative counters.
+        let mut stats = RewriteStats::default();
+        self.plan_cache.fill_stats(&mut stats);
+        let status = match self.cache_key(q) {
+            Some(k) if self.plan_cache.peek(&k) => {
+                format!("cached (fingerprint {:016x})", k.fingerprint())
+            }
+            Some(k) => format!("not cached (fingerprint {:016x})", k.fingerprint()),
+            None => "uncacheable (outside the canonical fragment)".to_string(),
+        };
+        lines.push(format!(
+            "-- {}; this query: {status}",
+            stats.plan_cache_summary()
+        ));
         Ok(StatementOutcome::Explanation(lines))
     }
 
@@ -424,30 +587,37 @@ impl Session {
                 .map_err(|e| err(e.to_string()))?
                 .clone();
             let direct_only = v.query.from.len() == 1 && v.query.from[0].table == changed_table;
+            // Detach the view's group index (dropped by `db.insert`
+            // otherwise), maintain it alongside the rows, and re-attach.
+            let mut idx = self.db.take_index(&v.name);
             let took_incremental = if direct_only {
-                maintain_view(&v.query, &mut rel, changed_table, delta, &self.db)
-                    .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
+                maintain_view(
+                    &v.query,
+                    &mut rel,
+                    changed_table,
+                    delta,
+                    &self.db,
+                    idx.as_mut(),
+                )
+                .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
             } else {
                 let mut fresh = execute(&v.query, &self.db)
                     .map_err(|e| err(format!("refreshing `{}`: {e}", v.name)))?;
                 fresh.columns = v.output_names();
                 rel = fresh;
+                if let Some(i) = idx.as_mut() {
+                    i.rebuild(&rel);
+                }
                 false
             };
             incremental += took_incremental as usize;
             self.db.insert(v.name.clone(), rel);
+            if let Some(i) = idx {
+                self.db.set_index(v.name.clone(), i);
+            }
             changed.push(v.name.clone());
         }
         Ok(incremental)
-    }
-}
-
-fn lit_value(l: &Literal) -> Value {
-    match l {
-        Literal::Int(v) => Value::Int(*v),
-        Literal::Double(v) => Value::Double(*v),
-        Literal::Str(s) => Value::Str(s.clone()),
-        Literal::Bool(b) => Value::Bool(*b),
     }
 }
 
@@ -542,10 +712,12 @@ mod tests {
         let StatementOutcome::Explanation(lines) = &outcomes[2] else {
             panic!("expected an explanation")
         };
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("not usable"), "{lines:?}");
         assert!(lines[1].contains("-- search:"), "{lines:?}");
         assert!(lines[1].contains("states="), "{lines:?}");
+        assert!(lines[2].contains("plan-cache:"), "{lines:?}");
+        assert!(lines[2].contains("not cached (fingerprint"), "{lines:?}");
     }
 
     #[test]
@@ -562,8 +734,7 @@ mod tests {
 
     #[test]
     fn duplicate_relation_names_rejected() {
-        let stmts =
-            parse_script("CREATE TABLE T (a); CREATE VIEW T AS SELECT a FROM T;").unwrap();
+        let stmts = parse_script("CREATE TABLE T (a); CREATE VIEW T AS SELECT a FROM T;").unwrap();
         let mut session = Session::new(SessionOptions::default());
         assert!(session.run_script(&stmts).is_err());
     }
@@ -633,6 +804,118 @@ mod tests {
             panic!("expected an answer")
         };
         assert!(relation.is_empty());
+    }
+
+    #[test]
+    fn repeated_select_hits_the_plan_cache() {
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (1, 6), (2, 7);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             SELECT a, SUM(b) FROM T GROUP BY a;
+             SELECT x.a, SUM(x.b) FROM T x GROUP BY x.a;",
+        )
+        .unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        let outcomes = session.run_script(&stmts).expect("script runs");
+        // The second SELECT is canonically identical (modulo the binding
+        // name) and must be served from the cache with the same answer.
+        assert_eq!(session.plan_cache().hits(), 1);
+        let (
+            StatementOutcome::Answer { relation: r1, .. },
+            StatementOutcome::Answer { relation: r2, .. },
+        ) = (&outcomes[3], &outcomes[4])
+        else {
+            panic!("expected answers")
+        };
+        assert_eq!(r1.sorted_rows(), r2.sorted_rows());
+    }
+
+    #[test]
+    fn create_view_invalidates_cached_plans() {
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (1, 6);
+             SELECT a, SUM(b) FROM T GROUP BY a;
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             SELECT a, SUM(b) FROM T GROUP BY a;",
+        )
+        .unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        let outcomes = session.run_script(&stmts).expect("script runs");
+        // The CREATE VIEW bumps the epoch: the second SELECT must re-run
+        // the search (and now pick up the new view) instead of reusing the
+        // stale base-table plan.
+        assert_eq!(session.plan_cache().hits(), 0);
+        assert_eq!(session.plan_cache().invalidations(), 1);
+        let StatementOutcome::Answer { views_used, .. } = &outcomes[4] else {
+            panic!("expected an answer")
+        };
+        assert_eq!(views_used, &vec!["V".to_string()]);
+    }
+
+    #[test]
+    fn cached_answers_track_writes() {
+        // A cached plan binds relations by name: INSERT/DELETE between two
+        // hits must still produce fresh answers.
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 5);
+             SELECT a, SUM(b) FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 10), (2, 1);
+             SELECT a, SUM(b) FROM T GROUP BY a;",
+        )
+        .unwrap();
+        let mut session = Session::new(SessionOptions {
+            verify: true,
+            ..SessionOptions::default()
+        });
+        let outcomes = session.run_script(&stmts).expect("script runs");
+        assert_eq!(session.plan_cache().hits(), 1);
+        let StatementOutcome::Answer {
+            relation, verified, ..
+        } = &outcomes[5]
+        else {
+            panic!("expected an answer")
+        };
+        assert_eq!(verified, &Some(true));
+        let rows = relation.sorted_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(15)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn grouped_views_get_an_index() {
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (1, 6), (2, 7);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (2, 1), (3, 9);
+             DELETE FROM T WHERE b = 5;",
+        )
+        .unwrap();
+        let mut session = Session::new(SessionOptions::default());
+        session.run_script(&stmts).expect("script runs");
+        let idx = session.database().index("V").expect("V is indexed");
+        let rel = session.database().get("V").unwrap();
+        assert!(idx.is_consistent_with(rel), "index tracks maintenance");
+        assert_eq!(idx.key_cols(), &[0]);
+    }
+
+    #[test]
+    fn index_can_be_disabled() {
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s FROM T GROUP BY a;",
+        )
+        .unwrap();
+        let mut session = Session::new(SessionOptions {
+            index_views: false,
+            ..SessionOptions::default()
+        });
+        session.run_script(&stmts).expect("script runs");
+        assert!(session.database().index("V").is_none());
     }
 
     #[test]

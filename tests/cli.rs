@@ -42,7 +42,10 @@ fn script_via_stdin() {
     assert!(stdout.contains("view `Totals` materialized"));
     assert!(stdout.contains("answered from [\"Totals\"]"));
     assert!(stdout.contains("base-table cross-check: equivalent"));
-    assert!(stdout.contains("not usable"), "EXPLAIN must report the MIN miss");
+    assert!(
+        stdout.contains("not usable"),
+        "EXPLAIN must report the MIN miss"
+    );
 }
 
 #[test]
@@ -86,10 +89,7 @@ SUGGEST SELECT Dim, SUM(M) FROM Facts GROUP BY Dim;
 ";
     let (stdout, stderr, ok) = run_cli(&[], script);
     assert!(ok, "stderr: {stderr}");
-    assert!(
-        stdout.contains("CREATE VIEW Suggested"),
-        "stdout: {stdout}"
-    );
+    assert!(stdout.contains("CREATE VIEW Suggested"), "stdout: {stdout}");
 }
 
 #[test]
@@ -107,7 +107,13 @@ SELECT A, B FROM R1;
     // With --expand: answered from the view, verified.
     let (stdout, stderr, ok) = run_cli(&["--verify", "--expand"], script);
     assert!(ok, "stderr: {stderr}");
-    assert!(stdout.contains("answered from [\"V1\"]"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("answered from [\"V1\"]"),
+        "stdout: {stdout}"
+    );
     assert!(stdout.contains("Nat.k <= V1.N"), "stdout: {stdout}");
-    assert!(stdout.contains("cross-check: equivalent"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("cross-check: equivalent"),
+        "stdout: {stdout}"
+    );
 }

@@ -12,7 +12,8 @@ use rand::{Rng, SeedableRng};
 
 fn keyless_catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R", ["A", "B", "C"])).unwrap();
+    cat.add_table(TableSchema::new("R", ["A", "B", "C"]))
+        .unwrap();
     cat
 }
 
@@ -37,10 +38,7 @@ fn distinct_view_answers_distinct_query() {
     // multiplicities), but both results are sets by definition.
     let cat = keyless_catalog();
     let q = parse_query("SELECT DISTINCT A, B FROM R WHERE C = 1").unwrap();
-    let v = ViewDef::new(
-        "V",
-        parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
-    );
+    let v = ViewDef::new("V", parse_query("SELECT DISTINCT A, B, C FROM R").unwrap());
     let rewriter = Rewriter::new(&cat);
     let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
     assert_eq!(rws.len(), 1);
@@ -59,10 +57,7 @@ fn distinct_view_rejected_for_multiset_query() {
     // rewriting (key-free).
     let cat = keyless_catalog();
     let q = parse_query("SELECT A, B FROM R WHERE C = 1").unwrap();
-    let v = ViewDef::new(
-        "V",
-        parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
-    );
+    let v = ViewDef::new("V", parse_query("SELECT DISTINCT A, B, C FROM R").unwrap());
     let rewriter = Rewriter::new(&cat);
     assert!(rewriter.rewrite(&q, &[v]).unwrap().is_empty());
 }
@@ -78,7 +73,10 @@ fn plain_view_answers_distinct_query_via_multiset_path_is_not_taken() {
     let rewriter = Rewriter::new(&cat);
     let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
     assert!(!rws.is_empty());
-    let direct = rws.iter().find(|r| !r.set_semantics).expect("multiset rewriting");
+    let direct = rws
+        .iter()
+        .find(|r| !r.set_semantics)
+        .expect("multiset rewriting");
     assert!(direct.query.distinct);
     let mut database = db(53);
     materialize_views(&mut database, &[v]).unwrap();
@@ -99,8 +97,7 @@ fn distinct_self_join_collapse_without_keys() {
     let q = parse_query("SELECT DISTINCT A FROM R WHERE B = C").unwrap();
     let v = ViewDef::new(
         "V",
-        parse_query("SELECT DISTINCT u.A AS A1, w.A AS A2 FROM R u, R w WHERE u.B = w.C")
-            .unwrap(),
+        parse_query("SELECT DISTINCT u.A AS A1, w.A AS A2 FROM R u, R w WHERE u.B = w.C").unwrap(),
     );
     let rewriter = Rewriter::new(&cat);
     // No key ⇒ the collapse cannot be compensated ⇒ no rewriting.
@@ -119,10 +116,7 @@ fn randomized_distinct_set_semantics() {
             "SELECT DISTINCT A, B FROM R WHERE {filter_col} = {k}"
         ))
         .unwrap();
-        let v = ViewDef::new(
-            "V",
-            parse_query("SELECT DISTINCT A, B, C FROM R").unwrap(),
-        );
+        let v = ViewDef::new("V", parse_query("SELECT DISTINCT A, B, C FROM R").unwrap());
         let rws = rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap();
         assert!(!rws.is_empty(), "seed {seed}: expected a rewriting");
         let mut database = db(seed.wrapping_mul(3));

@@ -14,7 +14,8 @@ use rand::{Rng, SeedableRng};
 
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+        .unwrap();
     cat
 }
 
@@ -60,7 +61,9 @@ fn example_4_5_becomes_rewritable() {
         .is_empty());
 
     // With expand enabled: one rewriting, flagged as needing Nat.
-    let rws = expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    let rws = expander(&cat)
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap();
     assert_eq!(rws.len(), 1);
     let rw = &rws[0];
     assert!(rw.requires_nat);
@@ -74,7 +77,10 @@ fn example_4_5_becomes_rewritable() {
     materialize_views(&mut database, &[v]).unwrap();
     let truth = execute(&q, &database).unwrap();
     let via = execute_rewriting(rw, &database).unwrap();
-    assert!(truth.has_duplicates(), "the test instance must have duplicates");
+    assert!(
+        truth.has_duplicates(),
+        "the test instance must have duplicates"
+    );
     assert!(multiset_eq(&truth, &via));
 }
 
@@ -86,7 +92,9 @@ fn residual_conditions_and_projection() {
         "V1",
         parse_query("SELECT A, B, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
     );
-    let rws = expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap();
+    let rws = expander(&cat)
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap();
     assert_eq!(rws.len(), 1);
     let mut database = db(46);
     materialize_views(&mut database, &[v]).unwrap();
@@ -104,7 +112,10 @@ fn view_conditions_must_still_be_implied() {
         "V1",
         parse_query("SELECT A, COUNT(C) AS N FROM R1 WHERE B = 1 GROUP BY A").unwrap(),
     );
-    assert!(expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+    assert!(expander(&cat)
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -115,7 +126,10 @@ fn view_without_count_is_still_unusable() {
         "V1",
         parse_query("SELECT A, B, SUM(C) AS S FROM R1 GROUP BY A, B").unwrap(),
     );
-    assert!(expander(&cat).rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+    assert!(expander(&cat)
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -136,7 +150,11 @@ fn randomized_expansion_soundness() {
         let n_sel = rng.random_range(1..=3);
         let sel: Vec<&str> = (0..n_sel).map(|i| cols[i]).collect();
         let filter = if rng.random_bool(0.5) {
-            format!(" WHERE {} = {}", cols[rng.random_range(0..3)], rng.random_range(0..4))
+            format!(
+                " WHERE {} = {}",
+                cols[rng.random_range(0..3)],
+                rng.random_range(0..4)
+            )
         } else {
             String::new()
         };
@@ -155,7 +173,10 @@ fn randomized_expansion_soundness() {
             checked += 1;
         }
     }
-    assert!(checked >= 15, "only {checked} expansion rewritings exercised");
+    assert!(
+        checked >= 15,
+        "only {checked} expansion rewritings exercised"
+    );
 }
 
 #[test]
@@ -171,6 +192,8 @@ fn explain_reports_expand_candidates() {
     let reports = plain.explain(&q, std::slice::from_ref(&v)).unwrap();
     assert!(reports[0].outcome.is_err());
     // With expand: the rewriting is reported.
-    let reports = expander(&cat).explain(&q, std::slice::from_ref(&v)).unwrap();
+    let reports = expander(&cat)
+        .explain(&q, std::slice::from_ref(&v))
+        .unwrap();
     assert!(reports[0].outcome.is_ok());
 }

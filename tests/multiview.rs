@@ -5,12 +5,12 @@
 //! 3. completeness on constructed instances (combined rewritings that use
 //!    several views are found).
 
+use aggview::catalog::{Catalog, TableSchema};
 use aggview::engine::datagen::random_database;
 use aggview::gen::{embedded_view, experiment_catalog, random_query, GenConfig};
 use aggview::rewrite::{Rewriter, ViewDef};
 use aggview::run::rewrite_and_verify;
 use aggview::sql::parse_query;
-use aggview::catalog::{Catalog, TableSchema};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -49,8 +49,7 @@ fn church_rosser_on_random_instances() {
         let query = random_query(&mut rng, &catalog, &cfg);
         let mut views = Vec::new();
         for (i, aggregated) in [(0usize, false), (1usize, false), (2usize, true)] {
-            if let Some(v) =
-                embedded_view(&mut rng, &query, &catalog, &format!("V{i}"), aggregated)
+            if let Some(v) = embedded_view(&mut rng, &query, &catalog, &format!("V{i}"), aggregated)
             {
                 views.push(v);
             }
@@ -89,10 +88,7 @@ fn combined_rewriting_uses_all_views() {
     cat.add_table(TableSchema::new("S1", ["A", "B"])).unwrap();
     cat.add_table(TableSchema::new("S2", ["C", "D"])).unwrap();
     cat.add_table(TableSchema::new("S3", ["E", "F"])).unwrap();
-    let q = parse_query(
-        "SELECT A, C, E FROM S1, S2, S3 WHERE B = 1 AND D = 2 AND F = 3",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, C, E FROM S1, S2, S3 WHERE B = 1 AND D = 2 AND F = 3").unwrap();
     let views = vec![
         ViewDef::new("W1", parse_query("SELECT A FROM S1 WHERE B = 1").unwrap()),
         ViewDef::new("W2", parse_query("SELECT C FROM S2 WHERE D = 2").unwrap()),
@@ -114,18 +110,19 @@ fn aggregation_view_then_conjunctive_view() {
     // Chain: an aggregation view summarizes S1; a conjunctive view covers
     // S2; the combined rewriting uses both.
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("S1", ["A", "B", "M"])).unwrap();
+    cat.add_table(TableSchema::new("S1", ["A", "B", "M"]))
+        .unwrap();
     cat.add_table(TableSchema::new("S2", ["C", "D"])).unwrap();
-    let q = parse_query(
-        "SELECT A, SUM(M) FROM S1, S2 WHERE A = C AND D = 1 GROUP BY A",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, SUM(M) FROM S1, S2 WHERE A = C AND D = 1 GROUP BY A").unwrap();
     let views = vec![
         ViewDef::new(
             "VAgg",
             parse_query("SELECT A, B, SUM(M) AS SM FROM S1 GROUP BY A, B").unwrap(),
         ),
-        ViewDef::new("VConj", parse_query("SELECT C FROM S2 WHERE D = 1").unwrap()),
+        ViewDef::new(
+            "VConj",
+            parse_query("SELECT C FROM S2 WHERE D = 1").unwrap(),
+        ),
     ];
     let rewriter = Rewriter::new(&cat);
     let rws = rewriter.rewrite(&q, &views).unwrap();

@@ -20,7 +20,8 @@ use rand::{Rng, SeedableRng};
 
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+        .unwrap();
     cat
 }
 
@@ -55,7 +56,10 @@ fn falsify(query_sql: &str, good_view_sql: &str, bad_view_sql: &str) {
 
     // Rejected with the mutated view.
     assert!(
-        rewriter.rewrite(&q, std::slice::from_ref(&bad)).unwrap().is_empty(),
+        rewriter
+            .rewrite(&q, std::slice::from_ref(&bad))
+            .unwrap()
+            .is_empty(),
         "mutated view must be rejected: {bad_view_sql}"
     );
 

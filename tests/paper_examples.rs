@@ -115,10 +115,8 @@ fn example_3_1_conjunctive_view() {
     db.insert("R1", r1);
     db.insert("R2", r2);
 
-    let q = parse_query(
-        "SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A")
+        .unwrap();
     let v1 = ViewDef::new(
         "V1",
         parse_query("SELECT C, D FROM R1, R2 WHERE A = C AND B = D").unwrap(),
@@ -136,10 +134,8 @@ fn example_3_1_conjunctive_view() {
 fn example_4_1_coalescing_subgroups() {
     let cat = r1_r2_catalog();
     let db = r1_r2_db(41, 80);
-    let q = parse_query(
-        "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E")
+        .unwrap();
     let v1 = ViewDef::new(
         "V1",
         parse_query("SELECT A, C, COUNT(D) AS N FROM R1 WHERE B = D GROUP BY A, C").unwrap(),
@@ -201,10 +197,8 @@ fn example_4_3_rewritten_query_of_4_1_shape() {
     // Example 4.3 re-checks Example 4.1's conditions; here we validate the
     // same pair on several seeds for robustness.
     let cat = r1_r2_catalog();
-    let q = parse_query(
-        "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D GROUP BY A, E")
+        .unwrap();
     let v1 = ViewDef::new(
         "V1",
         parse_query("SELECT A, C, COUNT(D) AS N FROM R1 WHERE B = D GROUP BY A, C").unwrap(),
@@ -222,16 +216,16 @@ fn example_4_4_constraining_aggregated_columns() {
     // The WHERE clause constrains B, which the view aggregates away: the
     // view must be rejected (condition C3').
     let cat = r1_r2_catalog();
-    let q = parse_query(
-        "SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E",
-    )
-    .unwrap();
+    let q = parse_query("SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E").unwrap();
     let v = ViewDef::new(
         "V",
         parse_query("SELECT A, E, F, SUM(B) AS S FROM R1, R2 GROUP BY A, E, F").unwrap(),
     );
     let rewriter = Rewriter::new(&cat);
-    assert!(rewriter.rewrite(&q, std::slice::from_ref(&v)).unwrap().is_empty());
+    assert!(rewriter
+        .rewrite(&q, std::slice::from_ref(&v))
+        .unwrap()
+        .is_empty());
 
     // Sanity: the rejection is semantically forced — on some instance the
     // naive substitution would give a wrong answer. Check that the paper's
@@ -247,7 +241,8 @@ fn example_4_5_aggregation_view_conjunctive_query() {
     // Section 4.5: V1 groups and counts; the conjunctive query needs raw
     // multiplicities — no rewriting exists.
     let mut cat = Catalog::new();
-    cat.add_table(TableSchema::new("R1", ["A", "B", "C"])).unwrap();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C"]))
+        .unwrap();
     let q = parse_query("SELECT A, B FROM R1").unwrap();
     let v1 = ViewDef::new(
         "V1",
@@ -282,7 +277,10 @@ fn example_5_1_keys_enable_many_to_one() {
     );
     let rewriter = Rewriter::new(&cat);
     let rws = rewrite_and_verify(&rewriter, &q, &[v1], &db);
-    let set_rw = rws.iter().find(|r| r.set_semantics).expect("Example 5.1 rewriting");
+    let set_rw = rws
+        .iter()
+        .find(|r| r.set_semantics)
+        .expect("Example 5.1 rewriting");
     assert_eq!(
         set_rw.query.to_string(),
         "SELECT V1.A1 FROM V1 WHERE V1.A1 = V1.A2"
@@ -321,8 +319,8 @@ fn section_3_3_having_move_around_enables_usability() {
     }
     db.insert("R", r);
 
-    let q = parse_query("SELECT A, SUM(B) FROM R GROUP BY A HAVING A > 5 AND SUM(B) < 100")
-        .unwrap();
+    let q =
+        parse_query("SELECT A, SUM(B) FROM R GROUP BY A HAVING A > 5 AND SUM(B) < 100").unwrap();
     let v = ViewDef::new("V", parse_query("SELECT A, B FROM R WHERE A > 5").unwrap());
     let rewriter = Rewriter::new(&cat);
     let rws = rewrite_and_verify(&rewriter, &q, &[v], &db);
@@ -379,10 +377,7 @@ fn unsound_naive_substitution_counterexample() {
     let q = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A").unwrap();
     // Correct answer: SUM(E) = 4 rows × 10 = 40.
     let expected = execute(&q, &db).unwrap();
-    assert_eq!(
-        expected.rows,
-        vec![vec![Value::Int(1), Value::Int(40)]]
-    );
+    assert_eq!(expected.rows, vec![vec![Value::Int(1), Value::Int(40)]]);
 
     let v2 = ViewDef::new(
         "V2",

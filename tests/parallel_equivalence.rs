@@ -104,6 +104,38 @@ proptest! {
     }
 }
 
+/// The search falls back to one worker on small frontiers (at most 4
+/// tasks — spawning threads costs more than the work, per BENCH_1.json).
+/// The fallback is an internal scheduling decision: output must stay
+/// byte-identical across pool sizes on both sides of the threshold and
+/// across thread counts.
+#[test]
+fn sequential_fallback_threshold_boundary() {
+    let catalog = experiment_catalog();
+    let cfg = GenConfig::default();
+    for seed in 0..8u64 {
+        let (query, mut views) = workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut i = views.len();
+        while views.len() < 6 {
+            views.push(ViewDef::new(
+                format!("PAD{i}"),
+                random_query(&mut rng, &catalog, &cfg),
+            ));
+            i += 1;
+        }
+        for n in [3usize, 4, 5, 6] {
+            let pool = &views[..n];
+            let seq = rewrite_with(Strategy::Weighted, 1, true, &query, pool);
+            let par = rewrite_with(Strategy::Weighted, 8, true, &query, pool);
+            assert_eq!(seq.len(), par.len(), "count differs at {n} views");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(fingerprint(a), fingerprint(b), "at {n} views");
+            }
+        }
+    }
+}
+
 /// Deterministic spot check: the stats counters are consistent with the
 /// search actually running, and prefiltering actually rejects candidates
 /// on a pool with decoy views.

@@ -53,8 +53,7 @@ fn run_case(seed: u64) -> (usize, usize) {
     let anchor = random_query(&mut rng, &catalog, &cfg);
     let mut n_views = 0;
     for (i, aggregated) in [(0, false), (1, true)] {
-        if let Some(v) = embedded_view(&mut rng, &anchor, &catalog, &format!("EV{i}"), aggregated)
-        {
+        if let Some(v) = embedded_view(&mut rng, &anchor, &catalog, &format!("EV{i}"), aggregated) {
             session
                 .execute(&Statement::CreateView(CreateView {
                     name: v.name.clone(),
@@ -120,6 +119,118 @@ fn run_case(seed: u64) -> (usize, usize) {
     (hits, total)
 }
 
+/// Drive two sessions — one with the serving-plan cache, one without —
+/// through one identical interleaved stream of INSERT / DELETE /
+/// CREATE VIEW / SELECT, re-issuing earlier queries so the cached session
+/// actually serves hits. Every pair of answers must agree as multisets:
+/// a cached plan must never return stale or wrong rows, across data
+/// writes (no invalidation) and schema changes (epoch invalidation).
+/// Returns the cached session's hit count.
+fn run_cached_vs_uncached(seed: u64) -> u64 {
+    let catalog = experiment_catalog();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cached = Session::new(SessionOptions::default());
+    let mut uncached = Session::new(SessionOptions {
+        plan_cache_cap: 0,
+        ..SessionOptions::default()
+    });
+
+    let mut both = |stmt: &Statement| {
+        let a = cached.execute(stmt).expect("cached session");
+        let b = uncached.execute(stmt).expect("uncached session");
+        if let (
+            StatementOutcome::Answer { relation: ra, .. },
+            StatementOutcome::Answer { relation: rb, .. },
+        ) = (&a, &b)
+        {
+            assert_eq!(
+                ra.sorted_rows(),
+                rb.sorted_rows(),
+                "cached and uncached answers diverge on {stmt}"
+            );
+        }
+    };
+
+    for t in catalog.tables() {
+        both(&Statement::CreateTable(CreateTable {
+            name: t.name.clone(),
+            columns: t.column_names(),
+            keys: Vec::new(),
+        }));
+    }
+    for t in catalog.tables() {
+        let rows: Vec<Vec<Literal>> = (0..rng.random_range(5..15))
+            .map(|_| {
+                (0..t.arity())
+                    .map(|_| Literal::Int(rng.random_range(0..4)))
+                    .collect()
+            })
+            .collect();
+        both(&Statement::Insert(Insert {
+            table: t.name.clone(),
+            rows,
+        }));
+    }
+
+    let cfg = GenConfig::default();
+    let mut issued: Vec<Statement> = Vec::new();
+    let mut n_views = 0;
+    for _ in 0..24 {
+        match rng.random_range(0..10) {
+            // Re-issue an earlier SELECT: the cached session should hit.
+            0..=3 if !issued.is_empty() => {
+                let q = issued[rng.random_range(0..issued.len())].clone();
+                both(&q);
+            }
+            // Fresh SELECT.
+            0..=5 => {
+                let q = Statement::Select(random_query(&mut rng, &catalog, &cfg));
+                both(&q);
+                issued.push(q);
+            }
+            // INSERT (data write: cached plans stay valid, answers must
+            // still track the new rows).
+            6..=7 => {
+                let t = catalog
+                    .tables()
+                    .nth(rng.random_range(0..catalog.tables().count()))
+                    .expect("table");
+                let rows: Vec<Vec<Literal>> = (0..rng.random_range(1..4))
+                    .map(|_| {
+                        (0..t.arity())
+                            .map(|_| Literal::Int(rng.random_range(0..4)))
+                            .collect()
+                    })
+                    .collect();
+                both(&Statement::Insert(Insert {
+                    table: t.name.clone(),
+                    rows,
+                }));
+            }
+            // DELETE.
+            8 => {
+                let t = catalog.tables().next().expect("non-empty").name.clone();
+                both(&Statement::Delete(Delete {
+                    table: t,
+                    filter: aggview::sql::parse_query("SELECT A FROM R1 WHERE A = 0")
+                        .expect("valid SQL")
+                        .where_clause,
+                }));
+            }
+            // CREATE VIEW (schema event: bumps the cache epoch).
+            _ => {
+                let body = random_query(&mut rng, &catalog, &cfg);
+                both(&Statement::CreateView(CreateView {
+                    name: format!("FV{n_views}"),
+                    query: body,
+                }));
+                n_views += 1;
+            }
+        }
+    }
+    cached.plan_cache().hits()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -127,6 +238,21 @@ proptest! {
     fn sessions_never_answer_wrong(seed in any::<u64>()) {
         run_case(seed);
     }
+
+    #[test]
+    fn cached_sessions_agree_with_uncached(seed in any::<u64>()) {
+        run_cached_vs_uncached(seed);
+    }
+}
+
+/// The cached-vs-uncached fuzz must actually serve cache hits.
+#[test]
+fn cache_fuzz_exercises_hits() {
+    let mut hits = 0;
+    for seed in 0..10 {
+        hits += run_cached_vs_uncached(seed);
+    }
+    assert!(hits >= 10, "only {hits} plan-cache hits across the sweep");
 }
 
 /// The fuzz must actually exercise the view-answering path.

@@ -10,10 +10,7 @@ use aggview::sql::parse_script;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn assert_answer(
-    outcome: &StatementOutcome,
-    expect_view: Option<&str>,
-) -> usize {
+fn assert_answer(outcome: &StatementOutcome, expect_view: Option<&str>) -> usize {
     let StatementOutcome::Answer {
         relation,
         views_used,
@@ -109,10 +106,11 @@ fn full_lifecycle() {
     assert_answer(&out[0], Some("Yearly"));
 
     // Deletes (refunds for one plan in 1994): SUM/COUNT views maintain.
-    let del =
-        parse_script("DELETE FROM Calls WHERE Plan_Id = 2 AND Year = 1994;").unwrap();
+    let del = parse_script("DELETE FROM Calls WHERE Plan_Id = 2 AND Year = 1994;").unwrap();
     let out = session.run_script(&del).unwrap();
-    let StatementOutcome::Ok(msg) = &out[0] else { panic!() };
+    let StatementOutcome::Ok(msg) = &out[0] else {
+        panic!()
+    };
     assert!(msg.contains("deleted"), "{msg}");
     let out = session.run_script(&q_annual).unwrap();
     assert_answer(&out[0], Some("Yearly"));
@@ -124,8 +122,13 @@ fn full_lifecycle() {
     let out = session
         .run_script(&parse_script(&format!("SUGGEST {q_byname};")).unwrap())
         .unwrap();
-    let StatementOutcome::Explanation(lines) = &out[0] else { panic!() };
-    assert!(!lines.is_empty() && lines[0].contains("CREATE VIEW"), "{lines:?}");
+    let StatementOutcome::Explanation(lines) = &out[0] else {
+        panic!()
+    };
+    assert!(
+        !lines.is_empty() && lines[0].contains("CREATE VIEW"),
+        "{lines:?}"
+    );
     // Adopt the top suggestion verbatim (the SUGGEST output is runnable).
     let create = lines[0]
         .split_once(": ")

@@ -188,10 +188,9 @@ impl Bencher {
                 "  {:>12.0} elem/s",
                 n as f64 / median.as_secs_f64().max(1e-12)
             ),
-            Some(Throughput::Bytes(n)) => format!(
-                "  {:>12.0} B/s",
-                n as f64 / median.as_secs_f64().max(1e-12)
-            ),
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64().max(1e-12))
+            }
             None => String::new(),
         };
         println!(

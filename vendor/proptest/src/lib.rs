@@ -161,7 +161,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected 1000 candidates in a row", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
     }
 }
 
@@ -490,7 +493,11 @@ pub mod string {
                     i += 1;
                     match c {
                         'd' => ('0'..='9').collect(),
-                        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
                         's' => vec![' ', '\t', '\n'],
                         other => vec![other],
                     }
@@ -734,7 +741,9 @@ mod tests {
             let v = crate::Strategy::generate(&s, &mut rng);
             assert!(!v.is_empty() && v.len() <= 7, "{v:?}");
             assert!(v.chars().next().unwrap().is_ascii_lowercase());
-            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
         let printable = crate::string::string_regex("[ -~]{0,80}").unwrap();
         for _ in 0..50 {
@@ -779,10 +788,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = crate::TestRng::seed_from_u64(4);
         for _ in 0..100 {
             assert!(depth(&crate::Strategy::generate(&strat, &mut rng)) <= 4);

@@ -24,8 +24,12 @@ pub trait RngCore {
 pub trait SampleUniform: Sized {
     /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
     /// (`inclusive = true`). Panics if the interval is empty.
-    fn sample_interval<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_interval<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -48,7 +52,12 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl SampleUniform for f64 {
-    fn sample_interval<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+    fn sample_interval<R: RngCore + ?Sized>(
+        lo: f64,
+        hi: f64,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> f64 {
         assert!(lo < hi, "cannot sample empty range");
         let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         lo + unit * (hi - lo)
@@ -177,7 +186,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0..1_000_000i64), b.random_range(0..1_000_000i64));
+            assert_eq!(
+                a.random_range(0..1_000_000i64),
+                b.random_range(0..1_000_000i64)
+            );
         }
         let mut c = StdRng::seed_from_u64(8);
         let differs = (0..100).any(|_| {
