@@ -1,0 +1,133 @@
+//! A cheap satisfiability/triviality classifier for canonical queries.
+//!
+//! Random workload generators (the `qcheck` differential harness, the
+//! facade's `gen` module) want to bias generation toward queries with
+//! *non-empty, non-degenerate* answers: an unsatisfiable `WHERE` makes
+//! every execution path trivially agree on zero rows, and a query with no
+//! conditions at all exercises little of the rewrite machinery. This
+//! module classifies a [`Canonical`] query without touching any data,
+//! reusing the footnote-2 [`PredClosure`] satisfiability test the rewriter
+//! itself runs on.
+
+use crate::canon::{Canonical, GTerm, Term};
+use crate::closure::{const_cmp, PredClosure};
+use aggview_sql::ast::CmpOp;
+use std::cmp::Ordering;
+
+/// Data-independent shape of a query's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// `Conds(Q)` (or a constant `HAVING` comparison) is unsatisfiable:
+    /// the answer is empty on every database.
+    Unsatisfiable,
+    /// No `WHERE` conditions and no `HAVING`: the query never filters, so
+    /// it exercises only the projection/grouping surface.
+    Trivial,
+    /// Everything else.
+    General,
+}
+
+/// Classify a canonical query. Sound but deliberately incomplete: a
+/// `General` verdict does *not* guarantee a non-empty answer (that depends
+/// on the data), but an `Unsatisfiable` verdict guarantees an empty one.
+pub fn classify(canon: &Canonical) -> QueryClass {
+    // Universe: every query column plus every constant in sight (the same
+    // construction the rewriter uses before checking implication).
+    let mut universe: Vec<Term> = (0..canon.n_cols()).map(Term::Col).collect();
+    for a in &canon.conds {
+        for t in [&a.lhs, &a.rhs] {
+            if matches!(t, Term::Const(_)) {
+                universe.push(t.clone());
+            }
+        }
+    }
+    let closure = PredClosure::build(&canon.conds, &universe);
+    if !closure.satisfiable() {
+        return QueryClass::Unsatisfiable;
+    }
+    // Constant-vs-constant HAVING comparisons decide independently of the
+    // groups (e.g. a normalized `HAVING 3 < 2`); a decided-true one filters
+    // nothing and does not count as a real group condition.
+    let mut filtering_gconds = 0usize;
+    for g in &canon.gconds {
+        if let (GTerm::Const(l), GTerm::Const(r)) = (&g.lhs, &g.rhs) {
+            if let Some(ord) = const_cmp(l, r) {
+                let holds = match g.op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                };
+                if !holds {
+                    return QueryClass::Unsatisfiable;
+                }
+                continue;
+            }
+        }
+        filtering_gconds += 1;
+    }
+    if canon.conds.is_empty() && filtering_gconds == 0 {
+        return QueryClass::Trivial;
+    }
+    QueryClass::General
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_catalog::{Catalog, TableSchema};
+    use aggview_sql::parse_query;
+
+    fn canon(sql: &str) -> Canonical {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("R", ["A", "B"])).unwrap();
+        Canonical::from_query(&parse_query(sql).unwrap(), &cat).unwrap()
+    }
+
+    #[test]
+    fn contradictory_where_is_unsat() {
+        assert_eq!(
+            classify(&canon("SELECT A FROM R WHERE A = 1 AND A = 2")),
+            QueryClass::Unsatisfiable
+        );
+        assert_eq!(
+            classify(&canon("SELECT A FROM R WHERE A < B AND B < A")),
+            QueryClass::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn constant_having_contradiction_is_unsat() {
+        assert_eq!(
+            classify(&canon("SELECT A FROM R GROUP BY A HAVING 3 < 2")),
+            QueryClass::Unsatisfiable
+        );
+        assert_eq!(
+            classify(&canon("SELECT A FROM R GROUP BY A HAVING 2 < 3")),
+            QueryClass::Trivial
+        );
+    }
+
+    #[test]
+    fn unconstrained_queries_are_trivial() {
+        assert_eq!(classify(&canon("SELECT A FROM R")), QueryClass::Trivial);
+        assert_eq!(
+            classify(&canon("SELECT A, SUM(B) FROM R GROUP BY A")),
+            QueryClass::Trivial
+        );
+    }
+
+    #[test]
+    fn filtered_queries_are_general() {
+        assert_eq!(
+            classify(&canon("SELECT A FROM R WHERE A = 1")),
+            QueryClass::General
+        );
+        assert_eq!(
+            classify(&canon("SELECT A FROM R GROUP BY A HAVING SUM(B) > 2")),
+            QueryClass::General
+        );
+    }
+}

@@ -102,11 +102,17 @@ pub fn rewrite_conjunctive(
         .iter()
         .map(|a| mapping.map_atom(view, query, a))
         .collect();
-    for atom in &mapped_vconds {
-        if !q_closure.implies_atom(atom) {
-            return Err(WhyNot::ViewCondsNotImplied {
-                atom: format!("{atom:?}"),
-            });
+    // Fault-injection hook for the differential harness (`crates/qcheck`):
+    // skipping the first half of C3 silently accepts views whose own
+    // conditions discard tuples the query needs — a classic soundness bug
+    // the harness must catch. Never set outside harness self-tests.
+    if !unsound_skip_c3() {
+        for atom in &mapped_vconds {
+            if !q_closure.implies_atom(atom) {
+                return Err(WhyNot::ViewCondsNotImplied {
+                    atom: format!("{atom:?}"),
+                });
+            }
         }
     }
     let allowed = |t: &Term| match t {
@@ -179,6 +185,16 @@ pub fn rewrite_conjunctive(
         .collect();
 
     Ok(frame.new_q)
+}
+
+/// Is the hidden `AGGVIEW_UNSOUND_SKIP_C3` fault-injection flag set? Read
+/// once per process (the parallel search consults this per mapping). Both
+/// implementations of the first half of C3 consult it: the check here and
+/// the entailment prune inside the search's mapping enumeration (which
+/// would otherwise cut the same unsound candidates for efficiency).
+pub(crate) fn unsound_skip_c3() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("AGGVIEW_UNSOUND_SKIP_C3").is_some())
 }
 
 /// C4 feasibility for one aggregate expression.

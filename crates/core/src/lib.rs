@@ -24,6 +24,7 @@
 pub mod advisor;
 pub mod aggregate;
 pub mod canon;
+pub mod classify;
 pub mod closure;
 pub mod conjunctive;
 pub mod cost;
@@ -40,6 +41,7 @@ pub use advisor::{suggest_views, ViewSuggestion};
 pub use canon::{
     AggExpr, AggSpec, Atom, CanonError, Canonical, ColId, GAtom, GTerm, SelItem, Term,
 };
+pub use classify::{classify, QueryClass};
 pub use closure::{ClosureCache, ClosureCacheStats, PredClosure};
 pub use cost::{estimate_cost, TableStats};
 pub use explain::{CandidateMode, CandidateReport, WhyNot};

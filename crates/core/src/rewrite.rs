@@ -736,7 +736,15 @@ impl<'a> Rewriter<'a> {
         // never enters the multiset path. Section 4.5 leaves aggregation
         // view + conjunctive query to the footnote-3 expansion (opt-in).
         if view.conjunctive || (view.aggregation_view && ctx.is_aggregation) {
-            for m in enumerate_mappings(&view.canonical, &state.canonical, true, Some(closure)) {
+            // The entailment prune is the search-side copy of C3's first
+            // half; the fault-injection flag must disable both copies or
+            // the prune silently masks the injected bug.
+            let prune = if crate::conjunctive::unsound_skip_c3() {
+                None
+            } else {
+                Some(closure)
+            };
+            for m in enumerate_mappings(&view.canonical, &state.canonical, true, prune) {
                 out.push((m, ApplyMode::Multiset));
             }
         } else if view.aggregation_view && !ctx.is_aggregation && self.options.enable_expand {

@@ -165,6 +165,24 @@ pub fn random_database(catalog: &Catalog, n_rows: usize, domain: i64, seed: u64)
     db
 }
 
+/// Generate a random catalog: 1..=`max_tables` tables `S0`, `S1`, ... with
+/// 2..=`max_arity` columns each drawn from a fixed letter pool, no keys
+/// (pure bag semantics). Pair with [`random_database`] for instances.
+/// Deterministic in `seed`.
+pub fn random_catalog(seed: u64, max_tables: usize, max_arity: usize) -> Catalog {
+    const POOL: [&str; 8] = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let n_tables = rng.random_range(1..=max_tables.max(1));
+    for t in 0..n_tables {
+        let arity = rng.random_range(2..=max_arity.clamp(2, POOL.len()));
+        let cols = &POOL[..arity];
+        cat.add_table(TableSchema::new(format!("S{t}"), cols.iter().copied()))
+            .expect("fresh names");
+    }
+    cat
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +264,21 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), calls.len());
+    }
+
+    #[test]
+    fn random_catalog_is_deterministic_and_bounded() {
+        let a = random_catalog(9, 3, 4);
+        let b = random_catalog(9, 3, 4);
+        assert_eq!(
+            a.tables().map(|t| &t.name).collect::<Vec<_>>(),
+            b.tables().map(|t| &t.name).collect::<Vec<_>>()
+        );
+        for t in a.tables() {
+            assert!((2..=4).contains(&t.arity()), "{}: {}", t.name, t.arity());
+            assert!(t.keys.is_empty());
+        }
+        assert!(a.tables().count() >= 1 && a.tables().count() <= 3);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The `qcheck` soak CLI.
+//!
+//! ```text
+//! qcheck --seeds 0..500              # differential soak over a seed range
+//! qcheck --seeds 0..500 --write-failures DIR   # persist shrunk failures
+//! qcheck --replay tests/corpus       # re-check every corpus case
+//! ```
+//!
+//! Exit code 0 = every checked case agreed on every execution path;
+//! 1 = a discrepancy (printed, shrunk, and optionally persisted);
+//! 2 = usage error.
+
+use aggview_qcheck::{check_case, corpus, run_seed, CaseConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: Option<std::ops::Range<u64>>,
+    replay: Option<PathBuf>,
+    write_failures: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: qcheck --seeds A..B [--write-failures DIR]\n       qcheck --replay DIR");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: None,
+        replay: None,
+        write_failures: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or(format!("--seeds wants A..B, got `{v}`"))?;
+                let a: u64 = a.parse().map_err(|_| format!("bad seed `{a}`"))?;
+                let b: u64 = b.parse().map_err(|_| format!("bad seed `{b}`"))?;
+                args.seeds = Some(a..b);
+            }
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--write-failures" => {
+                args.write_failures = Some(PathBuf::from(value("--write-failures")?))
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.seeds.is_none() && args.replay.is_none() {
+        return Err("one of --seeds or --replay is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qcheck: {e}");
+            return usage();
+        }
+    };
+    let cfg = CaseConfig::default();
+    let mut failed = false;
+
+    if let Some(dir) = &args.replay {
+        match corpus::load_dir(dir) {
+            Ok(cases) => {
+                for (name, case) in &cases {
+                    match check_case(case) {
+                        Ok(()) => println!("corpus {name}: ok"),
+                        Err(d) => {
+                            failed = true;
+                            println!("corpus {name}: REGRESSED {d}\n{case}");
+                        }
+                    }
+                }
+                println!("replayed {} corpus case(s)", cases.len());
+            }
+            Err(e) => {
+                eprintln!("qcheck: corpus {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(seeds) = args.seeds.clone() {
+        let total = seeds.end.saturating_sub(seeds.start);
+        let mut checked = 0u64;
+        for seed in seeds {
+            match run_seed(seed, &cfg) {
+                None => checked += 1,
+                Some(f) => {
+                    failed = true;
+                    println!(
+                        "seed {seed}: {}\nshrunk ({} row(s), {} conjunct(s)): {}\n{}",
+                        f.discrepancy,
+                        f.shrunk.total_rows(),
+                        f.shrunk.query_conjuncts(),
+                        f.shrunk_discrepancy,
+                        f.shrunk
+                    );
+                    if let Some(dir) = &args.write_failures {
+                        let header = format!(
+                            "qcheck failure\nseed: {seed}\nkind: {}",
+                            f.shrunk_discrepancy.kind
+                        );
+                        if let Err(e) =
+                            corpus::save(dir, &format!("seed{seed}"), &f.shrunk, &header)
+                        {
+                            eprintln!("qcheck: writing failure: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "checked {checked}/{total} seed(s), {} discrepancy-free",
+            checked
+        );
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,104 @@
+//! The replayable corpus: failing (later fixed) cases persisted as plain
+//! SQL scripts under `tests/corpus/`, re-checked on every CI run so a
+//! fixed bug stays fixed.
+//!
+//! A corpus file is the [`Case`]'s `Display` form — `CREATE TABLE`s,
+//! `INSERT`s, `CREATE VIEW`s, and the final `SELECT` — optionally
+//! preceded by `--` comment lines carrying provenance (seed, failure
+//! kind). Comments are stripped before parsing, so the files are also
+//! valid input for the `aggview` CLI.
+
+use crate::case::{Case, TableSpec};
+use aggview_core::ViewDef;
+use aggview_sql::ast::Literal;
+use aggview_sql::{parse_script, Statement};
+use std::path::Path;
+
+/// Parse a corpus script back into a [`Case`].
+pub fn parse_case(script: &str) -> Result<Case, String> {
+    let body: String = script
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let stmts = parse_script(&body).map_err(|e| e.to_string())?;
+    let mut tables: Vec<TableSpec> = Vec::new();
+    let mut views: Vec<ViewDef> = Vec::new();
+    let mut query = None;
+    for stmt in stmts {
+        match stmt {
+            Statement::CreateTable(ct) => tables.push(TableSpec {
+                name: ct.name,
+                columns: ct.columns,
+                rows: Vec::new(),
+            }),
+            Statement::Insert(ins) => {
+                let t = tables
+                    .iter_mut()
+                    .find(|t| t.name == ins.table)
+                    .ok_or_else(|| format!("INSERT into unknown table `{}`", ins.table))?;
+                for row in ins.rows {
+                    let vals = row
+                        .iter()
+                        .map(|l| match l {
+                            Literal::Int(v) => Ok(*v),
+                            other => Err(format!("corpus rows are integers, got {other:?}")),
+                        })
+                        .collect::<Result<Vec<i64>, String>>()?;
+                    t.rows.push(vals);
+                }
+            }
+            Statement::CreateView(cv) => views.push(ViewDef::new(cv.name, cv.query)),
+            Statement::Select(q) => {
+                if query.replace(q).is_some() {
+                    return Err("corpus case must contain exactly one SELECT".into());
+                }
+            }
+            other => return Err(format!("unexpected statement in corpus case: {other:?}")),
+        }
+    }
+    Ok(Case {
+        tables,
+        views,
+        query: query.ok_or("corpus case has no SELECT")?,
+    })
+}
+
+/// Load every `.sql` case under `dir`, in file-name order. Returns
+/// `(file name, case)` pairs; a missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Case)>, String> {
+    let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+            .collect(),
+        Err(_) => return Ok(Vec::new()),
+    };
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let case = parse_case(&text).map_err(|e| format!("{name}: {e}"))?;
+            Ok((name, case))
+        })
+        .collect()
+}
+
+/// Write a case to `dir/<stem>.sql` with a provenance header.
+pub fn save(dir: &Path, stem: &str, case: &Case, header: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut text = String::new();
+    for line in header.lines() {
+        text.push_str("-- ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(&case.to_string());
+    std::fs::write(dir.join(format!("{stem}.sql")), text)
+}

@@ -1,0 +1,214 @@
+//! Deterministic random case generation. Everything derives from a single
+//! `u64` seed and never touches the clock: the same seed always yields the
+//! same case, on any machine.
+//!
+//! Builds on the facade's workload generators: [`random_catalog`] /
+//! [`random_database`] from `engine::datagen` for schemas and data,
+//! `aggview::gen` for queries and views. Views come in two flavours:
+//! *embedded* views carved out of the query (usable by construction, so
+//! they exercise the rewriting steps S1–S4/S1'–S5'), and *standalone*
+//! random views (usually unusable, so they exercise the usability
+//! conditions C1–C4 — a checker bug that admits one of these produces a
+//! wrong answer the oracle catches).
+
+use crate::case::{Case, TableSpec};
+use aggview::gen::{embedded_view, random_query, GenConfig};
+use aggview_core::{classify, Canonical, QueryClass, ViewDef};
+use aggview_engine::datagen::{random_catalog, random_database};
+use aggview_engine::Value;
+use aggview_sql::ast::{BoolExpr, CmpOp, ColumnRef, Expr};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct CaseConfig {
+    /// Maximum number of base tables.
+    pub max_tables: usize,
+    /// Maximum table arity.
+    pub max_arity: usize,
+    /// Maximum rows per table.
+    pub max_rows: usize,
+    /// Maximum number of views.
+    pub max_views: usize,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        CaseConfig {
+            max_tables: 3,
+            max_arity: 4,
+            max_rows: 8,
+            max_views: 2,
+        }
+    }
+}
+
+/// Generate the case for `seed`.
+pub fn generate(seed: u64, cfg: &CaseConfig) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = random_catalog(seed ^ 0xC47A_106D, cfg.max_tables, cfg.max_arity);
+    let n_rows = rng.random_range(3..=cfg.max_rows.max(3));
+    let domain = rng.random_range(2..=4i64);
+    let db = random_database(&catalog, n_rows, domain, rng.random_range(0..u64::MAX));
+
+    // Tables in catalog (name) order, rows lowered back to plain integers.
+    let tables: Vec<TableSpec> = catalog
+        .tables()
+        .map(|t| {
+            let rel = db.get(&t.name).expect("generated over catalog");
+            TableSpec {
+                name: t.name.clone(),
+                columns: t.column_names(),
+                rows: rel
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|v| match v {
+                                Value::Int(x) => *x,
+                                other => panic!("datagen emits ints, got {other}"),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let gen_cfg = GenConfig {
+        max_tables: 3,
+        max_atoms: 3,
+        inequalities: true,
+        aggregate_probability: 0.7,
+        domain,
+    };
+    // Bias away from data-independently empty answers: an unsatisfiable
+    // query makes every execution path agree on zero rows and tests
+    // nothing. A few redraws; an unlucky run keeps the last draw (still a
+    // valid case, just a weak one).
+    let mut query = random_query(&mut rng, &catalog, &gen_cfg);
+    for _ in 0..8 {
+        let canon =
+            Canonical::from_query(&query, &catalog).expect("generated queries canonicalize");
+        if classify(&canon) != QueryClass::Unsatisfiable {
+            break;
+        }
+        query = random_query(&mut rng, &catalog, &gen_cfg);
+    }
+
+    let mut views: Vec<ViewDef> = Vec::new();
+    let n_views = rng.random_range(0..=cfg.max_views);
+    for i in 0..n_views {
+        let name = format!("W{i}");
+        let view = match rng.random_range(0..10u32) {
+            // Embedded: usable by construction, exercises steps S1–S4.
+            0..=3 => {
+                let aggregated = rng.random_bool(0.5);
+                embedded_view(&mut rng, &query, &catalog, &name, aggregated)
+            }
+            // Near miss: an embedded view *narrowed* by one extra local
+            // condition the query does not imply. It passes the structural
+            // checks (C1, C2) and must be rejected by exactly C3 — the
+            // window a broken implication check silently admits, turning
+            // into a wrong (over-filtered) answer the oracle catches.
+            4..=6 => {
+                let aggregated = rng.random_bool(0.3);
+                embedded_view(&mut rng, &query, &catalog, &name, aggregated)
+                    .map(|v| narrow_view(&mut rng, v, domain))
+            }
+            // Standalone: usually unusable, exercises the full C1–C4 gamut.
+            _ => {
+                let vq = random_query(&mut rng, &catalog, &gen_cfg);
+                // A view must canonicalize for the rewriter to consider it.
+                Canonical::from_query(&vq, &catalog)
+                    .ok()
+                    .map(|_| ViewDef::new(name, vq))
+            }
+        };
+        if let Some(v) = view {
+            views.push(v);
+        }
+    }
+
+    Case {
+        tables,
+        views,
+        query,
+    }
+}
+
+/// Conjoin one extra random local condition (`u{i}.col = c` or
+/// `u{i}.col <= c`) onto an embedded view's `WHERE`.
+fn narrow_view(rng: &mut StdRng, mut view: ViewDef, domain: i64) -> ViewDef {
+    let cols: Vec<ColumnRef> = view
+        .query
+        .select
+        .iter()
+        .filter_map(|item| match &item.expr {
+            Expr::Column(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect();
+    if let Some(col) = cols.choose(rng) {
+        let op = if rng.random_bool(0.5) {
+            CmpOp::Eq
+        } else {
+            CmpOp::Le
+        };
+        let extra = BoolExpr::cmp(
+            Expr::Column(col.clone()),
+            op,
+            Expr::int(rng.random_range(0..domain)),
+        );
+        let mut atoms: Vec<BoolExpr> = view
+            .query
+            .where_clause
+            .as_ref()
+            .map(|w| w.conjuncts().into_iter().cloned().collect())
+            .unwrap_or_default();
+        atoms.push(extra);
+        view.query.where_clause = BoolExpr::conjoin(atoms);
+    }
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CaseConfig::default();
+        for seed in [0u64, 1, 7, 42, 1000] {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn generated_cases_are_well_formed() {
+        let cfg = CaseConfig::default();
+        for seed in 0..50u64 {
+            let case = generate(seed, &cfg);
+            assert!(!case.tables.is_empty());
+            let cat = case.catalog();
+            Canonical::from_query(&case.query, &cat).expect("query canonicalizes");
+            for v in &case.views {
+                Canonical::from_query(&v.query, &cat).expect("view canonicalizes");
+            }
+        }
+    }
+
+    #[test]
+    fn cases_round_trip_through_sql() {
+        let cfg = CaseConfig::default();
+        for seed in 0..25u64 {
+            let case = generate(seed, &cfg);
+            let script = case.to_string();
+            let back = crate::corpus::parse_case(&script)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{script}"));
+            assert_eq!(case, back, "seed {seed} round-trips");
+        }
+    }
+}

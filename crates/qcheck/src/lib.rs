@@ -1,0 +1,69 @@
+//! # aggview-qcheck — the differential & metamorphic correctness harness
+//!
+//! Random workloads (schemas, bag-semantics data, conjunctive views,
+//! single-block aggregation queries over MIN/MAX/SUM/COUNT/AVG with
+//! GROUP BY, HAVING, and equality/order predicates), cross-checked
+//! against the naive reference interpreter across every engine
+//! configuration the serving stack exposes:
+//!
+//! * plan cache on/off,
+//! * grouped-view indexes on/off,
+//! * compiled plans vs. the interpreter,
+//! * incremental view maintenance vs. full recomputation,
+//! * sequential vs. parallel rewrite search,
+//! * and every emitted rewriting, executed individually.
+//!
+//! All checks are deterministic in a single `u64` seed — no wall clock,
+//! no global RNG. A failing seed greedily shrinks to a local minimum and
+//! can be persisted to (and replayed from) a plain-SQL corpus file; see
+//! `tests/corpus/` at the workspace root and the `qcheck` binary for the
+//! soak/replay CLI.
+
+pub mod case;
+pub mod corpus;
+pub mod generate;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{Case, TableSpec};
+pub use generate::{generate, CaseConfig};
+pub use oracle::{check_case, Discrepancy};
+pub use shrink::shrink;
+
+/// A failing seed: the generated case, its shrunk form, and the verdict.
+#[derive(Debug)]
+pub struct Failure {
+    /// The seed that produced the case.
+    pub seed: u64,
+    /// The discrepancy of the original case.
+    pub discrepancy: Discrepancy,
+    /// The greedily minimized case (same failure kind).
+    pub shrunk: Case,
+    /// The discrepancy the shrunk case produces.
+    pub shrunk_discrepancy: Discrepancy,
+}
+
+/// Check one seed; on failure, shrink and report.
+pub fn run_seed(seed: u64, cfg: &CaseConfig) -> Option<Failure> {
+    let case = generate(seed, cfg);
+    let discrepancy = check_case(&case).err()?;
+    let (shrunk, shrunk_discrepancy) = shrink(&case, &discrepancy.kind);
+    Some(Failure {
+        seed,
+        discrepancy,
+        shrunk,
+        shrunk_discrepancy,
+    })
+}
+
+/// Check a seed range, stopping at the first failure.
+pub fn run_range(seeds: std::ops::Range<u64>, cfg: &CaseConfig) -> Result<u64, Box<Failure>> {
+    let mut checked = 0;
+    for seed in seeds {
+        if let Some(f) = run_seed(seed, cfg) {
+            return Err(Box::new(f));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The tier-1 gate: release build, full test suite, formatting, clippy
-# clean, and a quick serving-bench smoke (the S1/S2 harness must run and
-# produce a warm-path speedup > 1).
+# clean, a quick serving-bench smoke (the S1/S2 harness must run and
+# produce a warm-path speedup > 1), and a differential smoke (a short
+# qcheck seed sweep plus the persisted corpus, failing on any
+# regression).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -17,4 +19,9 @@ smoke=$(./target/release/repro s1 s2)
 printf '%s\n' "$smoke" >&2
 grep -q "S1 — end-to-end serving latency" <<<"$smoke"
 grep -q "S2 — view point lookups" <<<"$smoke"
+# Differential smoke: seconds, not minutes — the deep sweep lives in
+# scripts/soak.sh. A corpus regression (a once-interesting case going
+# wrong again) fails the gate.
+./target/release/qcheck --seeds 0..500
+./target/release/qcheck --replay tests/corpus
 echo "ci: all checks passed"

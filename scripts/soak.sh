@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Long-running differential soak: sweep a large seed range through the
+# qcheck harness (reference interpreter vs. the full serving stack at
+# every engine-configuration lattice point, every emitted rewriting, both
+# rewrite thread counts). Shrunken counterexamples are written to
+# tests/corpus/ so a find becomes a permanent regression test.
+#
+# Usage: scripts/soak.sh [N_SEEDS] [START]
+#   N_SEEDS  seeds to check (default 5000)
+#   START    first seed (default 0) — shift it to sweep fresh territory
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n=${1:-5000}
+start=${2:-0}
+end=$((start + n))
+
+cargo build --release -p aggview-qcheck
+exec ./target/release/qcheck --seeds "$start..$end" --write-failures tests/corpus

@@ -72,6 +72,8 @@ pub struct AnswerMeta {
     pub views_used: Vec<String>,
     /// Number of candidate rewritings the original search produced.
     pub candidates: usize,
+    /// The chosen rewriting is equivalent under set semantics only (§5).
+    pub set_semantics: bool,
 }
 
 /// A cached serving decision: the chosen rewriting (if any), the compiled

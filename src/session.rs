@@ -38,6 +38,14 @@ pub struct SessionOptions {
     /// materialized `GROUP BY` view, maintained through inserts/deletes
     /// and probed by rewritten point lookups.
     pub index_views: bool,
+    /// Compile single-block queries to a [`PhysicalPlan`] before running
+    /// (`false` forces the interpreter on every path — the differential
+    /// harness uses this to cross-check compiled vs. interpreted answers).
+    pub compile_plans: bool,
+    /// Refresh every dependent view by full recomputation instead of the
+    /// incremental-maintenance delta path (again a differential-harness
+    /// lattice axis: delta and recompute must agree).
+    pub recompute_views: bool,
 }
 
 impl Default for SessionOptions {
@@ -47,6 +55,8 @@ impl Default for SessionOptions {
             verify: false,
             plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
             index_views: true,
+            compile_plans: true,
+            recompute_views: false,
         }
     }
 }
@@ -67,6 +77,10 @@ pub enum StatementOutcome {
         views_used: Vec<String>,
         /// Number of usable rewritings considered.
         candidates: usize,
+        /// The executed rewriting is equivalent under *set* semantics only
+        /// (§5): a multiset comparison against the original is not
+        /// meaningful, compare as sets.
+        set_semantics: bool,
         /// Outcome of the base-table cross-check, when enabled.
         verified: Option<bool>,
         /// Evaluation time of the executed query, milliseconds.
@@ -92,6 +106,7 @@ impl fmt::Display for StatementOutcome {
                 candidates,
                 verified,
                 elapsed_ms,
+                set_semantics: _,
                 search: _,
             } => {
                 if views_used.is_empty() {
@@ -407,6 +422,7 @@ impl Session {
                 let executed = cached.meta.executed.clone();
                 let views_used = cached.meta.views_used.clone();
                 let candidates = cached.meta.candidates;
+                let set_semantics = cached.meta.set_semantics;
                 // No search ran: report zeroed search counters plus the
                 // session-cumulative cache counters.
                 let mut search = RewriteStats::default();
@@ -418,6 +434,7 @@ impl Session {
                     candidates,
                     verified,
                     elapsed_ms,
+                    set_semantics,
                     search: Box::new(search),
                 });
             }
@@ -438,7 +455,11 @@ impl Session {
             None => {
                 // Base-table answer. Compile once, run, and cache the
                 // compiled plan for canonically identical arrivals.
-                let plan = PhysicalPlan::compile(q, &self.db).ok();
+                let plan = self
+                    .options
+                    .compile_plans
+                    .then(|| PhysicalPlan::compile(q, &self.db).ok())
+                    .flatten();
                 let t = std::time::Instant::now();
                 let relation = match &plan {
                     Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
@@ -450,6 +471,7 @@ impl Session {
                         executed: q.to_string(),
                         views_used: Vec::new(),
                         candidates: 0,
+                        set_semantics: false,
                     };
                     self.plan_cache.store(k, None, plan, meta, search.clone());
                 }
@@ -460,6 +482,7 @@ impl Session {
                     candidates: 0,
                     verified: None,
                     elapsed_ms,
+                    set_semantics: false,
                     search: Box::new(search),
                 })
             }
@@ -468,9 +491,10 @@ impl Session {
                 // the Nat table) is a single block over stored relations:
                 // compile it once. Scaffolded rewritings cache without a
                 // plan — the hit still skips the whole search.
-                let plan = (best.aux_views.is_empty() && !best.requires_nat)
-                    .then(|| PhysicalPlan::compile(&best.query, &self.db).ok())
-                    .flatten();
+                let plan =
+                    (self.options.compile_plans && best.aux_views.is_empty() && !best.requires_nat)
+                        .then(|| PhysicalPlan::compile(&best.query, &self.db).ok())
+                        .flatten();
                 let t = std::time::Instant::now();
                 let relation = match &plan {
                     Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
@@ -484,11 +508,13 @@ impl Session {
                 };
                 let executed = best.query.to_string();
                 let views_used = best.views_used.clone();
+                let set_semantics = best.set_semantics;
                 if let Some(k) = key {
                     let meta = AnswerMeta {
                         executed: executed.clone(),
                         views_used: views_used.clone(),
                         candidates,
+                        set_semantics,
                     };
                     self.plan_cache
                         .store(k, Some(best.clone()), plan, meta, search.clone());
@@ -500,6 +526,7 @@ impl Session {
                     candidates,
                     verified,
                     elapsed_ms,
+                    set_semantics,
                     search: Box::new(search),
                 })
             }
@@ -586,7 +613,9 @@ impl Session {
                 .get(&v.name)
                 .map_err(|e| err(e.to_string()))?
                 .clone();
-            let direct_only = v.query.from.len() == 1 && v.query.from[0].table == changed_table;
+            let direct_only = !self.options.recompute_views
+                && v.query.from.len() == 1
+                && v.query.from[0].table == changed_table;
             // Detach the view's group index (dropped by `db.insert`
             // otherwise), maintain it alongside the rows, and re-attach.
             let mut idx = self.db.take_index(&v.name);

@@ -1,0 +1,10 @@
+-- HAVING over SUM across a join, with a conjunctive view narrowed by an
+-- order predicate the query does not imply: the view must be rejected by
+-- C3 (first half) and the answer must still come out right at every
+-- lattice point.
+CREATE TABLE S0 (A, B);
+INSERT INTO S0 VALUES (0, 1), (1, 2), (2, 3), (0, 4);
+CREATE TABLE S1 (A, B);
+INSERT INTO S1 VALUES (0, 5), (2, 1), (2, 2);
+CREATE VIEW W0 AS SELECT u0.A, u0.B FROM S0 AS u0 WHERE u0.B <= 3;
+SELECT t0.A, SUM(t1.B) FROM S0 AS t0, S1 AS t1 WHERE t0.A = t1.A GROUP BY t0.A HAVING SUM(t1.B) > 2;

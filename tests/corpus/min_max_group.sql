@@ -1,0 +1,8 @@
+-- MIN/MAX per group answered through a duplicate-insensitive grouped view.
+-- The delete step removes every S0 row with A = 1, killing the group whose
+-- minimum came from a deleted row — the maintenance path must not keep a
+-- stale extremum.
+CREATE TABLE S0 (A, B, C);
+INSERT INTO S0 VALUES (0, 4, 1), (1, 2, 2), (0, 7, 3), (2, 5, 1), (1, 9, 2), (2, 2, 0);
+CREATE VIEW W0 AS SELECT u0.A, MIN(u0.B) AS LO, MAX(u0.B) AS HI FROM S0 AS u0 GROUP BY u0.A;
+SELECT t0.A, MIN(t0.B) FROM S0 AS t0 GROUP BY t0.A;

@@ -1,0 +1,7 @@
+-- AVG answered from a SUM/COUNT view (§4.2). The delete step removes the
+-- whole A = 1 group, so empty-group handling and the AVG = SUM/COUNT
+-- recomputation are both on the line.
+CREATE TABLE S0 (A, B);
+INSERT INTO S0 VALUES (0, 2), (0, 4), (1, 3), (1, 5), (1, 7), (2, 6);
+CREATE VIEW W0 AS SELECT u0.A, SUM(u0.B) AS S, COUNT(u0.B) AS N FROM S0 AS u0 GROUP BY u0.A;
+SELECT t0.A, AVG(t0.B) FROM S0 AS t0 GROUP BY t0.A;

@@ -1,0 +1,41 @@
+//! Tier-1 differential smoke: a small slice of the qcheck harness runs on
+//! every `cargo test`. The full soak lives in `scripts/soak.sh` (and the
+//! `qcheck` binary); this file keeps the fast path honest — a short seed
+//! range across the whole engine-configuration lattice, plus a replay of
+//! the persisted corpus so previously interesting cases stay green.
+
+use aggview_qcheck::{check_case, corpus, run_range, CaseConfig};
+use std::path::Path;
+
+/// Every seed in a short range must be discrepancy-free across the full
+/// lattice (plan cache, grouped indexes, compiled plans, recompute-vs-delta
+/// maintenance), every emitted rewriting, and both rewrite thread counts.
+#[test]
+fn short_seed_range_is_discrepancy_free() {
+    let cfg = CaseConfig::default();
+    match run_range(0..40, &cfg) {
+        Ok(checked) => assert_eq!(checked, 40),
+        Err(f) => panic!(
+            "seed {} failed: {}\nshrunk to:\n{}",
+            f.seed, f.discrepancy, f.shrunk
+        ),
+    }
+}
+
+/// Replay the persisted corpus. Each file is a plain SQL script that once
+/// exposed (or characterizes) a tricky interaction; a discrepancy here is a
+/// regression.
+#[test]
+fn corpus_replays_without_regressions() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("corpus files parse");
+    assert!(
+        !cases.is_empty(),
+        "tests/corpus must contain at least one case"
+    );
+    for (name, case) in cases {
+        if let Err(d) = check_case(&case) {
+            panic!("corpus case {name} regressed: {d}\n{case}");
+        }
+    }
+}

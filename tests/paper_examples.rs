@@ -402,3 +402,119 @@ fn unsound_naive_substitution_counterexample() {
         );
     }
 }
+
+#[test]
+fn having_avg_recomputed_from_sum_count() {
+    // AVG in both SELECT and HAVING, answered from a SUM/COUNT view: the
+    // rewriting must recompute AVG as SUM(S)/SUM(N) over the coalesced
+    // subgroups, never as an average of the per-subgroup averages (those
+    // two differ whenever subgroup sizes differ).
+    let cat = r1_r2_catalog();
+    let q = parse_query("SELECT A, AVG(C) FROM R1 GROUP BY A HAVING AVG(C) > 1").unwrap();
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    for seed in [46, 47, 48] {
+        let db = r1_r2_db(seed, 80);
+        let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v), &db);
+        assert_eq!(rws.len(), 1, "seed {seed}");
+    }
+
+    // Skewed subgroup sizes: group A=1 splits into B-subgroups of sizes 3
+    // and 1 with per-subgroup averages 2 and 10. The average of averages
+    // (6) passes HAVING > 4.5; the true AVG (2+2+2+10)/4 = 4 does not.
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B", "C", "D"]);
+    for c in [2, 2, 2] {
+        r1.push(vec![
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(c),
+            Value::Int(0),
+        ]);
+    }
+    r1.push(vec![
+        Value::Int(1),
+        Value::Int(1),
+        Value::Int(10),
+        Value::Int(0),
+    ]);
+    db.insert("R1", r1);
+    db.insert("R2", Relation::empty(["E", "F"]));
+    let strict = parse_query("SELECT A, AVG(C) FROM R1 GROUP BY A HAVING AVG(C) > 4.5").unwrap();
+    let expected = execute(&strict, &db).unwrap();
+    assert!(expected.rows.is_empty(), "true AVG is 4, below 4.5");
+    let rws = rewrite_and_verify(&rewriter, &strict, std::slice::from_ref(&v), &db);
+    assert_eq!(rws.len(), 1);
+}
+
+#[test]
+fn having_avg_eliminates_every_group() {
+    // A HAVING threshold above everything in the domain: the direct answer
+    // is empty, and the rewriting over the SUM/COUNT view must be exactly
+    // as empty — a stale group surviving in either path is a bug.
+    let cat = r1_r2_catalog();
+    let db = r1_r2_db(49, 60);
+    let q = parse_query("SELECT A, AVG(C) FROM R1 GROUP BY A HAVING AVG(C) > 100").unwrap();
+    assert!(execute(&q, &db).unwrap().rows.is_empty());
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v), &db);
+    assert_eq!(rws.len(), 1);
+    let mut scratch = db.clone();
+    materialize_views(&mut scratch, std::slice::from_ref(&v)).unwrap();
+    assert!(execute_rewriting(&rws[0], &scratch)
+        .unwrap()
+        .rows
+        .is_empty());
+}
+
+#[test]
+fn avg_overflow_adjacent_values_stay_exact() {
+    // Values straddling the f64 exact-integer boundary: both summands and
+    // their sum (2^53 - 2) are exactly representable, so the direct AVG
+    // and the SUM/COUNT-view recomputation must agree to the last bit.
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("R1", ["A", "B", "C", "D"]))
+        .unwrap();
+    let lo: i64 = (1 << 52) - 1; // 4503599627370495
+    let mut db = Database::new();
+    let mut r1 = Relation::empty(["A", "B", "C", "D"]);
+    r1.push(vec![
+        Value::Int(0),
+        Value::Int(0),
+        Value::Int(lo - 1),
+        Value::Int(0),
+    ]);
+    r1.push(vec![
+        Value::Int(0),
+        Value::Int(1),
+        Value::Int(lo + 1),
+        Value::Int(0),
+    ]);
+    db.insert("R1", r1);
+
+    let q = parse_query("SELECT A, AVG(C) FROM R1 GROUP BY A").unwrap();
+    let direct = execute(&q, &db).unwrap();
+    assert_eq!(
+        direct.rows,
+        vec![vec![Value::Int(0), Value::Double(lo as f64)]]
+    );
+
+    let v = ViewDef::new(
+        "V",
+        parse_query("SELECT A, B, SUM(C) AS S, COUNT(C) AS N FROM R1 GROUP BY A, B").unwrap(),
+    );
+    let rewriter = Rewriter::new(&cat);
+    let rws = rewrite_and_verify(&rewriter, &q, std::slice::from_ref(&v), &db);
+    assert_eq!(rws.len(), 1);
+    let mut scratch = db.clone();
+    materialize_views(&mut scratch, std::slice::from_ref(&v)).unwrap();
+    let got = execute_rewriting(&rws[0], &scratch).unwrap();
+    assert!(multiset_eq(&direct, &got), "got {got} instead of {direct}");
+}

@@ -264,3 +264,98 @@ fn fuzz_exercises_view_hits() {
     }
     assert!(hits >= 10, "only {hits} view hits across the sweep");
 }
+
+/// Directed stale-plan check: a SELECT is cached and hit, then a
+/// CREATE VIEW lands that can answer the same query. The next issue of
+/// the query must NOT be served by the stale base-table plan — the epoch
+/// bump has to force a re-plan that picks up the new view — and the
+/// view-backed plan must then itself cache and track later writes.
+#[test]
+fn create_view_between_cache_hits_is_never_stale() {
+    use aggview::sql::parse_query;
+
+    let mut session = Session::new(SessionOptions {
+        verify: true,
+        ..SessionOptions::default()
+    });
+    session
+        .execute(&Statement::CreateTable(CreateTable {
+            name: "R".into(),
+            columns: vec!["A".into(), "B".into()],
+            keys: Vec::new(),
+        }))
+        .expect("create table");
+    session
+        .execute(&Statement::Insert(Insert {
+            table: "R".into(),
+            rows: vec![
+                vec![Literal::Int(0), Literal::Int(1)],
+                vec![Literal::Int(0), Literal::Int(2)],
+                vec![Literal::Int(1), Literal::Int(3)],
+                vec![Literal::Int(1), Literal::Int(4)],
+            ],
+        }))
+        .expect("insert");
+
+    let q = Statement::Select(parse_query("SELECT A, SUM(B) FROM R GROUP BY A").unwrap());
+    let select = |session: &mut Session, q: &Statement| {
+        let StatementOutcome::Answer {
+            relation,
+            views_used,
+            ..
+        } = session.execute(q).expect("select")
+        else {
+            panic!("expected an answer")
+        };
+        (relation, views_used)
+    };
+
+    // Miss, then hit, both from base tables.
+    let (a1, used1) = select(&mut session, &q);
+    assert!(used1.is_empty());
+    assert_eq!(session.plan_cache().hits(), 0);
+    let (a2, _) = select(&mut session, &q);
+    assert_eq!(session.plan_cache().hits(), 1);
+    assert_eq!(a1.sorted_rows(), a2.sorted_rows());
+
+    // A view that covers the query lands between hits.
+    session
+        .execute(&Statement::CreateView(CreateView {
+            name: "V".into(),
+            query: parse_query("SELECT A, SUM(B) AS S, COUNT(B) AS N FROM R GROUP BY A").unwrap(),
+        }))
+        .expect("create view");
+
+    // Re-issue: the stale base plan must not serve this. The hit counter
+    // must not move, the rewriter must now answer from V, and the rows
+    // must be unchanged (no data was written).
+    let (a3, used3) = select(&mut session, &q);
+    assert_eq!(
+        session.plan_cache().hits(),
+        1,
+        "stale cached plan served across CREATE VIEW"
+    );
+    assert!(
+        used3.contains(&"V".to_string()),
+        "re-plan after CREATE VIEW ignored the new view (used {used3:?})"
+    );
+    assert_eq!(a1.sorted_rows(), a3.sorted_rows());
+
+    // The view-backed plan now caches and must track a later INSERT
+    // through view maintenance.
+    let (a4, _) = select(&mut session, &q);
+    assert_eq!(session.plan_cache().hits(), 2);
+    assert_eq!(a3.sorted_rows(), a4.sorted_rows());
+    session
+        .execute(&Statement::Insert(Insert {
+            table: "R".into(),
+            rows: vec![vec![Literal::Int(1), Literal::Int(5)]],
+        }))
+        .expect("insert");
+    let (a5, _) = select(&mut session, &q);
+    use aggview::engine::Value;
+    assert!(
+        a5.rows.contains(&vec![Value::Int(1), Value::Int(12)]),
+        "answer after INSERT does not reflect the new row: {a5}"
+    );
+}

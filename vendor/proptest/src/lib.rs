@@ -10,11 +10,31 @@
 //!
 //! Differences from real proptest, deliberately accepted for an offline
 //! test dependency: generation is purely random (no shrinking) with a
-//! deterministic per-test seed derived from the test name, and
-//! `proptest-regressions` files are not replayed. Failures therefore
-//! reproduce across runs of the same binary, which is what the
+//! deterministic per-test seed derived from the test name. Failures
+//! therefore reproduce across runs of the same binary, which is what the
 //! workspace's property tests rely on in practice.
+//!
+//! ## Regression replay
+//!
+//! Sibling `proptest-regressions` files (`tests/<name>.proptest-regressions`
+//! next to the test source, as real proptest lays them out) *are* loaded,
+//! and their recorded cases run before the random sweep:
+//!
+//! * `# shrinks to seed = N` comments (the format real proptest wrote for
+//!   `seed in any::<u64>()` inputs) are replayed **exactly**: the SplitMix64
+//!   output function is inverted ([`seed_for_value`]) to find the rng state
+//!   whose first draw is `N`, so the first generated input reproduces the
+//!   recorded value. For multi-input tests only the first draw is pinned.
+//! * `cc <16 hex digits>` lines (the format this runner persists on a fresh
+//!   failure) are exact rng seeds and replay the whole case verbatim.
+//! * Legacy 64-hex `cc` hashes from real proptest are not invertible; their
+//!   first 16 hex digits are replayed as a best-effort derived rng seed.
+//!
+//! A failing fresh case appends its exact rng seed to the regression file
+//! (best effort — IO errors are ignored), mirroring real proptest's
+//! persistence behaviour.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Deterministic generator used by strategies (SplitMix64).
@@ -622,6 +642,109 @@ pub mod prelude {
     };
 }
 
+/// Modular inverse of an odd `u64` (Newton iteration; 6 rounds exceed 64
+/// correct bits starting from the 3 the seed value itself provides).
+const fn inv_u64(a: u64) -> u64 {
+    let mut x = a;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+        i += 1;
+    }
+    x
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E3779B97F4A7C15;
+const INV_MUL1: u64 = inv_u64(0xBF58476D1CE4E5B9);
+const INV_MUL2: u64 = inv_u64(0x94D049BB133111EB);
+
+/// Invert the SplitMix64 output mix used by [`TestRng::next_u64`].
+fn unmix(mut z: u64) -> u64 {
+    z ^= (z >> 31) ^ (z >> 62);
+    z = z.wrapping_mul(INV_MUL2);
+    z ^= (z >> 27) ^ (z >> 54);
+    z = z.wrapping_mul(INV_MUL1);
+    z ^= (z >> 30) ^ (z >> 60);
+    z
+}
+
+/// The [`TestRng::seed_from_u64`] seed whose **first** `next_u64` draw is
+/// exactly `value`. This is how `# shrinks to seed = N` regression entries
+/// (recording the failing *value* of a `seed in any::<u64>()` input) are
+/// replayed exactly.
+pub fn seed_for_value(value: u64) -> u64 {
+    unmix(value).wrapping_sub(SPLITMIX_GAMMA) ^ SPLITMIX_GAMMA
+}
+
+/// Where the regression file for a test source lives:
+/// `<manifest>/tests/<file stem>.proptest-regressions` (real proptest's
+/// layout for integration tests). `file` is the `file!()` of the test.
+#[doc(hidden)]
+pub fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    Path::new(manifest_dir)
+        .join("tests")
+        .join(format!("{stem}.proptest-regressions"))
+}
+
+/// Parse a regression file into the rng seeds to replay, in file order.
+/// Missing or unreadable files yield no seeds (nothing to replay).
+pub fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        // Recorded failing value: exact replay via output-mix inversion.
+        if let Some(rest) = line.split("seed = ").nth(1) {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(v) = digits.parse::<u64>() {
+                seeds.push(seed_for_value(v));
+                continue;
+            }
+        }
+        // `cc <hex>`: 16 hex digits = exact rng seed persisted by this
+        // runner; longer legacy hashes replay their prefix (best effort).
+        if let Some(rest) = line.strip_prefix("cc ") {
+            let token: &str = rest.split_whitespace().next().unwrap_or("");
+            let hex: String = token
+                .chars()
+                .take(16)
+                .take_while(|c| c.is_ascii_hexdigit())
+                .collect();
+            if hex.len() == 16 {
+                if let Ok(s) = u64::from_str_radix(&hex, 16) {
+                    seeds.push(s);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Append a failing case's exact rng seed to the regression file (no-op if
+/// an identical entry already exists; IO errors are swallowed — persistence
+/// is best effort, the failure itself still panics with the seed).
+#[doc(hidden)]
+pub fn persist_regression(path: &Path, rng_seed: u64) {
+    let entry = format!("cc {rng_seed:016x}");
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if existing.lines().any(|l| l.trim().starts_with(&entry)) {
+            return;
+        }
+    }
+    use std::io::Write;
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{entry} # exact rng seed, replayed verbatim"));
+}
+
 /// FNV-1a over the test name: the per-test base seed.
 #[doc(hidden)]
 pub fn name_seed(name: &str) -> u64 {
@@ -692,9 +815,11 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let base = $crate::name_seed(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases as u64 {
-                let mut rng = $crate::TestRng::seed_from_u64(
-                    base ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+            let reg_path = $crate::regression_path(env!("CARGO_MANIFEST_DIR"), file!());
+            // One case from one rng seed. Returns Ok(()), a failure
+            // message, or re-raises the body's panic after reporting.
+            let run_one = |rng_seed: u64, label: &str| {
+                let mut rng = $crate::TestRng::seed_from_u64(rng_seed);
                 $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
                 // The body runs in a Result-returning closure so that
                 // `return Ok(())` / `Err(TestCaseError)` compile as in real
@@ -713,17 +838,30 @@ macro_rules! __proptest_impl {
                     Ok(Ok(())) => {}
                     Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
                     Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        $crate::persist_regression(&reg_path, rng_seed);
                         panic!(
-                            "proptest: {} failed at case {}/{} (base seed {:#x}): {}",
-                            stringify!($name), case + 1, config.cases, base, msg);
+                            "proptest: {} failed at {} (rng seed {:#018x}): {}",
+                            stringify!($name), label, rng_seed, msg);
                     }
                     Err(payload) => {
+                        $crate::persist_regression(&reg_path, rng_seed);
                         eprintln!(
-                            "proptest: {} failed at case {}/{} (base seed {:#x})",
-                            stringify!($name), case + 1, config.cases, base);
+                            "proptest: {} failed at {} (rng seed {:#018x})",
+                            stringify!($name), label, rng_seed);
                         ::std::panic::resume_unwind(payload);
                     }
                 }
+            };
+            // Recorded regressions replay before the random sweep.
+            let replay = $crate::regression_seeds(&reg_path);
+            for (i, seed) in replay.iter().enumerate() {
+                run_one(*seed, &format!("regression {}/{}", i + 1, replay.len()));
+            }
+            for case in 0..config.cases as u64 {
+                run_one(
+                    base ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                    &format!("case {}/{} (base seed {:#x})", case + 1, config.cases, base),
+                );
             }
         }
     )*};
