@@ -16,13 +16,22 @@
 //!   grouping column served by a session with [`GroupIndex`]es on
 //!   materialized views versus one without (both warm, so the difference
 //!   is purely probe-vs-scan inside plan execution).
+//! * **S3 — concurrent shared-store serving** (snapshotted to
+//!   `BENCH_3.json`): N reader handles on one [`SharedStore`] run the
+//!   warm query stream against their pinned snapshots while M writer
+//!   handles stream single-row inserts through the batching writer
+//!   thread. Reports read scaling across reader counts and write/batch
+//!   latency under contention.
 //!
 //! [`GroupIndex`]: aggview::engine::GroupIndex
 
 use crate::report::Table;
+use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions};
 use aggview_sql::{parse_script, Statement};
-use std::time::Instant;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// One measured serving scenario: the same statement stream against a
 /// cold (cache-disabled) and a warm (cache-enabled) session.
@@ -299,6 +308,135 @@ pub fn s1_serving(full: bool) -> Table {
     table
 }
 
+/// One measured concurrent-store scenario: N readers + M writers over a
+/// shared snapshot store for a fixed wall-clock window.
+#[derive(Debug, Clone)]
+pub struct ConcurrentPoint {
+    /// Reader thread count (one store handle each).
+    pub readers: usize,
+    /// Writer thread count (one store handle each).
+    pub writers: usize,
+    /// Total `SELECT`s answered across all readers.
+    pub reads: u64,
+    /// Total single-row `INSERT`s acked across all writers.
+    pub writes: u64,
+    /// Aggregate read throughput, selects / wall second.
+    pub read_qps: f64,
+    /// Aggregate acked write throughput, inserts / wall second.
+    pub write_qps: f64,
+    /// Mean end-to-end latency of one acked write (submit → batch →
+    /// publish → ack), µs.
+    pub write_us: f64,
+    /// Snapshots published by the writer thread.
+    pub publishes: u64,
+    /// Mean ops per write batch (`batched_ops / batches`).
+    pub mean_batch: f64,
+    /// Largest single write batch.
+    pub max_batch: u64,
+}
+
+/// Run one N-reader/M-writer window over a fresh store loaded with
+/// `script`. All threads start together behind a barrier; readers warm
+/// their plan caches before the barrier so the measured loop is steady
+/// state.
+fn run_concurrent(
+    script: &str,
+    readers: usize,
+    writers: usize,
+    millis: u64,
+    regions: usize,
+    products: usize,
+) -> ConcurrentPoint {
+    let store = SharedStore::with_defaults();
+    let mut setup = store.session(SessionOptions::default());
+    let stmts = parse_script(script).expect("setup script parses");
+    setup.run_script(&stmts).expect("setup script runs");
+    let queries = Arc::new(query_stream(regions));
+    let inserts = Arc::new(write_stream(regions, products));
+    let barrier = Arc::new(Barrier::new(readers + writers));
+    let window = Duration::from_millis(millis);
+
+    let mut threads = Vec::new();
+    for _ in 0..readers {
+        let mut session = store.session(SessionOptions::default());
+        let queries = Arc::clone(&queries);
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            for q in queries.iter() {
+                session.execute(q).expect("warmup select");
+            }
+            barrier.wait();
+            let deadline = Instant::now() + window;
+            let mut n = 0u64;
+            while Instant::now() < deadline {
+                session
+                    .execute(&queries[n as usize % queries.len()])
+                    .expect("select");
+                n += 1;
+            }
+            (n, 0u64, 0.0f64)
+        }));
+    }
+    for _ in 0..writers {
+        let mut session = store.session(SessionOptions::default());
+        let inserts = Arc::clone(&inserts);
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            let deadline = Instant::now() + window;
+            let mut n = 0u64;
+            let mut write_us = 0.0f64;
+            while Instant::now() < deadline {
+                let t = Instant::now();
+                session
+                    .execute(&inserts[n as usize % inserts.len()])
+                    .expect("insert");
+                write_us += t.elapsed().as_secs_f64() * 1e6;
+                n += 1;
+            }
+            (0u64, n, write_us)
+        }));
+    }
+    let (mut reads, mut writes, mut write_us_total) = (0u64, 0u64, 0.0f64);
+    for t in threads {
+        let (r, w, us) = t.join().expect("bench thread");
+        reads += r;
+        writes += w;
+        write_us_total += us;
+    }
+    let secs = millis as f64 / 1e3;
+    let stats = store.stats();
+    ConcurrentPoint {
+        readers,
+        writers,
+        reads,
+        writes,
+        read_qps: reads as f64 / secs,
+        write_qps: writes as f64 / secs,
+        write_us: if writes > 0 {
+            write_us_total / writes as f64
+        } else {
+            0.0
+        },
+        publishes: stats.publishes.load(Relaxed),
+        mean_batch: stats.mean_batch(),
+        max_batch: stats.max_batch.load(Relaxed),
+    }
+}
+
+/// S3 data — read scaling across reader counts (read-only), plus a mixed
+/// readers+writer window for write/batch latency.
+pub fn concurrent_points(full: bool) -> Vec<ConcurrentPoint> {
+    let millis = if full { 400 } else { 120 };
+    let rows = if full { 20_000 } else { 2_000 };
+    let (regions, products) = (12, 6);
+    let script = setup_script(rows, regions, products);
+    [(1usize, 0usize), (2, 0), (4, 0), (4, 1)]
+        .iter()
+        .map(|&(r, w)| run_concurrent(&script, r, w, millis, regions, products))
+        .collect()
+}
+
 /// S2 — grouped-index probe vs. scan on view point lookups.
 pub fn s2_probe(full: bool) -> Table {
     let mut table = Table::new(
@@ -311,6 +449,36 @@ pub fn s2_probe(full: bool) -> Table {
             format!("{:.1}", p.probe_us),
             format!("{:.1}", p.scan_us),
             format!("{:.1}x", p.speedup()),
+        ]);
+    }
+    table
+}
+
+/// S3 — concurrent shared-store serving: read scaling and write batching.
+pub fn s3_concurrent(full: bool) -> Table {
+    let mut table = Table::new(
+        "S3 — concurrent shared-store serving (N readers / M writers)",
+        &[
+            "readers",
+            "writers",
+            "reads",
+            "read qps",
+            "write qps",
+            "write us",
+            "publishes",
+            "mean batch",
+        ],
+    );
+    for p in concurrent_points(full) {
+        table.push(vec![
+            p.readers.to_string(),
+            p.writers.to_string(),
+            p.reads.to_string(),
+            format!("{:.0}", p.read_qps),
+            format!("{:.0}", p.write_qps),
+            format!("{:.1}", p.write_us),
+            p.publishes.to_string(),
+            format!("{:.1}", p.mean_batch),
         ]);
     }
     table
@@ -347,6 +515,19 @@ mod tests {
         for p in &points {
             assert!(p.probe_us > 0.0 && p.scan_us > 0.0);
         }
+    }
+
+    #[test]
+    fn concurrent_point_smoke() {
+        // A tiny window with readers and a writer: the harness must
+        // produce reads and acked writes, and every acked write implies a
+        // published snapshot batch.
+        let script = setup_script(200, 12, 6);
+        let p = run_concurrent(&script, 2, 1, 60, 12, 6);
+        assert!(p.reads > 0, "readers made progress");
+        assert!(p.writes > 0, "writer made progress");
+        assert!(p.publishes > 0 && p.mean_batch >= 1.0);
+        assert!(p.write_us > 0.0);
     }
 
     #[test]

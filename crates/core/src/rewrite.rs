@@ -197,6 +197,23 @@ pub struct RewriteStats {
     /// Serving-layer plan-cache entries invalidated by catalog or data
     /// changes since the session started.
     pub plan_cache_invalidations: u64,
+    /// Is this session a handle on a shared concurrent store? When
+    /// false, the `store_*` counters below are meaningless. Filled in by
+    /// the session, not the search.
+    pub store_attached: bool,
+    /// Publish sequence number of the snapshot this query was served
+    /// from (shared store only).
+    pub store_epoch: u64,
+    /// Schema epoch of that snapshot (DDL statements applied so far).
+    pub store_schema_epoch: u64,
+    /// Store-cumulative snapshots published.
+    pub store_publishes: u64,
+    /// Store-cumulative write batches applied.
+    pub store_batches: u64,
+    /// Store-cumulative write statements applied across all batches.
+    pub store_batched_ops: u64,
+    /// Largest write batch the store has applied.
+    pub store_max_batch: u64,
 }
 
 impl RewriteStats {
@@ -246,6 +263,36 @@ impl RewriteStats {
         format!(
             "plan-cache: {} hit(s), {} miss(es), {} invalidation(s)",
             self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_invalidations
+        )
+    }
+
+    /// Mean write statements per store batch (0.0 before the first).
+    pub fn store_mean_batch(&self) -> f64 {
+        if self.store_batches == 0 {
+            0.0
+        } else {
+            self.store_batched_ops as f64 / self.store_batches as f64
+        }
+    }
+
+    /// One-line shared-store summary: the snapshot this query read
+    /// (publish epoch + schema epoch) and the store-cumulative publish /
+    /// write-batch counters. Sessions that own their state report
+    /// `store: none`.
+    pub fn store_summary(&self) -> String {
+        if !self.store_attached {
+            return "store: none (session-local state)".to_string();
+        }
+        format!(
+            "store: epoch={} schema-epoch={} publishes={} batches={} \
+             batched-ops={} mean-batch={:.1} max-batch={}",
+            self.store_epoch,
+            self.store_schema_epoch,
+            self.store_publishes,
+            self.store_batches,
+            self.store_batched_ops,
+            self.store_mean_batch(),
+            self.store_max_batch,
         )
     }
 }

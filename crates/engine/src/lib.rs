@@ -14,7 +14,9 @@
 //!   DISTINCT),
 //! * [`agg`] — aggregate accumulators,
 //! * [`datagen`] — synthetic workloads: the telephony warehouse of the
-//!   paper's Example 1.1 and random databases for property testing.
+//!   paper's Example 1.1 and random databases for property testing,
+//! * [`snapshot`] — atomically-swappable immutable snapshots and store
+//!   counters, the primitive under the shared concurrent serving store.
 //!
 //! Semantics decisions (documented in `DESIGN.md`):
 //! * **No NULLs.** Columns are total; `COUNT(A)` equals the group size.
@@ -33,6 +35,7 @@ pub mod index;
 pub mod maintenance;
 pub mod reference;
 pub mod relation;
+pub mod snapshot;
 pub mod value;
 
 pub use database::Database;
@@ -41,4 +44,5 @@ pub use exec::{execute, PhysicalPlan};
 pub use index::GroupIndex;
 pub use reference::execute_reference;
 pub use relation::{multiset_eq, set_eq, Relation};
+pub use snapshot::{SnapshotCell, StoreStats};
 pub use value::Value;

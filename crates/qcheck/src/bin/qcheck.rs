@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! qcheck --seeds 0..500              # differential soak over a seed range
+//! qcheck --seeds 0..500 --sessions 2 # same stream, round-robined across
+//!                                    # 2 handles of one shared store
 //! qcheck --seeds 0..500 --write-failures DIR   # persist shrunk failures
 //! qcheck --replay tests/corpus       # re-check every corpus case
 //! ```
@@ -10,7 +12,9 @@
 //! 1 = a discrepancy (printed, shrunk, and optionally persisted);
 //! 2 = usage error.
 
-use aggview_qcheck::{check_case, corpus, run_seed, CaseConfig};
+use aggview_qcheck::{
+    check_case, check_case_sessions, corpus, run_seed, run_seed_sessions, CaseConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,10 +22,14 @@ struct Args {
     seeds: Option<std::ops::Range<u64>>,
     replay: Option<PathBuf>,
     write_failures: Option<PathBuf>,
+    sessions: Option<usize>,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: qcheck --seeds A..B [--write-failures DIR]\n       qcheck --replay DIR");
+    eprintln!(
+        "usage: qcheck --seeds A..B [--sessions K] [--write-failures DIR]\n       \
+         qcheck --replay DIR [--sessions K]"
+    );
     ExitCode::from(2)
 }
 
@@ -30,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: None,
         replay: None,
         write_failures: None,
+        sessions: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +56,14 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--write-failures" => {
                 args.write_failures = Some(PathBuf::from(value("--write-failures")?))
+            }
+            "--sessions" => {
+                let v = value("--sessions")?;
+                let k: usize = v.parse().map_err(|_| format!("bad session count `{v}`"))?;
+                if k < 1 {
+                    return Err("--sessions wants K >= 1".into());
+                }
+                args.sessions = Some(k);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -72,7 +89,11 @@ fn main() -> ExitCode {
         match corpus::load_dir(dir) {
             Ok(cases) => {
                 for (name, case) in &cases {
-                    match check_case(case) {
+                    let verdict = match args.sessions {
+                        Some(k) => check_case_sessions(case, k),
+                        None => check_case(case),
+                    };
+                    match verdict {
                         Ok(()) => println!("corpus {name}: ok"),
                         Err(d) => {
                             failed = true;
@@ -93,7 +114,11 @@ fn main() -> ExitCode {
         let total = seeds.end.saturating_sub(seeds.start);
         let mut checked = 0u64;
         for seed in seeds {
-            match run_seed(seed, &cfg) {
+            let failure = match args.sessions {
+                Some(k) => run_seed_sessions(seed, &cfg, k),
+                None => run_seed(seed, &cfg),
+            };
+            match failure {
                 None => checked += 1,
                 Some(f) => {
                     failed = true;

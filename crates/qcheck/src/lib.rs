@@ -27,8 +27,8 @@ pub mod shrink;
 
 pub use case::{Case, TableSpec};
 pub use generate::{generate, CaseConfig};
-pub use oracle::{check_case, Discrepancy};
-pub use shrink::shrink;
+pub use oracle::{check_case, check_case_sessions, Discrepancy};
+pub use shrink::{shrink, shrink_with};
 
 /// A failing seed: the generated case, its shrunk form, and the verdict.
 #[derive(Debug)]
@@ -61,6 +61,40 @@ pub fn run_range(seeds: std::ops::Range<u64>, cfg: &CaseConfig) -> Result<u64, B
     let mut checked = 0;
     for seed in seeds {
         if let Some(f) = run_seed(seed, cfg) {
+            return Err(Box::new(f));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Check one seed through `sessions` handles of a shared store
+/// (deterministic round-robin interleaving); on failure, shrink under the
+/// same interleaved replay and report.
+pub fn run_seed_sessions(seed: u64, cfg: &CaseConfig, sessions: usize) -> Option<Failure> {
+    let case = generate(seed, cfg);
+    let discrepancy = check_case_sessions(&case, sessions).err()?;
+    let (shrunk, shrunk_discrepancy) = shrink_with(&case, &discrepancy.kind, |c| {
+        check_case_sessions(c, sessions)
+    });
+    Some(Failure {
+        seed,
+        discrepancy,
+        shrunk,
+        shrunk_discrepancy,
+    })
+}
+
+/// Check a seed range in multi-session mode, stopping at the first
+/// failure.
+pub fn run_range_sessions(
+    seeds: std::ops::Range<u64>,
+    cfg: &CaseConfig,
+    sessions: usize,
+) -> Result<u64, Box<Failure>> {
+    let mut checked = 0;
+    for seed in seeds {
+        if let Some(f) = run_seed_sessions(seed, cfg, sessions) {
             return Err(Box::new(f));
         }
         checked += 1;

@@ -26,7 +26,9 @@
 
 use crate::case::Case;
 use aggview::run::execute_rewriting;
+use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions, StatementOutcome};
+use aggview::state::WritePolicy;
 use aggview_core::{RewriteOptions, Rewriter};
 use aggview_engine::{execute_reference, multiset_eq, set_eq, Database, Relation};
 use aggview_sql::ast::{BoolExpr, CmpOp, ColumnRef, Expr, Literal};
@@ -182,6 +184,196 @@ fn check_case_inner(case: &Case) -> Result<(), Discrepancy> {
 
     check_rewritings(case, &final_db, &expected_final)?;
     check_thread_determinism(case)
+}
+
+/// Check one case through K handles of one [`SharedStore`]: the same
+/// statement stream, deterministically round-robined across the handles
+/// (one driver thread, every write acked before the next statement, so
+/// batches have size 1 and the interleaving is identical on every run).
+/// The answers must match the same reference expectations the
+/// single-session oracle enforces — a handle whose private plan cache
+/// survives another handle's DDL, or whose pinned snapshot misses an
+/// acked write, shows up as a mismatch. Runs the whole 16-point options
+/// lattice; the lattice's write-side axes (index, recompute) become the
+/// store-wide [`WritePolicy`].
+pub fn check_case_sessions(case: &Case, sessions: usize) -> Result<(), Discrepancy> {
+    assert!(sessions >= 1, "at least one session handle");
+    match catch_unwind(AssertUnwindSafe(|| {
+        check_case_sessions_inner(case, sessions)
+    })) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            Err(Discrepancy::new("panic", msg.to_string()))
+        }
+    }
+}
+
+fn check_case_sessions_inner(case: &Case, sessions: usize) -> Result<(), Discrepancy> {
+    let half_db = case.database(true);
+    let final_db = case.database(false);
+    let expected_half = execute_reference(&case.query, &half_db)
+        .map_err(|e| Discrepancy::new("reference-error", e.to_string()))?;
+    let expected_final = execute_reference(&case.query, &final_db)
+        .map_err(|e| Discrepancy::new("reference-error", e.to_string()))?;
+    let expected_views: Vec<Relation> = case
+        .views
+        .iter()
+        .map(|v| {
+            execute_reference(&v.query, &final_db)
+                .map_err(|e| Discrepancy::new("reference-error", format!("view {}: {e}", v.name)))
+        })
+        .collect::<Result<_, _>>()?;
+
+    for point in LatticePoint::all() {
+        run_lattice_point_sessions(
+            case,
+            point,
+            sessions,
+            &expected_half,
+            &expected_final,
+            &expected_views,
+        )?;
+    }
+    Ok(())
+}
+
+/// The statement stream round-robined across K store handles at one
+/// lattice point.
+fn run_lattice_point_sessions(
+    case: &Case,
+    point: LatticePoint,
+    sessions: usize,
+    expected_half: &Relation,
+    expected_final: &Relation,
+    expected_views: &[Relation],
+) -> Result<(), Discrepancy> {
+    let fail = |kind: &str, detail: String| {
+        Discrepancy::new(
+            kind,
+            format!("at [{point}] with {sessions} session(s): {detail}"),
+        )
+    };
+    let store = SharedStore::new(WritePolicy {
+        index_views: point.index,
+        recompute_views: point.recompute,
+    });
+    let mut handles: Vec<Session> = (0..sessions)
+        .map(|_| store.session(point.options()))
+        .collect();
+    let mut next = 0usize;
+    let mut run = |stmt: Statement| {
+        let h = next % sessions;
+        next += 1;
+        handles[h]
+            .execute(&stmt)
+            .map_err(|e| fail("session-error", format!("handle {h}: {e}")))
+    };
+
+    for t in &case.tables {
+        run(Statement::CreateTable(CreateTable {
+            name: t.name.clone(),
+            columns: t.columns.clone(),
+            keys: Vec::new(),
+        }))?;
+    }
+    for (i, t) in case.tables.iter().enumerate() {
+        insert(&mut run, &t.name, &t.rows[..case.split_at(i)])?;
+    }
+    let a1 = answer(&mut run, case)?;
+    compare(&a1, expected_half, "halfway").map_err(|d| fail(&d.kind, d.detail))?;
+
+    for v in &case.views {
+        run(Statement::CreateView(CreateView {
+            name: v.name.clone(),
+            query: v.query.clone(),
+        }))?;
+    }
+    let a2 = answer(&mut run, case)?;
+    compare(&a2, expected_half, "post-view").map_err(|d| fail(&d.kind, d.detail))?;
+
+    for (i, t) in case.tables.iter().enumerate() {
+        insert(&mut run, &t.name, &t.rows[case.split_at(i)..])?;
+    }
+    let t0 = &case.tables[0];
+    run(Statement::Delete(Delete {
+        table: t0.name.clone(),
+        filter: Some(BoolExpr::cmp(
+            Expr::Column(ColumnRef::bare(t0.columns[0].clone())),
+            CmpOp::Eq,
+            Expr::int(1),
+        )),
+    }))?;
+
+    let a3 = answer(&mut run, case)?;
+    compare(&a3, expected_final, "final").map_err(|d| fail(&d.kind, d.detail))?;
+
+    // Every handle must now answer the final query correctly against the
+    // same published state — whatever its private cache did earlier, and
+    // regardless of which statements it happened to execute.
+    for (h, handle) in handles.iter_mut().enumerate() {
+        let outcome = handle
+            .execute(&Statement::Select(case.query.clone()))
+            .map_err(|e| fail("session-error", format!("handle {h}: {e}")))?;
+        let StatementOutcome::Answer {
+            relation,
+            set_semantics,
+            ..
+        } = outcome
+        else {
+            return Err(fail(
+                "session-error",
+                format!("handle {h}: SELECT produced a non-answer outcome"),
+            ));
+        };
+        compare(
+            &Served {
+                relation,
+                set_semantics,
+            },
+            expected_final,
+            &format!("per-handle final (handle {h})"),
+        )
+        .map_err(|d| fail(&d.kind, d.detail))?;
+    }
+
+    // Cache axis: a repeated select on one handle must serve from its
+    // cache (the per-handle final above warmed it).
+    if point.cache {
+        let before = handles[0].plan_cache().hits();
+        handles[0]
+            .execute(&Statement::Select(case.query.clone()))
+            .map_err(|e| fail("session-error", e.to_string()))?;
+        if handles[0].plan_cache().hits() == before {
+            return Err(fail(
+                "cache-miss",
+                "repeated SELECT on handle 0 did not hit its plan cache".into(),
+            ));
+        }
+    }
+
+    // Final materialized view contents on the published snapshot must
+    // match the reference evaluation.
+    let snap = store.load();
+    for (v, want) in case.views.iter().zip(expected_views) {
+        let got = snap
+            .state
+            .db
+            .get(&v.name)
+            .map_err(|e| fail("session-error", e.to_string()))?;
+        let got = Relation::new(want.columns.clone(), got.rows.clone());
+        if !multiset_eq(&got, want) {
+            return Err(fail(
+                "view-content-mismatch",
+                format!("view {} disagrees with reference evaluation", v.name),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Display→parse round-trip of the query and each view definition.

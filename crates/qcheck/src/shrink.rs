@@ -15,13 +15,24 @@ use aggview_sql::ast::{BoolExpr, Expr, Query, SelectItem};
 /// Shrink `case`, preserving failure `kind`. Returns the minimized case
 /// and the discrepancy it still produces.
 pub fn shrink(case: &Case, kind: &str) -> (Case, Discrepancy) {
+    shrink_with(case, kind, check_case)
+}
+
+/// [`shrink`] against an arbitrary checker — the multi-session oracle
+/// shrinks with its own interleaved replay, so the minimized case still
+/// fails *under interleaving*, not just single-session.
+pub fn shrink_with(
+    case: &Case,
+    kind: &str,
+    check: impl Fn(&Case) -> Result<(), Discrepancy>,
+) -> (Case, Discrepancy) {
     let mut current = case.clone();
-    let mut last = check_case(&current).expect_err("shrink starts from a failing case");
+    let mut last = check(&current).expect_err("shrink starts from a failing case");
     assert_eq!(last.kind, kind, "shrink starts from the reported failure");
     loop {
         let mut improved = false;
         for candidate in edits(&current) {
-            if let Err(d) = check_case(&candidate) {
+            if let Err(d) = check(&candidate) {
                 if d.kind == kind {
                     current = candidate;
                     last = d;

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # The tier-1 gate: release build, full test suite, formatting, clippy
 # clean, a quick serving-bench smoke (the S1/S2 harness must run and
-# produce a warm-path speedup > 1), and a differential smoke (a short
+# produce a warm-path speedup > 1), a differential smoke (a short
 # qcheck seed sweep plus the persisted corpus, failing on any
-# regression).
+# regression), and a concurrency smoke (the shared-store stress test
+# under --release plus a short multi-session qcheck sweep).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace so the repro/qcheck binaries used below are rebuilt (a
+# bare `cargo build` only covers the root package in this workspace).
+cargo build --release --workspace
 cargo test -q
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
@@ -24,4 +27,10 @@ grep -q "S2 — view point lookups" <<<"$smoke"
 # wrong again) fails the gate.
 ./target/release/qcheck --seeds 0..500
 ./target/release/qcheck --replay tests/corpus
+# Concurrency smoke: the 4-reader/1-writer stress test runs under
+# --release (debug-mode timing starves the readers), and a short
+# multi-session sweep replays the differential stream round-robined
+# across 2 handles of one shared store.
+cargo test -q --release --test concurrent_store
+./target/release/qcheck --seeds 0..200 --sessions 2
 echo "ci: all checks passed"

@@ -4,6 +4,11 @@
 //!
 //! ```text
 //! aggview [FLAGS] [script.sql ...]      # no files: read stdin
+//! aggview serve [--sessions K] [FLAGS] [script.sql ...]
+//!                                       # shared store, K session handles,
+//!                                       # statements round-robin across them
+//! aggview bench-concurrent [--readers N] [--writers M] [--millis T]
+//!                                       # in-process concurrent micro-bench
 //!
 //!   --verify         cross-check every rewritten answer against base tables
 //!   --expand         enable the footnote-3 Nat-table expansion
@@ -20,16 +25,24 @@
 //! `SELECT ...`, `EXPLAIN SELECT ...` — semicolon-separated, `--` comments.
 
 use aggview::rewrite::Strategy;
+use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions, StatementOutcome};
 use aggview::sql::parse_script;
+use aggview::state::WritePolicy;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve(&argv[1..]),
+        Some("bench-concurrent") => return bench_concurrent(&argv[1..]),
+        _ => {}
+    }
     let mut options = SessionOptions::default();
     let mut files: Vec<String> = Vec::new();
     let mut interactive = false;
-    for arg in std::env::args().skip(1) {
+    for arg in argv {
         match arg.as_str() {
             "--verify" => options.verify = true,
             "--expand" => options.rewrite.enable_expand = true,
@@ -42,7 +55,9 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
                             [--no-plan-cache] [--no-view-index] [--interactive] \
-                            [script.sql ...]"
+                            [script.sql ...]\n       \
+                            aggview serve [--sessions K] [FLAGS] [script.sql ...]\n       \
+                            aggview bench-concurrent [--readers N] [--writers M] [--millis T]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -102,6 +117,228 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `aggview serve`: execute a script against a [`SharedStore`] through K
+/// session handles, round-robin one statement per handle. Every handle
+/// shares the catalog, the materialized views, and the group indexes;
+/// each keeps a private plan cache. The tail line reports the store
+/// counters (epoch, publishes, batch sizes).
+fn serve(args: &[String]) -> ExitCode {
+    let mut options = SessionOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut sessions = 2usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--verify" => options.verify = true,
+            "--expand" => options.rewrite.enable_expand = true,
+            "--paper-va" => options.rewrite.strategy = Strategy::PaperFaithful,
+            "--no-multi" => options.rewrite.multi_view = false,
+            "--no-plan-cache" => options.plan_cache_cap = 0,
+            "--no-view-index" => options.index_views = false,
+            "--sessions" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(k) if k >= 1 => sessions = k,
+                _ => {
+                    eprintln!("error: --sessions needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let mut source = String::new();
+    if files.is_empty() {
+        if std::io::stdin().read_to_string(&mut source).is_err() {
+            eprintln!("error: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    source.push_str(&text);
+                    source.push('\n');
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read `{f}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let statements = match parse_script(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let store = SharedStore::new(WritePolicy {
+        index_views: options.index_views,
+        recompute_views: options.recompute_views,
+    });
+    let mut handles: Vec<Session> = (0..sessions)
+        .map(|_| store.session(options.clone()))
+        .collect();
+    for (i, stmt) in statements.iter().enumerate() {
+        let h = i % handles.len();
+        println!("s{h}> {stmt}");
+        match handles[h].execute(stmt) {
+            Ok(outcome) => print!("{outcome}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+    let stats = store.stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    println!(
+        "-- store: sessions={} epoch={} schema-epoch={} publishes={} batches={} \
+         batched-ops={} mean-batch={:.1} max-batch={}",
+        sessions,
+        store.epoch(),
+        store.schema_epoch(),
+        stats.publishes.load(Relaxed),
+        stats.batches.load(Relaxed),
+        stats.batched_ops.load(Relaxed),
+        stats.mean_batch(),
+        stats.max_batch.load(Relaxed),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `aggview bench-concurrent`: an in-process concurrent micro-benchmark.
+/// N reader handles hammer a warm aggregation query against their pinned
+/// snapshots while M writer handles stream single-row inserts; reports
+/// read/write throughput and the store's batching counters.
+fn bench_concurrent(args: &[String]) -> ExitCode {
+    let mut readers = 4usize;
+    let mut writers = 1usize;
+    let mut millis = 250u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut num = |name: &str| -> Option<u64> {
+            let v = iter.next().and_then(|v| v.parse::<u64>().ok());
+            if v.is_none() {
+                eprintln!("error: {name} needs a non-negative integer");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--readers" => match num("--readers") {
+                Some(n) if n >= 1 => readers = n as usize,
+                _ => return ExitCode::FAILURE,
+            },
+            "--writers" => match num("--writers") {
+                Some(n) => writers = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--millis" => match num("--millis") {
+                Some(n) if n >= 1 => millis = n,
+                _ => return ExitCode::FAILURE,
+            },
+            flag => {
+                eprintln!("unknown flag `{flag}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let store = SharedStore::with_defaults();
+    let mut setup = store.session(SessionOptions::default());
+    let setup_sql = "CREATE TABLE Sales (Region, Product, Amount);
+         CREATE VIEW Totals AS
+           SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N
+           FROM Sales GROUP BY Region, Product;
+         INSERT INTO Sales VALUES (1, 1, 10), (1, 2, 20), (2, 1, 30), (2, 2, 40);";
+    let stmts = parse_script(setup_sql).expect("setup parses");
+    if let Err(e) = setup.run_script(&stmts) {
+        eprintln!("error: setup failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let query = aggview::sql::parse_query("SELECT Region, SUM(Amount) FROM Sales GROUP BY Region")
+        .expect("query parses");
+    let read_stmt = aggview::sql::Statement::Select(query);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(millis);
+
+    let mut threads = Vec::new();
+    for r in 0..readers {
+        let mut session = store.session(SessionOptions::default());
+        let stmt = read_stmt.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("bench-reader-{r}"))
+                .spawn(move || {
+                    let mut n = 0u64;
+                    while std::time::Instant::now() < deadline {
+                        session.execute(&stmt).expect("read succeeds");
+                        n += 1;
+                    }
+                    (n, 0u64)
+                })
+                .expect("spawn reader"),
+        );
+    }
+    for w in 0..writers {
+        let mut session = store.session(SessionOptions::default());
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("bench-writer-{w}"))
+                .spawn(move || {
+                    let mut n = 0u64;
+                    while std::time::Instant::now() < deadline {
+                        let region = (n % 4 + 1) as i64;
+                        let sql = format!(
+                            "INSERT INTO Sales VALUES ({region}, {}, {});",
+                            n % 7 + 1,
+                            n % 100
+                        );
+                        let stmts = parse_script(&sql).expect("insert parses");
+                        session.run_script(&stmts).expect("write succeeds");
+                        n += 1;
+                    }
+                    (0u64, n)
+                })
+                .expect("spawn writer"),
+        );
+    }
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for t in threads {
+        let (r, w) = t.join().expect("bench thread");
+        reads += r;
+        writes += w;
+    }
+    let secs = millis as f64 / 1e3;
+    let stats = store.stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    println!("bench-concurrent: readers={readers} writers={writers} millis={millis}");
+    println!(
+        "reads:  {reads} ({:.0}/s total, {:.0}/s per reader)",
+        reads as f64 / secs,
+        reads as f64 / secs / readers.max(1) as f64
+    );
+    println!("writes: {writes} ({:.0}/s total)", writes as f64 / secs);
+    println!(
+        "store:  epoch={} schema-epoch={} publishes={} batches={} batched-ops={} \
+         mean-batch={:.1} max-batch={}",
+        store.epoch(),
+        store.schema_epoch(),
+        stats.publishes.load(Relaxed),
+        stats.batches.load(Relaxed),
+        stats.batched_ops.load(Relaxed),
+        stats.mean_batch(),
+        stats.max_batch.load(Relaxed),
+    );
+    ExitCode::SUCCESS
+}
+
 /// Line-based REPL: statements accumulate until a terminating `;`; errors
 /// are reported without ending the session. `quit` / `exit` / EOF leave;
 /// `:stats` toggles a per-query line with the rewrite-search counters
@@ -156,6 +393,7 @@ fn repl(options: SessionOptions) -> ExitCode {
                                 if let StatementOutcome::Answer { search, .. } = &outcome {
                                     println!("-- search: {}", search.summary());
                                     println!("-- {}", search.plan_cache_summary());
+                                    println!("-- {}", search.store_summary());
                                 }
                             }
                         }

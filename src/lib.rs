@@ -56,7 +56,9 @@
 pub mod gen;
 pub mod plan_cache;
 pub mod run;
+pub mod server;
 pub mod session;
+pub mod state;
 
 pub use aggview_catalog as catalog;
 pub use aggview_core as rewrite;

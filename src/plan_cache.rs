@@ -103,6 +103,7 @@ pub struct PlanCache {
     entries: HashMap<CacheKey, CachedPlan>,
     cap: usize,
     epoch: u64,
+    external_epoch: u64,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -123,6 +124,20 @@ impl PlanCache {
     /// views, and are invalidated lazily on their next lookup.
     pub fn note_schema_change(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Align with an external schema epoch (the shared store's): when the
+    /// store-published epoch has moved since the last sync, every cached
+    /// plan was compiled against an older catalog universe and is
+    /// invalidated lazily, exactly as [`PlanCache::note_schema_change`].
+    /// Store-backed sessions call this before every lookup/store, so a
+    /// DDL statement from *any* handle invalidates *every* handle's
+    /// cached plans.
+    pub fn sync_epoch(&mut self, external: u64) {
+        if self.external_epoch != external {
+            self.external_epoch = external;
+            self.epoch += 1;
+        }
     }
 
     /// Look up a serving plan. Counts a hit, a miss, or an invalidation
@@ -325,6 +340,37 @@ mod tests {
         assert!(cache.peek(&k1));
         assert!(!cache.peek(&k2));
         assert!(cache.peek(&k3));
+    }
+
+    #[test]
+    fn external_epoch_sync_invalidates_lazily() {
+        let mut cache = PlanCache::with_cap(8);
+        let k = key("SELECT a FROM T");
+        cache.sync_epoch(0);
+        cache.store(
+            k.clone(),
+            None,
+            None,
+            AnswerMeta::default(),
+            RewriteStats::default(),
+        );
+        // Unchanged external epoch: still a hit.
+        cache.sync_epoch(0);
+        assert!(cache.lookup(&k).is_some());
+        // The store published a DDL: the entry must drop on next lookup.
+        cache.sync_epoch(1);
+        assert!(cache.lookup(&k).is_none());
+        assert_eq!(cache.invalidations(), 1);
+        // Re-syncing the same external epoch does not churn the cache.
+        cache.store(
+            k.clone(),
+            None,
+            None,
+            AnswerMeta::default(),
+            RewriteStats::default(),
+        );
+        cache.sync_epoch(1);
+        assert!(cache.lookup(&k).is_some());
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! `aggview-server`: the shared-state concurrent serving layer.
+//!
+//! A [`SharedStore`] lets many in-process sessions share one catalog, one
+//! set of materialized views, and one pool of group indexes, with
+//! snapshot isolation between readers and writers:
+//!
+//! * **Readers are lock-free.** Every `SELECT` pins the current
+//!   [`StoreSnapshot`] (one `Arc` clone through the engine's
+//!   [`SnapshotCell`]) and runs canonicalization, the rewrite search,
+//!   planning, and execution entirely against that immutable snapshot —
+//!   a concurrent write never blocks it and can never tear it.
+//! * **Writes serialize through one writer thread.** Session handles
+//!   submit `CREATE TABLE` / `CREATE VIEW` / `INSERT` / `DELETE` to a
+//!   queue; the writer drains *everything currently queued* into one
+//!   batch, applies it to its private master [`EngineState`] through the
+//!   same incremental-maintenance paths a local session uses, then
+//!   publishes a single new snapshot for the whole batch. Under
+//!   concurrent write pressure the per-snapshot clone cost amortizes
+//!   across the batch; a submitter is acked only after the snapshot
+//!   containing its write is published, so every handle reads its own
+//!   writes.
+//! * **Schema epochs drive plan-cache invalidation.** The snapshot
+//!   carries a schema epoch bumped by every DDL statement; each handle's
+//!   private plan cache syncs to it before lookups, reusing the lazy
+//!   epoch-invalidation scheme of the per-session cache (a plan compiled
+//!   against an older catalog universe is dropped, never served).
+//!
+//! Create handles with [`SharedStore::session`]; each handle is a full
+//! [`crate::session::Session`] (same statement semantics, same
+//! `StatementOutcome`s) and owns its private plan cache and rewrite
+//! options, so the differential harness's session-options lattice covers
+//! store-backed sessions unchanged.
+
+use crate::session::{err, Session, SessionError, SessionOptions};
+use crate::state::{Applied, EngineState, WritePolicy};
+use aggview_engine::snapshot::{SnapshotCell, StoreStats};
+use aggview_sql::{CreateTable, CreateView, Delete, Insert};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One immutable published state of the store.
+#[derive(Debug)]
+pub struct StoreSnapshot {
+    /// Catalog, relations (with indexes), and view definitions.
+    pub state: EngineState,
+    /// Publish sequence number (strictly increasing; 0 = the empty
+    /// initial snapshot).
+    pub epoch: u64,
+    /// Schema epoch: bumped once per applied DDL statement. Plan caches
+    /// compiled under an older schema epoch must not serve.
+    pub schema_epoch: u64,
+}
+
+/// A write statement submitted to the store's writer thread.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// `CREATE TABLE`.
+    CreateTable(CreateTable),
+    /// `CREATE VIEW` (registered and materialized by the writer).
+    CreateView(CreateView),
+    /// `INSERT`.
+    Insert(Insert),
+    /// `DELETE`.
+    Delete(Delete),
+}
+
+struct WriteRequest {
+    op: WriteOp,
+    ack: Sender<Result<Applied, SessionError>>,
+}
+
+/// The state the writer thread and every handle share. The writer holds
+/// only this (never `StoreInner`), so dropping the last handle is what
+/// disconnects the queue and lets the thread exit.
+struct Shared {
+    cell: SnapshotCell<StoreSnapshot>,
+    stats: StoreStats,
+    policy: WritePolicy,
+}
+
+struct StoreInner {
+    shared: Arc<Shared>,
+    // Held in Options (behind a mutex for `Sync`) so Drop can release
+    // them in order: dropping the last sender disconnects the queue, the
+    // writer drains and exits, the join reaps it.
+    tx: std::sync::Mutex<Option<Sender<WriteRequest>>>,
+    writer: std::sync::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for StoreInner {
+    fn drop(&mut self) {
+        if let Ok(mut tx) = self.tx.lock() {
+            *tx = None;
+        }
+        if let Some(h) = self.writer.lock().ok().and_then(|mut w| w.take()) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A shared, snapshot-isolated store serving many concurrent sessions.
+///
+/// Cloning is cheap (an `Arc` bump plus a queue-sender clone); every
+/// session handle owns a clone. The writer thread exits when the last
+/// clone drops.
+#[derive(Clone)]
+pub struct SharedStore {
+    // Field order is load-bearing: fields drop in declaration order, and
+    // `tx` must drop before `inner` — `StoreInner::drop` joins the
+    // writer thread, which only exits once every queue sender is gone.
+    tx: Sender<WriteRequest>,
+    inner: Arc<StoreInner>,
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStore")
+            .field("epoch", &self.epoch())
+            .field("schema_epoch", &self.schema_epoch())
+            .finish()
+    }
+}
+
+impl SharedStore {
+    /// An empty store. `policy` fixes the store-wide maintenance policy
+    /// (group indexes on materialized views, delta vs. recompute) — the
+    /// materialized state is shared, so these cannot vary per handle.
+    pub fn new(policy: WritePolicy) -> Self {
+        let (tx, rx) = mpsc::channel::<WriteRequest>();
+        let initial = StoreSnapshot {
+            state: EngineState::new(),
+            epoch: 0,
+            schema_epoch: 0,
+        };
+        let shared = Arc::new(Shared {
+            cell: SnapshotCell::new(initial),
+            stats: StoreStats::default(),
+            policy,
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("aggview-store-writer".into())
+                .spawn(move || writer_loop(&shared, rx))
+                .expect("spawn store writer")
+        };
+        let inner = Arc::new(StoreInner {
+            shared,
+            tx: std::sync::Mutex::new(Some(tx.clone())),
+            writer: std::sync::Mutex::new(Some(writer)),
+        });
+        SharedStore { inner, tx }
+    }
+
+    /// A store with the default policy (indexes on, delta maintenance).
+    pub fn with_defaults() -> Self {
+        SharedStore::new(WritePolicy::default())
+    }
+
+    /// A new session handle over this store (private plan cache and
+    /// rewrite options; shared snapshots and writer).
+    pub fn session(&self, options: SessionOptions) -> Session {
+        Session::on_store(self.clone(), options)
+    }
+
+    /// Pin the current snapshot.
+    pub fn load(&self) -> Arc<StoreSnapshot> {
+        self.inner.shared.cell.load()
+    }
+
+    /// Submit one write and block until the snapshot containing it is
+    /// published (read-your-writes for the submitting handle).
+    pub fn submit(&self, op: WriteOp) -> Result<Applied, SessionError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(WriteRequest { op, ack: ack_tx })
+            .map_err(|_| err("store writer thread is gone"))?;
+        ack_rx
+            .recv()
+            .map_err(|_| err("store writer thread dropped the request"))?
+    }
+
+    /// Publish sequence number of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.inner.shared.cell.version()
+    }
+
+    /// Schema epoch of the current snapshot.
+    pub fn schema_epoch(&self) -> u64 {
+        self.inner.shared.stats.schema_epoch.load(Ordering::Acquire)
+    }
+
+    /// The store-cumulative counters (publishes, batches, batch sizes).
+    pub fn stats(&self) -> &StoreStats {
+        &self.inner.shared.stats
+    }
+
+    /// The store-wide write policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.inner.shared.policy
+    }
+}
+
+/// The single writer: drain the queue into batches, apply each batch to
+/// the master state, publish one snapshot per batch that changed
+/// anything, then ack every submitter.
+fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
+    let mut master = EngineState::new();
+    let mut epoch = 0u64;
+    let mut schema_epoch = 0u64;
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while let Ok(req) = rx.try_recv() {
+            batch.push(req);
+        }
+        let mut results: Vec<Result<Applied, SessionError>> = Vec::with_capacity(batch.len());
+        let mut applied = 0u64;
+        for req in &batch {
+            let r = apply(&mut master, &req.op, inner.policy);
+            if let Ok(a) = &r {
+                applied += 1;
+                if a.schema_change {
+                    schema_epoch += 1;
+                }
+            }
+            results.push(r);
+        }
+        if applied > 0 {
+            // One clone + publish for the whole batch: submitters are
+            // acked only after this, so their next read sees the write.
+            inner
+                .stats
+                .schema_epoch
+                .store(schema_epoch, Ordering::Release);
+            epoch = inner.cell.publish(Arc::new(StoreSnapshot {
+                state: master.clone(),
+                epoch: epoch + 1,
+                schema_epoch,
+            }));
+            inner.stats.publishes.fetch_add(1, Ordering::Relaxed);
+            inner.stats.note_batch(applied);
+        }
+        for (req, result) in batch.into_iter().zip(results) {
+            let _ = req.ack.send(result);
+        }
+    }
+}
+
+/// Apply one write op to the master state. Failed ops leave the state
+/// unchanged (each statement validates before mutating).
+fn apply(
+    master: &mut EngineState,
+    op: &WriteOp,
+    policy: WritePolicy,
+) -> Result<Applied, SessionError> {
+    match op {
+        WriteOp::CreateTable(ct) => master.create_table(ct),
+        WriteOp::CreateView(cv) => master.create_view(cv, policy),
+        WriteOp::Insert(ins) => master.insert(ins, policy),
+        WriteOp::Delete(del) => master.delete(del, policy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_sql::parse_script;
+
+    fn run_on(session: &mut Session, sql: &str) -> Vec<crate::session::StatementOutcome> {
+        let stmts = parse_script(sql).expect("parses");
+        session.run_script(&stmts).expect("runs")
+    }
+
+    #[test]
+    fn two_handles_share_schema_and_data() {
+        let store = SharedStore::with_defaults();
+        let mut a = store.session(SessionOptions::default());
+        let mut b = store.session(SessionOptions::default());
+        run_on(
+            &mut a,
+            "CREATE TABLE T (x, y); INSERT INTO T VALUES (1, 5), (2, 7);",
+        );
+        // Handle B sees A's table and rows without any local DDL.
+        let outcomes = run_on(&mut b, "SELECT x, SUM(y) FROM T GROUP BY x;");
+        let crate::session::StatementOutcome::Answer { relation, .. } = &outcomes[0] else {
+            panic!("expected an answer");
+        };
+        assert_eq!(relation.len(), 2);
+        assert_eq!(store.epoch(), 2, "two write batches published");
+        assert_eq!(store.schema_epoch(), 1, "one DDL applied");
+    }
+
+    #[test]
+    fn writes_are_read_back_by_the_writer_handle() {
+        let store = SharedStore::with_defaults();
+        let mut s = store.session(SessionOptions::default());
+        run_on(&mut s, "CREATE TABLE T (a);");
+        run_on(&mut s, "INSERT INTO T VALUES (1), (2), (3);");
+        let outcomes = run_on(&mut s, "SELECT a FROM T;");
+        let crate::session::StatementOutcome::Answer { relation, .. } = &outcomes[0] else {
+            panic!("expected an answer");
+        };
+        assert_eq!(relation.len(), 3, "read-your-writes");
+    }
+
+    #[test]
+    fn failed_writes_do_not_publish() {
+        let store = SharedStore::with_defaults();
+        let mut s = store.session(SessionOptions::default());
+        run_on(&mut s, "CREATE TABLE T (a);");
+        let before = store.epoch();
+        let stmts = parse_script("INSERT INTO T VALUES (1, 2);").unwrap();
+        assert!(s.run_script(&stmts).is_err(), "arity mismatch must fail");
+        assert_eq!(store.epoch(), before, "failed batch published nothing");
+    }
+
+    #[test]
+    fn store_indexes_materialized_views() {
+        let store = SharedStore::with_defaults();
+        let mut s = store.session(SessionOptions::default());
+        run_on(
+            &mut s,
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (2, 7);
+             CREATE VIEW V AS SELECT a, SUM(b) AS s, COUNT(b) AS n FROM T GROUP BY a;
+             INSERT INTO T VALUES (1, 3);",
+        );
+        let snap = store.load();
+        let idx = snap.state.db.index("V").expect("V is indexed");
+        assert!(idx.is_consistent_with(snap.state.db.get("V").unwrap()));
+    }
+}

@@ -1,7 +1,8 @@
 //! A scriptable session: the state machine behind the `aggview` CLI.
 //!
-//! A session holds a catalog, a database instance and the materialized
-//! views defined so far, and executes [`Statement`]s:
+//! A session executes [`Statement`]s against an [`EngineState`] — a
+//! catalog, a database instance, and the materialized views defined so
+//! far:
 //!
 //! * `CREATE TABLE` registers the schema (with keys) and an empty relation,
 //! * `CREATE VIEW` registers and *materializes* the view,
@@ -11,18 +12,34 @@
 //!   (optionally) cross-checks the answer against base-table evaluation,
 //! * `EXPLAIN SELECT` reports, per view and mapping, the produced
 //!   rewriting or the violated usability condition.
+//!
+//! A session comes in two backends with identical statement semantics:
+//!
+//! * **Local** ([`Session::new`]): the session owns its state; writes
+//!   mutate it in place. This is the classic single-owner CLI mode.
+//! * **Shared** ([`Session::on_store`] / `SharedStore::session`): the
+//!   session is a handle on a [`crate::server::SharedStore`]. Reads pin
+//!   the store's current immutable snapshot and run lock-free against
+//!   it; writes are submitted to the store's single writer thread, which
+//!   batches them and publishes a new snapshot before acking (so a
+//!   handle always reads its own writes). The per-handle plan cache
+//!   invalidates off the store's schema epoch, so DDL from any handle
+//!   drops every handle's stale plans.
+//!
+//! Either way the session keeps a private [`PlanCache`] and rewrite
+//! options — only the stored state is shared.
 
 use crate::plan_cache::{AnswerMeta, CacheKey, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 use crate::run::{execute_rewriting, rewriting_equivalent};
-use aggview_catalog::{Catalog, TableSchema};
+use crate::server::{SharedStore, StoreSnapshot, WriteOp};
+use crate::state::{EngineState, WritePolicy};
 use aggview_core::advisor::suggest_views;
-use aggview_core::{
-    Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, TableStats, ViewDef,
-};
-use aggview_engine::maintenance::{maintain_view, plan_for_view, DeltaKind, MaintenancePlan};
-use aggview_engine::{execute, Database, GroupIndex, PhysicalPlan, Relation, Value};
+use aggview_core::{Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, ViewDef};
+use aggview_engine::{execute, Database, PhysicalPlan, Relation};
 use aggview_sql::{Query, Statement};
 use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Session configuration.
 #[derive(Debug, Clone)]
@@ -152,28 +169,51 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-fn err(msg: impl Into<String>) -> SessionError {
+pub(crate) fn err(msg: impl Into<String>) -> SessionError {
     SessionError(msg.into())
+}
+
+/// Where a session's state lives.
+enum Backend {
+    /// The session owns catalog, database, and views exclusively.
+    Local(EngineState),
+    /// The session is a handle on a shared store: `snapshot` is the
+    /// store state pinned by the most recent statement (what
+    /// [`Session::database`] exposes), refreshed before every read and
+    /// after every acked write.
+    Shared {
+        store: SharedStore,
+        snapshot: Arc<StoreSnapshot>,
+    },
 }
 
 /// A scriptable session.
 pub struct Session {
     options: SessionOptions,
-    catalog: Catalog,
-    db: Database,
-    views: Vec<ViewDef>,
+    backend: Backend,
     plan_cache: PlanCache,
 }
 
 impl Session {
-    /// A fresh session.
+    /// A fresh session owning its own state.
     pub fn new(options: SessionOptions) -> Self {
         let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
         Session {
             options,
-            catalog: Catalog::new(),
-            db: Database::new(),
-            views: Vec::new(),
+            backend: Backend::Local(EngineState::new()),
+            plan_cache,
+        }
+    }
+
+    /// A session handle on a shared store (prefer
+    /// [`crate::server::SharedStore::session`]). The handle keeps its own
+    /// plan cache and rewrite options; state lives in the store.
+    pub fn on_store(store: SharedStore, options: SessionOptions) -> Self {
+        let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
+        let snapshot = store.load();
+        Session {
+            options,
+            backend: Backend::Shared { store, snapshot },
             plan_cache,
         }
     }
@@ -184,161 +224,112 @@ impl Session {
         &self.plan_cache
     }
 
-    /// The current database (base tables and materialized views).
+    /// The state this session currently reads: its own, or the store
+    /// snapshot pinned by the most recent statement.
+    fn state(&self) -> &EngineState {
+        match &self.backend {
+            Backend::Local(state) => state,
+            Backend::Shared { snapshot, .. } => &snapshot.state,
+        }
+    }
+
+    /// The current database (base tables and materialized views). For a
+    /// store-backed session this is the snapshot the last statement ran
+    /// against — exactly the state its answer was computed on.
     pub fn database(&self) -> &Database {
-        &self.db
+        &self.state().db
     }
 
     /// The views defined so far.
     pub fn views(&self) -> &[ViewDef] {
-        &self.views
+        &self.state().views
+    }
+
+    /// The shared store behind this session, if any.
+    pub fn store(&self) -> Option<&SharedStore> {
+        match &self.backend {
+            Backend::Local(_) => None,
+            Backend::Shared { store, .. } => Some(store),
+        }
+    }
+
+    /// `(publish epoch, schema epoch)` of the pinned snapshot, for
+    /// store-backed sessions (readers assert these are monotonic).
+    pub fn snapshot_epochs(&self) -> Option<(u64, u64)> {
+        match &self.backend {
+            Backend::Local(_) => None,
+            Backend::Shared { snapshot, .. } => Some((snapshot.epoch, snapshot.schema_epoch)),
+        }
+    }
+
+    /// The write-side maintenance policy of this session's options.
+    fn write_policy(&self) -> WritePolicy {
+        WritePolicy {
+            index_views: self.options.index_views,
+            recompute_views: self.options.recompute_views,
+        }
+    }
+
+    /// Pin the store's current snapshot (no-op for local sessions) and
+    /// align the plan cache with its schema epoch.
+    fn refresh(&mut self) {
+        if let Backend::Shared { store, snapshot } = &mut self.backend {
+            *snapshot = store.load();
+            self.plan_cache.sync_epoch(snapshot.schema_epoch);
+        }
+    }
+
+    /// Copy the pinned snapshot's identity and the store-cumulative
+    /// counters into a stats record (no-op for local sessions).
+    fn fill_store_stats(&self, stats: &mut RewriteStats) {
+        if let Backend::Shared { store, snapshot } = &self.backend {
+            let s = store.stats();
+            stats.store_attached = true;
+            stats.store_epoch = snapshot.epoch;
+            stats.store_schema_epoch = snapshot.schema_epoch;
+            stats.store_publishes = s.publishes.load(Ordering::Relaxed);
+            stats.store_batches = s.batches.load(Ordering::Relaxed);
+            stats.store_batched_ops = s.batched_ops.load(Ordering::Relaxed);
+            stats.store_max_batch = s.max_batch.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Execute one write statement on the session's backend: apply
+    /// in place (local) or submit to the store's writer thread and wait
+    /// for the publishing ack (shared).
+    fn write(&mut self, op: WriteOp) -> Result<StatementOutcome, SessionError> {
+        let policy = self.write_policy();
+        match &mut self.backend {
+            Backend::Local(state) => {
+                let applied = match &op {
+                    WriteOp::CreateTable(ct) => state.create_table(ct)?,
+                    WriteOp::CreateView(cv) => state.create_view(cv, policy)?,
+                    WriteOp::Insert(ins) => state.insert(ins, policy)?,
+                    WriteOp::Delete(del) => state.delete(del, policy)?,
+                };
+                if applied.schema_change {
+                    self.plan_cache.note_schema_change();
+                }
+                Ok(StatementOutcome::Ok(applied.message))
+            }
+            Backend::Shared { store, snapshot } => {
+                let applied = store.submit(op)?;
+                // The ack guarantees the snapshot containing this write
+                // is published: re-pin so we read our own write.
+                *snapshot = store.load();
+                self.plan_cache.sync_epoch(snapshot.schema_epoch);
+                Ok(StatementOutcome::Ok(applied.message))
+            }
+        }
     }
 
     /// Execute one statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementOutcome, SessionError> {
         match stmt {
-            Statement::CreateTable(ct) => {
-                let mut schema = TableSchema::new(ct.name.clone(), ct.columns.clone());
-                for key in &ct.keys {
-                    schema = schema.with_key(key.iter().map(|s| s.as_str()));
-                }
-                self.catalog
-                    .add_table(schema)
-                    .map_err(|e| err(e.to_string()))?;
-                self.db
-                    .insert(ct.name.clone(), Relation::empty(ct.columns.clone()));
-                self.plan_cache.note_schema_change();
-                Ok(StatementOutcome::Ok(format!(
-                    "table `{}` created ({} columns, {} key(s))",
-                    ct.name,
-                    ct.columns.len(),
-                    ct.keys.len()
-                )))
-            }
-            Statement::CreateView(cv) => {
-                if self.catalog.table(&cv.name).is_some()
-                    || self.views.iter().any(|v| v.name == cv.name)
-                {
-                    return Err(err(format!("relation `{}` already exists", cv.name)));
-                }
-                let view = ViewDef::new(cv.name.clone(), cv.query.clone());
-                let mut rel = execute(&view.query, &self.db)
-                    .map_err(|e| err(format!("view `{}`: {e}", cv.name)))?;
-                rel.columns = view.output_names();
-                let n = rel.len();
-                self.db.insert(view.name.clone(), rel);
-                if self.options.index_views {
-                    if let Some(key_cols) = self.view_index_key(&view) {
-                        let idx = GroupIndex::build(
-                            self.db.get(&view.name).map_err(|e| err(e.to_string()))?,
-                            key_cols,
-                        );
-                        self.db.set_index(view.name.clone(), idx);
-                    }
-                }
-                self.views.push(view);
-                self.plan_cache.note_schema_change();
-                Ok(StatementOutcome::Ok(format!(
-                    "view `{}` materialized ({n} rows)",
-                    cv.name
-                )))
-            }
-            Statement::Insert(ins) => {
-                let rel = self
-                    .db
-                    .get(&ins.table)
-                    .map_err(|e| err(e.to_string()))?
-                    .clone();
-                if self.catalog.table(&ins.table).is_none() {
-                    return Err(err(format!(
-                        "`{}` is a view; INSERT into base tables only",
-                        ins.table
-                    )));
-                }
-                let mut rel = rel;
-                let mut delta: Vec<Vec<Value>> = Vec::with_capacity(ins.rows.len());
-                for row in &ins.rows {
-                    if row.len() != rel.arity() {
-                        return Err(err(format!(
-                            "row arity {} does not match table `{}` arity {}",
-                            row.len(),
-                            ins.table,
-                            rel.arity()
-                        )));
-                    }
-                    let values: Vec<Value> =
-                        row.iter().map(aggview_engine::value::lit_value).collect();
-                    rel.push(values.clone());
-                    delta.push(values);
-                }
-                self.db.insert(ins.table.clone(), rel);
-                let incremental = self.maintain_views(&ins.table, DeltaKind::Insert(&delta))?;
-                Ok(StatementOutcome::Ok(format!(
-                    "{} row(s) inserted into `{}`; {incremental} view(s) maintained                      incrementally",
-                    ins.rows.len(),
-                    ins.table
-                )))
-            }
-            Statement::Delete(del) => {
-                if self.catalog.table(&del.table).is_none() {
-                    return Err(err(format!(
-                        "`{}` is not a base table; DELETE applies to base tables only",
-                        del.table
-                    )));
-                }
-                // Partition the rows by the filter, using the engine's own
-                // predicate semantics (SELECT * ... WHERE filter).
-                let all_cols = self
-                    .db
-                    .get(&del.table)
-                    .map_err(|e| err(e.to_string()))?
-                    .columns
-                    .clone();
-                let matching = {
-                    let q = Query {
-                        distinct: false,
-                        select: all_cols
-                            .iter()
-                            .map(|c| {
-                                aggview_sql::ast::SelectItem::expr(aggview_sql::ast::Expr::col(
-                                    c.clone(),
-                                ))
-                            })
-                            .collect(),
-                        from: vec![aggview_sql::ast::TableRef::new(del.table.clone())],
-                        where_clause: del.filter.clone(),
-                        group_by: Vec::new(),
-                        having: None,
-                    };
-                    execute(&q, &self.db).map_err(|e| err(e.to_string()))?
-                };
-                // Remove exactly the matching multiset from the base table.
-                let mut remaining = self
-                    .db
-                    .get(&del.table)
-                    .map_err(|e| err(e.to_string()))?
-                    .clone();
-                let mut budget: std::collections::HashMap<Vec<Value>, usize> =
-                    std::collections::HashMap::new();
-                for r in &matching.rows {
-                    *budget.entry(r.clone()).or_insert(0) += 1;
-                }
-                remaining.rows.retain(|r| match budget.get_mut(r) {
-                    Some(n) if *n > 0 => {
-                        *n -= 1;
-                        false
-                    }
-                    _ => true,
-                });
-                self.db.insert(del.table.clone(), remaining);
-                let incremental =
-                    self.maintain_views(&del.table, DeltaKind::Delete(&matching.rows))?;
-                Ok(StatementOutcome::Ok(format!(
-                    "{} row(s) deleted from `{}`; {incremental} view(s) maintained incrementally",
-                    matching.len(),
-                    del.table
-                )))
-            }
+            Statement::CreateTable(ct) => self.write(WriteOp::CreateTable(ct.clone())),
+            Statement::CreateView(cv) => self.write(WriteOp::CreateView(cv.clone())),
+            Statement::Insert(ins) => self.write(WriteOp::Insert(ins.clone())),
+            Statement::Delete(del) => self.write(WriteOp::Delete(del.clone())),
             Statement::Select(q) => self.select(q),
             Statement::Explain(q) => self.explain(q),
             Statement::Suggest(q) => self.suggest(q),
@@ -353,190 +344,34 @@ impl Session {
         stmts.iter().map(|s| self.execute(s)).collect()
     }
 
-    fn rewriter(&self) -> Rewriter<'_> {
-        Rewriter::with_options(&self.catalog, self.options.rewrite.clone())
-    }
-
-    fn stats(&self) -> TableStats {
-        let mut stats = TableStats::new();
-        for (name, rel) in self.db.iter() {
-            stats.set(name.clone(), rel.len());
-        }
-        stats
-    }
-
-    /// The cache key of a query: its normalized canonical form (resolved
-    /// against every stored relation, views included) plus the output
-    /// column names. `None` = outside the canonical fragment, uncacheable.
-    fn cache_key(&self, q: &Query) -> Option<CacheKey> {
-        let canon = Canonical::from_query(q, &self.db).ok()?;
-        Some(CacheKey::new(&canon, q.output_names()))
-    }
-
-    /// The [`GroupIndex`] key columns for a materialized view: aligned
-    /// with the incremental-maintenance plan when one exists (so the same
-    /// index serves maintenance lookups), else the exposed grouping
-    /// columns of any other `GROUP BY` view; `None` for ungrouped views.
-    fn view_index_key(&self, view: &ViewDef) -> Option<Vec<usize>> {
-        if let MaintenancePlan::Incremental(plan) = plan_for_view(&view.query, &self.db) {
-            return Some(plan.index_key_cols().to_vec());
-        }
-        if view.query.group_by.is_empty() {
-            return None;
-        }
-        let canon = Canonical::from_query(&view.query, &self.db).ok()?;
-        let key: Vec<usize> = canon
-            .select
-            .iter()
-            .enumerate()
-            .filter_map(|(i, item)| match item {
-                aggview_core::SelItem::Col(c) if canon.groups.contains(c) => Some(i),
-                _ => None,
-            })
-            .collect();
-        (!key.is_empty()).then_some(key)
+    /// Disjoint borrows of the read state, the plan cache, and the
+    /// options — what the select path needs simultaneously.
+    fn parts_mut(&mut self) -> (&EngineState, &mut PlanCache, &SessionOptions) {
+        let state = match &self.backend {
+            Backend::Local(s) => s,
+            Backend::Shared { snapshot, .. } => &snapshot.state,
+        };
+        (state, &mut self.plan_cache, &self.options)
     }
 
     fn select(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        let key = self.cache_key(q);
-        if let Some(k) = &key {
-            // Hit path: no search, no cost ranking, no physical planning —
-            // bind the stored relations and run. The entry is used by
-            // reference (disjoint field borrows), never cloned.
-            if let Some(cached) = self.plan_cache.lookup(k) {
-                let t = std::time::Instant::now();
-                let relation = match (&cached.plan, &cached.rewriting) {
-                    (Some(plan), _) => plan.run(&self.db).map_err(|e| err(e.to_string()))?,
-                    (None, Some(rw)) => {
-                        execute_rewriting(rw, &self.db).map_err(|e| err(e.to_string()))?
-                    }
-                    (None, None) => execute(q, &self.db).map_err(|e| err(e.to_string()))?,
-                };
-                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
-                let verified = match (self.options.verify, &cached.rewriting) {
-                    (true, Some(rw)) => Some(
-                        rewriting_equivalent(q, rw, &self.db).map_err(|e| err(e.to_string()))?,
-                    ),
-                    _ => None,
-                };
-                let executed = cached.meta.executed.clone();
-                let views_used = cached.meta.views_used.clone();
-                let candidates = cached.meta.candidates;
-                let set_semantics = cached.meta.set_semantics;
-                // No search ran: report zeroed search counters plus the
-                // session-cumulative cache counters.
-                let mut search = RewriteStats::default();
-                self.plan_cache.fill_stats(&mut search);
-                return Ok(StatementOutcome::Answer {
-                    relation,
-                    executed,
-                    views_used,
-                    candidates,
-                    verified,
-                    elapsed_ms,
-                    set_semantics,
-                    search: Box::new(search),
-                });
-            }
+        self.refresh();
+        let mut outcome = {
+            let (state, plan_cache, options) = self.parts_mut();
+            select_on(state, plan_cache, options, q)?
+        };
+        if let StatementOutcome::Answer { search, .. } = &mut outcome {
+            self.fill_store_stats(search);
         }
-        let rewriter = self.rewriter();
-        let (mut rewritings, mut search): (Vec<Rewriting>, RewriteStats) = rewriter
-            .rewrite_with_stats(q, &self.views)
-            .map_err(|e| err(e.to_string()))?;
-        self.plan_cache.fill_stats(&mut search);
-        let stats = self.stats();
-        rewritings.sort_by(|a, b| {
-            a.cost(&stats)
-                .partial_cmp(&b.cost(&stats))
-                .expect("finite costs")
-        });
-        let candidates = rewritings.len();
-        match rewritings.first() {
-            None => {
-                // Base-table answer. Compile once, run, and cache the
-                // compiled plan for canonically identical arrivals.
-                let plan = self
-                    .options
-                    .compile_plans
-                    .then(|| PhysicalPlan::compile(q, &self.db).ok())
-                    .flatten();
-                let t = std::time::Instant::now();
-                let relation = match &plan {
-                    Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
-                    None => execute(q, &self.db).map_err(|e| err(e.to_string()))?,
-                };
-                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
-                if let Some(k) = key {
-                    let meta = AnswerMeta {
-                        executed: q.to_string(),
-                        views_used: Vec::new(),
-                        candidates: 0,
-                        set_semantics: false,
-                    };
-                    self.plan_cache.store(k, None, plan, meta, search.clone());
-                }
-                Ok(StatementOutcome::Answer {
-                    relation,
-                    executed: q.to_string(),
-                    views_used: Vec::new(),
-                    candidates: 0,
-                    verified: None,
-                    elapsed_ms,
-                    set_semantics: false,
-                    search: Box::new(search),
-                })
-            }
-            Some(best) => {
-                // A rewriting that needs no scaffolding (auxiliary views,
-                // the Nat table) is a single block over stored relations:
-                // compile it once. Scaffolded rewritings cache without a
-                // plan — the hit still skips the whole search.
-                let plan =
-                    (self.options.compile_plans && best.aux_views.is_empty() && !best.requires_nat)
-                        .then(|| PhysicalPlan::compile(&best.query, &self.db).ok())
-                        .flatten();
-                let t = std::time::Instant::now();
-                let relation = match &plan {
-                    Some(p) => p.run(&self.db).map_err(|e| err(e.to_string()))?,
-                    None => execute_rewriting(best, &self.db).map_err(|e| err(e.to_string()))?,
-                };
-                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
-                let verified = if self.options.verify {
-                    Some(rewriting_equivalent(q, best, &self.db).map_err(|e| err(e.to_string()))?)
-                } else {
-                    None
-                };
-                let executed = best.query.to_string();
-                let views_used = best.views_used.clone();
-                let set_semantics = best.set_semantics;
-                if let Some(k) = key {
-                    let meta = AnswerMeta {
-                        executed: executed.clone(),
-                        views_used: views_used.clone(),
-                        candidates,
-                        set_semantics,
-                    };
-                    self.plan_cache
-                        .store(k, Some(best.clone()), plan, meta, search.clone());
-                }
-                Ok(StatementOutcome::Answer {
-                    relation,
-                    executed,
-                    views_used,
-                    candidates,
-                    verified,
-                    elapsed_ms,
-                    set_semantics,
-                    search: Box::new(search),
-                })
-            }
-        }
+        Ok(outcome)
     }
 
-    fn explain(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        let rewriter = self.rewriter();
+    fn explain(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        self.refresh();
+        let state = self.state();
+        let rewriter = Rewriter::with_options(&state.catalog, self.options.rewrite.clone());
         let reports = rewriter
-            .explain(q, &self.views)
+            .explain(q, &state.views)
             .map_err(|e| err(e.to_string()))?;
         if reports.is_empty() {
             return Ok(StatementOutcome::Explanation(vec![
@@ -546,14 +381,14 @@ impl Session {
         let mut lines: Vec<String> = reports.iter().map(|r| r.to_string()).collect();
         // Tail line: what the full search does with these candidates.
         let (_, search) = rewriter
-            .rewrite_with_stats(q, &self.views)
+            .rewrite_with_stats(q, &state.views)
             .map_err(|e| err(e.to_string()))?;
         lines.push(format!("-- search: {}", search.summary()));
         // Tail line: serving-cache status for this query and the
         // session-cumulative counters.
         let mut stats = RewriteStats::default();
         self.plan_cache.fill_stats(&mut stats);
-        let status = match self.cache_key(q) {
+        let status = match cache_key(state, q) {
             Some(k) if self.plan_cache.peek(&k) => {
                 format!("cached (fingerprint {:016x})", k.fingerprint())
             }
@@ -564,13 +399,18 @@ impl Session {
             "-- {}; this query: {status}",
             stats.plan_cache_summary()
         ));
+        // Tail line: the shared store behind this session, if any.
+        self.fill_store_stats(&mut stats);
+        lines.push(format!("-- {}", stats.store_summary()));
         Ok(StatementOutcome::Explanation(lines))
     }
 
-    fn suggest(&self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        let stats = self.stats();
+    fn suggest(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        self.refresh();
+        let state = self.state();
+        let stats = state.table_stats();
         let suggestions =
-            suggest_views(q, &self.catalog, &stats).map_err(|e| err(e.to_string()))?;
+            suggest_views(q, &state.catalog, &stats).map_err(|e| err(e.to_string()))?;
         if suggestions.is_empty() {
             return Ok(StatementOutcome::Explanation(vec![
                 "no beneficial view suggestions".to_string(),
@@ -590,69 +430,162 @@ impl Session {
             .collect();
         Ok(StatementOutcome::Explanation(lines))
     }
+}
 
-    /// Maintain every view after `delta` was inserted into
-    /// `changed_table`: incrementally where the plan allows, by
-    /// recomputation otherwise. Views over views are handled by
-    /// propagating the set of changed relations through the (topologically
-    /// ordered) definition list; their deltas are not tracked, so they
-    /// recompute. Returns how many views took the incremental path.
-    fn maintain_views(
-        &mut self,
-        changed_table: &str,
-        delta: DeltaKind<'_>,
-    ) -> Result<usize, SessionError> {
-        let mut changed: Vec<String> = vec![changed_table.to_string()];
-        let mut incremental = 0usize;
-        for v in &self.views {
-            if !v.query.from.iter().any(|t| changed.contains(&t.table)) {
-                continue;
-            }
-            let mut rel = self
-                .db
-                .get(&v.name)
-                .map_err(|e| err(e.to_string()))?
-                .clone();
-            let direct_only = !self.options.recompute_views
-                && v.query.from.len() == 1
-                && v.query.from[0].table == changed_table;
-            // Detach the view's group index (dropped by `db.insert`
-            // otherwise), maintain it alongside the rows, and re-attach.
-            let mut idx = self.db.take_index(&v.name);
-            let took_incremental = if direct_only {
-                maintain_view(
-                    &v.query,
-                    &mut rel,
-                    changed_table,
-                    delta,
-                    &self.db,
-                    idx.as_mut(),
-                )
-                .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
-            } else {
-                let mut fresh = execute(&v.query, &self.db)
-                    .map_err(|e| err(format!("refreshing `{}`: {e}", v.name)))?;
-                fresh.columns = v.output_names();
-                rel = fresh;
-                if let Some(i) = idx.as_mut() {
-                    i.rebuild(&rel);
+/// The cache key of a query: its normalized canonical form (resolved
+/// against every stored relation, views included) plus the output
+/// column names. `None` = outside the canonical fragment, uncacheable.
+fn cache_key(state: &EngineState, q: &Query) -> Option<CacheKey> {
+    let canon = Canonical::from_query(q, &state.db).ok()?;
+    Some(CacheKey::new(&canon, q.output_names()))
+}
+
+/// The full select path against one fixed state: plan-cache lookup,
+/// rewrite search, cost ranking, compilation, execution, caching. Shared
+/// by both backends — a local session passes its own state, a store
+/// handle passes its pinned snapshot.
+fn select_on(
+    state: &EngineState,
+    plan_cache: &mut PlanCache,
+    options: &SessionOptions,
+    q: &Query,
+) -> Result<StatementOutcome, SessionError> {
+    let key = cache_key(state, q);
+    if let Some(k) = &key {
+        // Hit path: no search, no cost ranking, no physical planning —
+        // bind the stored relations and run. The entry is used by
+        // reference (disjoint borrows), never cloned.
+        if let Some(cached) = plan_cache.lookup(k) {
+            let t = std::time::Instant::now();
+            let relation = match (&cached.plan, &cached.rewriting) {
+                (Some(plan), _) => plan.run(&state.db).map_err(|e| err(e.to_string()))?,
+                (None, Some(rw)) => {
+                    execute_rewriting(rw, &state.db).map_err(|e| err(e.to_string()))?
                 }
-                false
+                (None, None) => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
             };
-            incremental += took_incremental as usize;
-            self.db.insert(v.name.clone(), rel);
-            if let Some(i) = idx {
-                self.db.set_index(v.name.clone(), i);
-            }
-            changed.push(v.name.clone());
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let verified = match (options.verify, &cached.rewriting) {
+                (true, Some(rw)) => {
+                    Some(rewriting_equivalent(q, rw, &state.db).map_err(|e| err(e.to_string()))?)
+                }
+                _ => None,
+            };
+            let executed = cached.meta.executed.clone();
+            let views_used = cached.meta.views_used.clone();
+            let candidates = cached.meta.candidates;
+            let set_semantics = cached.meta.set_semantics;
+            // No search ran: report zeroed search counters plus the
+            // session-cumulative cache counters.
+            let mut search = RewriteStats::default();
+            plan_cache.fill_stats(&mut search);
+            return Ok(StatementOutcome::Answer {
+                relation,
+                executed,
+                views_used,
+                candidates,
+                verified,
+                elapsed_ms,
+                set_semantics,
+                search: Box::new(search),
+            });
         }
-        Ok(incremental)
+    }
+    let rewriter = Rewriter::with_options(&state.catalog, options.rewrite.clone());
+    let (mut rewritings, mut search): (Vec<Rewriting>, RewriteStats) = rewriter
+        .rewrite_with_stats(q, &state.views)
+        .map_err(|e| err(e.to_string()))?;
+    plan_cache.fill_stats(&mut search);
+    let stats = state.table_stats();
+    rewritings.sort_by(|a, b| {
+        a.cost(&stats)
+            .partial_cmp(&b.cost(&stats))
+            .expect("finite costs")
+    });
+    let candidates = rewritings.len();
+    match rewritings.first() {
+        None => {
+            // Base-table answer. Compile once, run, and cache the
+            // compiled plan for canonically identical arrivals.
+            let plan = options
+                .compile_plans
+                .then(|| PhysicalPlan::compile(q, &state.db).ok())
+                .flatten();
+            let t = std::time::Instant::now();
+            let relation = match &plan {
+                Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
+                None => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
+            };
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Some(k) = key {
+                let meta = AnswerMeta {
+                    executed: q.to_string(),
+                    views_used: Vec::new(),
+                    candidates: 0,
+                    set_semantics: false,
+                };
+                plan_cache.store(k, None, plan, meta, search.clone());
+            }
+            Ok(StatementOutcome::Answer {
+                relation,
+                executed: q.to_string(),
+                views_used: Vec::new(),
+                candidates: 0,
+                verified: None,
+                elapsed_ms,
+                set_semantics: false,
+                search: Box::new(search),
+            })
+        }
+        Some(best) => {
+            // A rewriting that needs no scaffolding (auxiliary views,
+            // the Nat table) is a single block over stored relations:
+            // compile it once. Scaffolded rewritings cache without a
+            // plan — the hit still skips the whole search.
+            let plan = (options.compile_plans && best.aux_views.is_empty() && !best.requires_nat)
+                .then(|| PhysicalPlan::compile(&best.query, &state.db).ok())
+                .flatten();
+            let t = std::time::Instant::now();
+            let relation = match &plan {
+                Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
+                None => execute_rewriting(best, &state.db).map_err(|e| err(e.to_string()))?,
+            };
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let verified = if options.verify {
+                Some(rewriting_equivalent(q, best, &state.db).map_err(|e| err(e.to_string()))?)
+            } else {
+                None
+            };
+            let executed = best.query.to_string();
+            let views_used = best.views_used.clone();
+            let set_semantics = best.set_semantics;
+            if let Some(k) = key {
+                let meta = AnswerMeta {
+                    executed: executed.clone(),
+                    views_used: views_used.clone(),
+                    candidates,
+                    set_semantics,
+                };
+                plan_cache.store(k, Some(best.clone()), plan, meta, search.clone());
+            }
+            Ok(StatementOutcome::Answer {
+                relation,
+                executed,
+                views_used,
+                candidates,
+                verified,
+                elapsed_ms,
+                set_semantics,
+                search: Box::new(search),
+            })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aggview_engine::Value;
     use aggview_sql::parse_script;
 
     fn run(script: &str, verify: bool) -> Vec<StatementOutcome> {
@@ -741,12 +674,13 @@ mod tests {
         let StatementOutcome::Explanation(lines) = &outcomes[2] else {
             panic!("expected an explanation")
         };
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("not usable"), "{lines:?}");
         assert!(lines[1].contains("-- search:"), "{lines:?}");
         assert!(lines[1].contains("states="), "{lines:?}");
         assert!(lines[2].contains("plan-cache:"), "{lines:?}");
         assert!(lines[2].contains("not cached (fingerprint"), "{lines:?}");
+        assert!(lines[3].contains("store: none"), "{lines:?}");
     }
 
     #[test]

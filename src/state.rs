@@ -1,0 +1,322 @@
+//! The executable engine state behind a session or a shared store: the
+//! catalog, the database instance (base tables, materialized views, and
+//! their group indexes), and the view definitions.
+//!
+//! [`EngineState`] owns the *write* paths — `CREATE TABLE`, `CREATE
+//! VIEW`, `INSERT`, `DELETE`, and the view-maintenance fan-out — exactly
+//! as the single-owner `Session` always ran them. A local session mutates
+//! its private state directly; the shared store's single writer thread
+//! mutates one master copy and publishes immutable clones, so both
+//! serving modes share one implementation of every statement's
+//! semantics.
+
+use crate::session::{err, SessionError};
+use aggview_catalog::{Catalog, TableSchema};
+use aggview_core::{Canonical, TableStats, ViewDef};
+use aggview_engine::maintenance::{maintain_view, plan_for_view, DeltaKind, MaintenancePlan};
+use aggview_engine::{execute, Database, GroupIndex, Relation, Value};
+use aggview_sql::{CreateTable, CreateView, Delete, Insert, Query};
+
+/// Catalog + database + view definitions: everything a statement needs.
+///
+/// `Clone` is the snapshot operation: the shared store's writer clones
+/// the master state (relations, indexes, catalog, view list) into each
+/// published [`crate::server::StoreSnapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineState {
+    /// Base-table schemas (keys included).
+    pub catalog: Catalog,
+    /// Stored relations: base tables and materialized views, with any
+    /// group indexes attached.
+    pub db: Database,
+    /// Materialized view definitions, in creation order.
+    pub views: Vec<ViewDef>,
+}
+
+/// Which maintenance policies the write paths follow — the write-side
+/// slice of `SessionOptions`. A store fixes one policy for all handles
+/// (the materialized state is shared); a local session derives it from
+/// its own options.
+#[derive(Debug, Clone, Copy)]
+pub struct WritePolicy {
+    /// Attach a [`GroupIndex`] on the exposed grouping columns of every
+    /// materialized `GROUP BY` view.
+    pub index_views: bool,
+    /// Refresh dependent views by full recomputation instead of the
+    /// incremental delta path.
+    pub recompute_views: bool,
+}
+
+impl Default for WritePolicy {
+    fn default() -> Self {
+        WritePolicy {
+            index_views: true,
+            recompute_views: false,
+        }
+    }
+}
+
+/// The effect of one applied write statement.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Human-readable acknowledgement (what `StatementOutcome::Ok` shows).
+    pub message: String,
+    /// Did the statement change the schema universe (`CREATE TABLE` /
+    /// `CREATE VIEW`)? Schema changes bump the plan-cache epoch.
+    pub schema_change: bool,
+}
+
+impl EngineState {
+    /// An empty state.
+    pub fn new() -> Self {
+        EngineState::default()
+    }
+
+    /// Live cardinalities of every stored relation (cost ranking input).
+    pub fn table_stats(&self) -> TableStats {
+        let mut stats = TableStats::new();
+        for (name, rel) in self.db.iter() {
+            stats.set(name.clone(), rel.len());
+        }
+        stats
+    }
+
+    /// Apply `CREATE TABLE`.
+    pub fn create_table(&mut self, ct: &CreateTable) -> Result<Applied, SessionError> {
+        let mut schema = TableSchema::new(ct.name.clone(), ct.columns.clone());
+        for key in &ct.keys {
+            schema = schema.with_key(key.iter().map(|s| s.as_str()));
+        }
+        self.catalog
+            .add_table(schema)
+            .map_err(|e| err(e.to_string()))?;
+        self.db
+            .insert(ct.name.clone(), Relation::empty(ct.columns.clone()));
+        Ok(Applied {
+            message: format!(
+                "table `{}` created ({} columns, {} key(s))",
+                ct.name,
+                ct.columns.len(),
+                ct.keys.len()
+            ),
+            schema_change: true,
+        })
+    }
+
+    /// Apply `CREATE VIEW`: register and materialize.
+    pub fn create_view(
+        &mut self,
+        cv: &CreateView,
+        policy: WritePolicy,
+    ) -> Result<Applied, SessionError> {
+        if self.catalog.table(&cv.name).is_some() || self.views.iter().any(|v| v.name == cv.name) {
+            return Err(err(format!("relation `{}` already exists", cv.name)));
+        }
+        let view = ViewDef::new(cv.name.clone(), cv.query.clone());
+        let mut rel =
+            execute(&view.query, &self.db).map_err(|e| err(format!("view `{}`: {e}", cv.name)))?;
+        rel.columns = view.output_names();
+        let n = rel.len();
+        self.db.insert(view.name.clone(), rel);
+        if policy.index_views {
+            if let Some(key_cols) = self.view_index_key(&view) {
+                let idx = GroupIndex::build(
+                    self.db.get(&view.name).map_err(|e| err(e.to_string()))?,
+                    key_cols,
+                );
+                self.db.set_index(view.name.clone(), idx);
+            }
+        }
+        self.views.push(view);
+        Ok(Applied {
+            message: format!("view `{}` materialized ({n} rows)", cv.name),
+            schema_change: true,
+        })
+    }
+
+    /// Apply `INSERT`, maintaining dependent views.
+    pub fn insert(&mut self, ins: &Insert, policy: WritePolicy) -> Result<Applied, SessionError> {
+        let rel = self
+            .db
+            .get(&ins.table)
+            .map_err(|e| err(e.to_string()))?
+            .clone();
+        if self.catalog.table(&ins.table).is_none() {
+            return Err(err(format!(
+                "`{}` is a view; INSERT into base tables only",
+                ins.table
+            )));
+        }
+        let mut rel = rel;
+        let mut delta: Vec<Vec<Value>> = Vec::with_capacity(ins.rows.len());
+        for row in &ins.rows {
+            if row.len() != rel.arity() {
+                return Err(err(format!(
+                    "row arity {} does not match table `{}` arity {}",
+                    row.len(),
+                    ins.table,
+                    rel.arity()
+                )));
+            }
+            let values: Vec<Value> = row.iter().map(aggview_engine::value::lit_value).collect();
+            rel.push(values.clone());
+            delta.push(values);
+        }
+        self.db.insert(ins.table.clone(), rel);
+        let incremental = self.maintain_views(&ins.table, DeltaKind::Insert(&delta), policy)?;
+        Ok(Applied {
+            message: format!(
+                "{} row(s) inserted into `{}`; {incremental} view(s) maintained                      incrementally",
+                ins.rows.len(),
+                ins.table
+            ),
+            schema_change: false,
+        })
+    }
+
+    /// Apply `DELETE`, maintaining dependent views.
+    pub fn delete(&mut self, del: &Delete, policy: WritePolicy) -> Result<Applied, SessionError> {
+        if self.catalog.table(&del.table).is_none() {
+            return Err(err(format!(
+                "`{}` is not a base table; DELETE applies to base tables only",
+                del.table
+            )));
+        }
+        // Partition the rows by the filter, using the engine's own
+        // predicate semantics (SELECT * ... WHERE filter).
+        let all_cols = self
+            .db
+            .get(&del.table)
+            .map_err(|e| err(e.to_string()))?
+            .columns
+            .clone();
+        let matching = {
+            let q = Query {
+                distinct: false,
+                select: all_cols
+                    .iter()
+                    .map(|c| {
+                        aggview_sql::ast::SelectItem::expr(aggview_sql::ast::Expr::col(c.clone()))
+                    })
+                    .collect(),
+                from: vec![aggview_sql::ast::TableRef::new(del.table.clone())],
+                where_clause: del.filter.clone(),
+                group_by: Vec::new(),
+                having: None,
+            };
+            execute(&q, &self.db).map_err(|e| err(e.to_string()))?
+        };
+        // Remove exactly the matching multiset from the base table.
+        let mut remaining = self
+            .db
+            .get(&del.table)
+            .map_err(|e| err(e.to_string()))?
+            .clone();
+        let mut budget: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        for r in &matching.rows {
+            *budget.entry(r.clone()).or_insert(0) += 1;
+        }
+        remaining.rows.retain(|r| match budget.get_mut(r) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
+        self.db.insert(del.table.clone(), remaining);
+        let incremental =
+            self.maintain_views(&del.table, DeltaKind::Delete(&matching.rows), policy)?;
+        Ok(Applied {
+            message: format!(
+                "{} row(s) deleted from `{}`; {incremental} view(s) maintained incrementally",
+                matching.len(),
+                del.table
+            ),
+            schema_change: false,
+        })
+    }
+
+    /// The [`GroupIndex`] key columns for a materialized view: aligned
+    /// with the incremental-maintenance plan when one exists (so the same
+    /// index serves maintenance lookups), else the exposed grouping
+    /// columns of any other `GROUP BY` view; `None` for ungrouped views.
+    pub fn view_index_key(&self, view: &ViewDef) -> Option<Vec<usize>> {
+        if let MaintenancePlan::Incremental(plan) = plan_for_view(&view.query, &self.db) {
+            return Some(plan.index_key_cols().to_vec());
+        }
+        if view.query.group_by.is_empty() {
+            return None;
+        }
+        let canon = Canonical::from_query(&view.query, &self.db).ok()?;
+        let key: Vec<usize> = canon
+            .select
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                aggview_core::SelItem::Col(c) if canon.groups.contains(c) => Some(i),
+                _ => None,
+            })
+            .collect();
+        (!key.is_empty()).then_some(key)
+    }
+
+    /// Maintain every view after `delta` was applied to `changed_table`:
+    /// incrementally where the plan allows, by recomputation otherwise.
+    /// Views over views are handled by propagating the set of changed
+    /// relations through the (topologically ordered) definition list;
+    /// their deltas are not tracked, so they recompute. Returns how many
+    /// views took the incremental path.
+    fn maintain_views(
+        &mut self,
+        changed_table: &str,
+        delta: DeltaKind<'_>,
+        policy: WritePolicy,
+    ) -> Result<usize, SessionError> {
+        let mut changed: Vec<String> = vec![changed_table.to_string()];
+        let mut incremental = 0usize;
+        for v in &self.views {
+            if !v.query.from.iter().any(|t| changed.contains(&t.table)) {
+                continue;
+            }
+            let mut rel = self
+                .db
+                .get(&v.name)
+                .map_err(|e| err(e.to_string()))?
+                .clone();
+            let direct_only = !policy.recompute_views
+                && v.query.from.len() == 1
+                && v.query.from[0].table == changed_table;
+            // Detach the view's group index (dropped by `db.insert`
+            // otherwise), maintain it alongside the rows, and re-attach.
+            let mut idx = self.db.take_index(&v.name);
+            let took_incremental = if direct_only {
+                maintain_view(
+                    &v.query,
+                    &mut rel,
+                    changed_table,
+                    delta,
+                    &self.db,
+                    idx.as_mut(),
+                )
+                .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
+            } else {
+                let mut fresh = execute(&v.query, &self.db)
+                    .map_err(|e| err(format!("refreshing `{}`: {e}", v.name)))?;
+                fresh.columns = v.output_names();
+                rel = fresh;
+                if let Some(i) = idx.as_mut() {
+                    i.rebuild(&rel);
+                }
+                false
+            };
+            incremental += took_incremental as usize;
+            self.db.insert(v.name.clone(), rel);
+            if let Some(i) = idx {
+                self.db.set_index(v.name.clone(), i);
+            }
+            changed.push(v.name.clone());
+        }
+        Ok(incremental)
+    }
+}

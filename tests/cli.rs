@@ -93,6 +93,76 @@ SUGGEST SELECT Dim, SUM(M) FROM Facts GROUP BY Dim;
 }
 
 #[test]
+fn explain_reports_store_status() {
+    // Plain (session-local) mode: the EXPLAIN tail says so.
+    let (stdout, stderr, ok) = run_cli(&[], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("store: none (session-local state)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_mode_round_robins_handles_over_one_store() {
+    // 6 statements across 2 handles: schema and writes land on both s0
+    // and s1, and every handle reads every other handle's effects.
+    let (stdout, stderr, ok) = run_cli(&["serve", "--sessions", "2", "--verify"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("s0> "), "stdout: {stdout}");
+    assert!(stdout.contains("s1> "), "stdout: {stdout}");
+    assert!(stdout.contains("view `Totals` materialized"));
+    assert!(stdout.contains("answered from [\"Totals\"]"));
+    assert!(stdout.contains("base-table cross-check: equivalent"));
+    // The EXPLAIN tail reports the live store identity...
+    assert!(
+        stdout.contains("store: epoch=") && stdout.contains("publishes="),
+        "stdout: {stdout}"
+    );
+    // ...and the final summary line reports the batching counters: 3
+    // write statements = 3 publishes (each acked before the next was
+    // submitted, so every batch has size 1).
+    assert!(
+        stdout.contains(
+            "-- store: sessions=2 epoch=3 schema-epoch=2 publishes=3 batches=3 \
+             batched-ops=3 mean-batch=1.0 max-batch=1"
+        ),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_session_count() {
+    let (_, stderr, ok) = run_cli(&["serve", "--sessions", "0"], "");
+    assert!(!ok);
+    assert!(stderr.contains("--sessions"), "stderr: {stderr}");
+}
+
+#[test]
+fn bench_concurrent_smoke() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "bench-concurrent",
+            "--readers",
+            "2",
+            "--writers",
+            "1",
+            "--millis",
+            "40",
+        ],
+        "",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("bench-concurrent: readers=2 writers=1 millis=40"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("reads:"), "stdout: {stdout}");
+    assert!(stdout.contains("writes:"), "stdout: {stdout}");
+    assert!(stdout.contains("store:  epoch="), "stdout: {stdout}");
+}
+
+#[test]
 fn expand_flag_enables_footnote3() {
     let script = "
 CREATE TABLE R1 (A, B, C);

@@ -4,7 +4,9 @@
 //! range across the whole engine-configuration lattice, plus a replay of
 //! the persisted corpus so previously interesting cases stay green.
 
-use aggview_qcheck::{check_case, corpus, run_range, CaseConfig};
+use aggview_qcheck::{
+    check_case, check_case_sessions, corpus, run_range, run_range_sessions, CaseConfig,
+};
 use std::path::Path;
 
 /// Every seed in a short range must be discrepancy-free across the full
@@ -22,6 +24,26 @@ fn short_seed_range_is_discrepancy_free() {
     }
 }
 
+/// The same seeds through the multi-session interleaved replay: the
+/// statement stream round-robined across 2 (then 3) handles of one shared
+/// store must reach exactly the same verdicts as the single-session
+/// oracle. This is the deterministic cross-handle coverage — per-handle
+/// plan caches invalidating off another handle's DDL, snapshots tracking
+/// acked writes, store-wide write policy.
+#[test]
+fn short_seed_range_is_discrepancy_free_across_sessions() {
+    let cfg = CaseConfig::default();
+    for sessions in [2usize, 3] {
+        match run_range_sessions(0..12, &cfg, sessions) {
+            Ok(checked) => assert_eq!(checked, 12),
+            Err(f) => panic!(
+                "seed {} failed with {sessions} sessions: {}\nshrunk to:\n{}",
+                f.seed, f.discrepancy, f.shrunk
+            ),
+        }
+    }
+}
+
 /// Replay the persisted corpus. Each file is a plain SQL script that once
 /// exposed (or characterizes) a tricky interaction; a discrepancy here is a
 /// regression.
@@ -36,6 +58,18 @@ fn corpus_replays_without_regressions() {
     for (name, case) in cases {
         if let Err(d) = check_case(&case) {
             panic!("corpus case {name} regressed: {d}\n{case}");
+        }
+    }
+}
+
+/// The corpus again, through the 2-handle interleaved replay.
+#[test]
+fn corpus_replays_without_regressions_across_sessions() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("corpus files parse");
+    for (name, case) in cases {
+        if let Err(d) = check_case_sessions(&case, 2) {
+            panic!("corpus case {name} regressed under 2 sessions: {d}\n{case}");
         }
     }
 }

@@ -359,3 +359,93 @@ fn create_view_between_cache_hits_is_never_stale() {
         "answer after INSERT does not reflect the new row: {a5}"
     );
 }
+
+/// The same stale-plan race across two handles of one shared store: handle
+/// A caches a base-table plan; handle B (a different session with its own
+/// plan cache) lands a covering CREATE VIEW through the store's writer
+/// thread. A's next issue of the query must not be served by its cached
+/// base-table plan — the store's schema epoch, synced on every read, has
+/// to invalidate A's private cache even though A itself ran no DDL.
+#[test]
+fn create_view_on_other_handle_invalidates_cached_plan() {
+    use aggview::server::SharedStore;
+    use aggview::sql::parse_query;
+
+    let store = SharedStore::with_defaults();
+    let mut a = store.session(SessionOptions {
+        verify: true,
+        ..SessionOptions::default()
+    });
+    let mut b = store.session(SessionOptions::default());
+
+    a.execute(&Statement::CreateTable(CreateTable {
+        name: "R".into(),
+        columns: vec!["A".into(), "B".into()],
+        keys: Vec::new(),
+    }))
+    .expect("create table");
+    a.execute(&Statement::Insert(Insert {
+        table: "R".into(),
+        rows: vec![
+            vec![Literal::Int(0), Literal::Int(1)],
+            vec![Literal::Int(0), Literal::Int(2)],
+            vec![Literal::Int(1), Literal::Int(3)],
+        ],
+    }))
+    .expect("insert");
+
+    let q = Statement::Select(parse_query("SELECT A, SUM(B) FROM R GROUP BY A").unwrap());
+    let select = |session: &mut Session, q: &Statement| {
+        let StatementOutcome::Answer {
+            relation,
+            views_used,
+            ..
+        } = session.execute(q).expect("select")
+        else {
+            panic!("expected an answer")
+        };
+        (relation, views_used)
+    };
+
+    // Handle A: miss then hit, both base-table plans.
+    let (a1, used1) = select(&mut a, &q);
+    assert!(used1.is_empty());
+    let (a2, _) = select(&mut a, &q);
+    assert_eq!(a.plan_cache().hits(), 1);
+    assert_eq!(a1.sorted_rows(), a2.sorted_rows());
+
+    // Handle B defines a covering view. A never sees this statement —
+    // only the published snapshot's schema epoch.
+    b.execute(&Statement::CreateView(CreateView {
+        name: "V".into(),
+        query: parse_query("SELECT A, SUM(B) AS S, COUNT(B) AS N FROM R GROUP BY A").unwrap(),
+    }))
+    .expect("create view on handle B");
+
+    // A's re-issue must re-plan against the new snapshot: no new hit, the
+    // answer now comes from V, rows unchanged.
+    let (a3, used3) = select(&mut a, &q);
+    assert_eq!(
+        a.plan_cache().hits(),
+        1,
+        "handle A served a plan compiled against the pre-view catalog epoch"
+    );
+    assert!(
+        used3.contains(&"V".to_string()),
+        "handle A's re-plan ignored the view created by handle B (used {used3:?})"
+    );
+    assert_eq!(a1.sorted_rows(), a3.sorted_rows());
+
+    // And A's fresh view-backed plan still tracks writes from B.
+    b.execute(&Statement::Insert(Insert {
+        table: "R".into(),
+        rows: vec![vec![Literal::Int(1), Literal::Int(4)]],
+    }))
+    .expect("insert on handle B");
+    let (a4, _) = select(&mut a, &q);
+    use aggview::engine::Value as V;
+    assert!(
+        a4.rows.contains(&vec![V::Int(1), V::Int(7)]),
+        "handle A's answer does not reflect handle B's insert: {a4}"
+    );
+}
