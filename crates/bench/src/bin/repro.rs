@@ -9,6 +9,8 @@
 //!                         # grouped-index probe-vs-scan)
 //!   repro --json s3       # also write BENCH_3.json (concurrent shared-store
 //!                         # read scaling + write batching)
+//!   repro --json s4       # also write BENCH_4.json (warm-serving overhead
+//!                         # of the observability layer, obs on vs. --no-obs)
 
 use aggview_bench::experiments as exp;
 use aggview_bench::experiments::SearchPoint;
@@ -138,6 +140,41 @@ fn concurrent_json(points: &[serving::ConcurrentPoint]) -> String {
     )
 }
 
+/// Hand-rolled JSON for the S4 observability-overhead points. The
+/// top-level `max_overhead_pct` is what the acceptance gate reads: the
+/// observability layer must cost ≤ 5% warm-serving latency.
+fn obs_overhead_json(points: &[serving::ObsOverheadPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"label\": \"{}\", \"write_pct\": {}, \"obs_on_us\": {:.2}, \
+                 \"obs_off_us\": {:.2}, \"overhead_pct\": {:.2}, \"queries_counted\": {}, \
+                 \"exec_stage_samples\": {}}}",
+                p.label,
+                p.write_pct,
+                p.obs_on_us,
+                p.obs_off_us,
+                p.overhead_pct(),
+                p.queries_counted,
+                p.stage_samples,
+            )
+        })
+        .collect();
+    let max_overhead = points
+        .iter()
+        .map(|p| p.overhead_pct())
+        .fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "{{\n  \"max_overhead_pct\": {max_overhead:.2},\n  \
+         \"acceptance\": \"max_overhead_pct <= 5.0\",\n  \
+         \"method\": \"per-rep alternation of obs-on/obs-off sessions over the warm S1 \
+         stream; minimum over reps per configuration (discards scheduling spikes)\",\n  \
+         \"obs_overhead\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -171,6 +208,12 @@ fn main() {
         let doc = concurrent_json(&serving::concurrent_points(full));
         let path = "BENCH_3.json";
         std::fs::write(path, &doc).expect("write BENCH_3.json");
+        println!("wrote {path}");
+    }
+    if json && want("s4") {
+        let doc = obs_overhead_json(&serving::obs_overhead_points(full));
+        let path = "BENCH_4.json";
+        std::fs::write(path, &doc).expect("write BENCH_4.json");
         println!("wrote {path}");
     }
 
@@ -227,6 +270,9 @@ fn main() {
     }
     if want("s3") {
         tables.push(serving::s3_concurrent(full));
+    }
+    if want("s4") {
+        tables.push(serving::s4_obs_overhead(full));
     }
 
     for t in &tables {

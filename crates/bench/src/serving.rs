@@ -22,10 +22,17 @@
 //!   handles stream single-row inserts through the batching writer
 //!   thread. Reports read scaling across reader counts and write/batch
 //!   latency under contention.
+//! * **S4 — observability overhead** (snapshotted to `BENCH_4.json`):
+//!   the warm S1 stream with the metrics registry attached versus
+//!   `--no-obs`. Runs alternate configurations within each repetition
+//!   and keep the per-configuration minimum, so clock drift and
+//!   scheduling spikes hit both sides equally; the acceptance bar is
+//!   ≤ 5% warm-path overhead with observability on.
 //!
 //! [`GroupIndex`]: aggview::engine::GroupIndex
 
 use crate::report::Table;
+use aggview::obs::{CounterId, Stage};
 use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions};
 use aggview_sql::{parse_script, Statement};
@@ -437,6 +444,126 @@ pub fn concurrent_points(full: bool) -> Vec<ConcurrentPoint> {
         .collect()
 }
 
+/// One measured observability-overhead scenario: the same warm serving
+/// stream with the metrics registry attached vs. disabled.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadPoint {
+    /// Scenario name (matches the S1 scenarios).
+    pub label: String,
+    /// Percentage of loop iterations that issue an `INSERT` first.
+    pub write_pct: usize,
+    /// Best (minimum over repetitions) mean warm `SELECT` latency with
+    /// observability enabled, µs.
+    pub obs_on_us: f64,
+    /// Same, with observability disabled (no registry at all), µs.
+    pub obs_off_us: f64,
+    /// `queries` counter of the best obs-on run — proves every measured
+    /// select was accounted.
+    pub queries_counted: u64,
+    /// Execute-stage histogram sample count of that run.
+    pub stage_samples: u64,
+}
+
+impl ObsOverheadPoint {
+    /// Warm-path overhead of observability, percent (negative = noise in
+    /// favor of the instrumented run).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.obs_on_us / self.obs_off_us.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+/// A warm session with observability explicitly on or off.
+fn session_with_obs(script: &str, obs_enabled: bool) -> Session {
+    let stmts = parse_script(script).expect("setup script parses");
+    let mut options = SessionOptions::default();
+    options.obs.enabled = obs_enabled;
+    let mut session = Session::new(options);
+    session.run_script(&stmts).expect("setup script runs");
+    session
+}
+
+/// S4 data — observability overhead on the warm serving path.
+///
+/// Per repetition the obs-on and obs-off sessions run back to back (in
+/// that order, so any one-sided warmup effect penalizes the instrumented
+/// side, not the baseline); the reported latency per configuration is
+/// the minimum over repetitions, which discards scheduling spikes
+/// instead of averaging them in.
+pub fn obs_overhead_points(full: bool) -> Vec<ObsOverheadPoint> {
+    let (rows, iters, reps) = if full {
+        (20_000, 1_000, 7)
+    } else {
+        (2_000, 300, 5)
+    };
+    let (regions, products) = (12, 6);
+    let script = setup_script(rows, regions, products);
+    let queries = query_stream(regions);
+    let writes = write_stream(regions, products);
+    [("read-only", 0usize), ("10% writes", 10)]
+        .iter()
+        .map(|&(label, write_pct)| {
+            let write_every = if write_pct == 0 { 0 } else { 100 / write_pct };
+            let mut obs_on_us = f64::INFINITY;
+            let mut obs_off_us = f64::INFINITY;
+            let mut queries_counted = 0u64;
+            let mut stage_samples = 0u64;
+            for _ in 0..reps {
+                let mut on = session_with_obs(&script, true);
+                let (on_us, _) = drive(&mut on, &queries, &writes, iters, write_every);
+                let mut off = session_with_obs(&script, false);
+                let (off_us, _) = drive(&mut off, &queries, &writes, iters, write_every);
+                if on_us < obs_on_us {
+                    obs_on_us = on_us;
+                    if let Some(snap) = on.obs_snapshot() {
+                        queries_counted = snap.counter(CounterId::Queries);
+                        stage_samples = snap
+                            .stages
+                            .iter()
+                            .find(|s| s.stage == Stage::Execute)
+                            .map(|s| s.hist.count)
+                            .unwrap_or(0);
+                    }
+                }
+                obs_off_us = obs_off_us.min(off_us);
+            }
+            ObsOverheadPoint {
+                label: label.to_string(),
+                write_pct,
+                obs_on_us,
+                obs_off_us,
+                queries_counted,
+                stage_samples,
+            }
+        })
+        .collect()
+}
+
+/// S4 — observability overhead on the warm serving path.
+pub fn s4_obs_overhead(full: bool) -> Table {
+    let mut table = Table::new(
+        "S4 — warm serving latency, observability on vs. off",
+        &[
+            "scenario",
+            "obs on us",
+            "obs off us",
+            "overhead %",
+            "queries",
+            "exec samples",
+        ],
+    );
+    for p in obs_overhead_points(full) {
+        table.push(vec![
+            p.label.clone(),
+            format!("{:.2}", p.obs_on_us),
+            format!("{:.2}", p.obs_off_us),
+            format!("{:+.1}%", p.overhead_pct()),
+            p.queries_counted.to_string(),
+            p.stage_samples.to_string(),
+        ]);
+    }
+    table
+}
+
 /// S2 — grouped-index probe vs. scan on view point lookups.
 pub fn s2_probe(full: bool) -> Table {
     let mut table = Table::new(
@@ -528,6 +655,29 @@ mod tests {
         assert!(p.writes > 0, "writer made progress");
         assert!(p.publishes > 0 && p.mean_batch >= 1.0);
         assert!(p.write_us > 0.0);
+    }
+
+    #[test]
+    fn obs_overhead_point_smoke() {
+        // Tiny scale: assert the harness accounts every measured select
+        // (iters + warmup pass) and produces positive latencies on both
+        // sides. The ≤5% acceptance bar is checked at repro scale, not
+        // here — at 40 iterations the numbers are noise.
+        let script = setup_script(200, 12, 6);
+        let queries = query_stream(12);
+        let writes = write_stream(12, 6);
+        let mut on = session_with_obs(&script, true);
+        let (on_us, _) = drive(&mut on, &queries, &writes, 40, 10);
+        let mut off = session_with_obs(&script, false);
+        let (off_us, _) = drive(&mut off, &queries, &writes, 40, 10);
+        assert!(on_us > 0.0 && off_us > 0.0);
+        let snap = on.obs_snapshot().expect("obs-on session has a registry");
+        assert_eq!(
+            snap.counter(CounterId::Queries),
+            40 + queries.len() as u64,
+            "every select (measured + warmup) is accounted"
+        );
+        assert!(off.obs_snapshot().is_none(), "obs-off has no registry");
     }
 
     #[test]

@@ -238,41 +238,81 @@ impl RewriteStats {
         }
     }
 
+    /// This search's counters as an observability section. The obs crate
+    /// sits below core, so the conversion lives here.
+    pub fn search_section(&self) -> aggview_obs::SearchSection {
+        aggview_obs::SearchSection {
+            states_expanded: self.states_expanded,
+            candidates_prefiltered: self.candidates_prefiltered,
+            candidates_attempted: self.candidates_attempted,
+            mappings_enumerated: self.mappings_enumerated,
+            rewritings: self.rewritings,
+            closure_cache_hits: self.closure_cache_hits,
+            closure_cache_misses: self.closure_cache_misses,
+            prepare_ns: self.prepare_time.as_nanos().min(u64::MAX as u128) as u64,
+            search_ns: self.search_time.as_nanos().min(u64::MAX as u128) as u64,
+            threads: self.threads,
+        }
+    }
+
+    /// The session plan-cache counters as an observability section.
+    pub fn plan_cache_section(&self) -> aggview_obs::PlanCacheSection {
+        aggview_obs::PlanCacheSection {
+            hits: self.plan_cache_hits,
+            misses: self.plan_cache_misses,
+            invalidations: self.plan_cache_invalidations,
+        }
+    }
+
+    /// The shared-store counters as an observability section.
+    pub fn store_section(&self) -> aggview_obs::StoreSection {
+        aggview_obs::StoreSection {
+            attached: self.store_attached,
+            epoch: self.store_epoch,
+            schema_epoch: self.store_schema_epoch,
+            publishes: self.store_publishes,
+            batches: self.store_batches,
+            batched_ops: self.store_batched_ops,
+            max_batch: self.store_max_batch,
+        }
+    }
+
+    /// Fold this search's counters and timings into a metrics registry:
+    /// the per-search work counters become cumulative registry counters,
+    /// and the prepare+search wall time is one observation in the
+    /// `rewrite` stage histogram.
+    pub fn record_into(&self, registry: &aggview_obs::MetricsRegistry) {
+        use aggview_obs::CounterId as C;
+        registry.add(C::RewriteStates, self.states_expanded as u64);
+        registry.add(C::RewritePrefiltered, self.candidates_prefiltered as u64);
+        registry.add(C::RewriteAttempted, self.candidates_attempted as u64);
+        registry.add(C::RewriteMappings, self.mappings_enumerated as u64);
+        registry.add(C::RewriteEmitted, self.rewritings as u64);
+        registry.add(C::ClosureHits, self.closure_cache_hits);
+        registry.add(C::ClosureMisses, self.closure_cache_misses);
+        let total = self.prepare_time + self.search_time;
+        registry.observe_ns(
+            aggview_obs::Stage::Rewrite,
+            total.as_nanos().min(u64::MAX as u128) as u64,
+        );
+    }
+
     /// A one-line human-readable summary (used by the CLI's `:stats`).
+    /// Delegates to [`aggview_obs::SearchSection::summary`] — the single
+    /// renderer shared with `ObsSnapshot`.
     pub fn summary(&self) -> String {
-        format!(
-            "states={} candidates={} (prefiltered {}, attempted {}) mappings={} \
-             rewritings={} closure-cache={:.0}% hit threads={} \
-             prepare={:.1}ms search={:.1}ms",
-            self.states_expanded,
-            self.candidates_prefiltered + self.candidates_attempted,
-            self.candidates_prefiltered,
-            self.candidates_attempted,
-            self.mappings_enumerated,
-            self.rewritings,
-            self.closure_hit_rate() * 100.0,
-            self.threads,
-            self.prepare_time.as_secs_f64() * 1e3,
-            self.search_time.as_secs_f64() * 1e3,
-        )
+        self.search_section().summary()
     }
 
     /// One-line plan-cache summary (`hits/misses/invalidations` are
     /// session-cumulative, unlike the per-search counters above).
     pub fn plan_cache_summary(&self) -> String {
-        format!(
-            "plan-cache: {} hit(s), {} miss(es), {} invalidation(s)",
-            self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_invalidations
-        )
+        self.plan_cache_section().summary()
     }
 
     /// Mean write statements per store batch (0.0 before the first).
     pub fn store_mean_batch(&self) -> f64 {
-        if self.store_batches == 0 {
-            0.0
-        } else {
-            self.store_batched_ops as f64 / self.store_batches as f64
-        }
+        self.store_section().mean_batch()
     }
 
     /// One-line shared-store summary: the snapshot this query read
@@ -280,20 +320,7 @@ impl RewriteStats {
     /// write-batch counters. Sessions that own their state report
     /// `store: none`.
     pub fn store_summary(&self) -> String {
-        if !self.store_attached {
-            return "store: none (session-local state)".to_string();
-        }
-        format!(
-            "store: epoch={} schema-epoch={} publishes={} batches={} \
-             batched-ops={} mean-batch={:.1} max-batch={}",
-            self.store_epoch,
-            self.store_schema_epoch,
-            self.store_publishes,
-            self.store_batches,
-            self.store_batched_ops,
-            self.store_mean_batch(),
-            self.store_max_batch,
-        )
+        self.store_section().summary()
     }
 }
 

@@ -4,7 +4,9 @@ use crate::error::{EngineError, EngineResult};
 use crate::index::GroupIndex;
 use crate::relation::Relation;
 use aggview_catalog::SchemaSource;
+use aggview_obs::{CounterId, MetricsRegistry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A database instance. Materialized views are stored exactly like base
 /// tables — the paper's rewritten queries reference them by name in their
@@ -18,6 +20,10 @@ use std::collections::BTreeMap;
 pub struct Database {
     relations: BTreeMap<String, Relation>,
     indexes: BTreeMap<String, GroupIndex>,
+    /// The observability registry of the owning session or shared store.
+    /// Cloning a database (snapshotting) clones the `Arc`, so every
+    /// snapshot of a shared store reports into the one store registry.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Database {
@@ -80,6 +86,29 @@ impl Database {
     /// Iterate over `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
         self.relations.iter()
+    }
+
+    /// Attach the observability registry events in this database (index
+    /// probes, maintenance) should be recorded into.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Detach the registry (used when a session turns observability off).
+    pub fn clear_metrics(&mut self) {
+        self.metrics = None;
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Record `n` events on the attached registry (no-op when detached).
+    pub fn record(&self, id: CounterId, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.add(id, n);
+        }
     }
 
     /// Number of relations.

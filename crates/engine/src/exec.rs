@@ -543,6 +543,8 @@ impl PhysicalPlan {
     fn scan(&self, oi: usize, rel: &Relation, db: &Database) -> EngineResult<Vec<Vec<Value>>> {
         let locals = &self.local_preds[oi];
         if let Some(rows) = self.index_probe(oi, rel, db)? {
+            db.record(aggview_obs::CounterId::IndexProbes, 1);
+            db.record(aggview_obs::CounterId::IndexProbeRows, rows.len() as u64);
             return Ok(rows);
         }
         let mut rows = Vec::new();

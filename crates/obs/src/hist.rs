@@ -1,0 +1,209 @@
+//! Fixed-bucket log₂ latency histograms.
+//!
+//! Bucket `i` covers `[2^(i-1), 2^i - 1]` nanoseconds (bucket 0 holds
+//! exactly 0 ns), so 65 buckets span the whole `u64` range with no
+//! configuration and no allocation: recording is one index computation
+//! plus three relaxed atomic operations. Quantiles are read from a
+//! [`HistogramSnapshot`] and reported as the upper edge of the bucket the
+//! quantile falls in — a ≤ 2x overestimate by construction, which is the
+//! usual trade for allocation-free histograms (HdrHistogram makes the
+//! same one at lower resolution).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket 0 for 0 ns, buckets 1..=64 for each
+/// power-of-two range up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index of a nanosecond value: 0 for 0, else
+/// `floor(log2(ns)) + 1`.
+#[inline]
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+/// The inclusive upper edge of bucket `i` (`u64::MAX` for the last).
+pub(crate) fn bucket_upper_edge(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free log₂ histogram of nanosecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one latency.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded nanoseconds (saturating only at u64 wrap,
+    /// ~584 years of accumulated latency).
+    pub sum_ns: u64,
+    /// Largest recorded value, exact (not bucketed).
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// containing the `ceil(q * count)`-th sample, capped at the exact
+    /// observed maximum. 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_edge(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (upper bucket edge).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile (upper bucket edge).
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile (upper bucket edge).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 is its own bucket; 1 ns is the first nonzero bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Every power-of-two edge: 2^k opens bucket k+1, 2^k - 1 closes
+        // bucket k.
+        for k in 1..64u32 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge), k as usize + 1, "2^{k} opens a bucket");
+            assert_eq!(bucket_index(edge - 1), k as usize, "2^{k}-1 closes one");
+        }
+        // Saturation: u64::MAX lands in the last bucket, no panic.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for ns in [0u64, 1, 1, 100, 1000, 1000, 1000, 100_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.sum_ns, 103_102);
+        // The 4th sample (p50 of 8) is 100 -> bucket [64, 127].
+        assert_eq!(s.p50_ns(), 127);
+        // p99 rounds up to the last sample's bucket, capped at exact max.
+        assert_eq!(s.p99_ns(), 100_000.min(bucket_upper_edge(17)));
+    }
+
+    #[test]
+    fn saturation_at_u64_max() {
+        let h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.buckets[64], 1);
+        // Quantile of the top bucket reports the exact max, not 2^64-1
+        // rounded oddly.
+        assert_eq!(s.p50_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.p50_ns(), 0);
+        assert_eq!(s.p95_ns(), 0);
+        assert_eq!(s.p99_ns(), 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn durations_record() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().max_ns, 3_000);
+    }
+}

@@ -1,0 +1,400 @@
+//! The metrics registry: enum-indexed atomic counters, one latency
+//! histogram per pipeline stage, a shared monotonic clock anchor, and
+//! the slow-query ring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::ring::{SlowQuery, SlowQueryRing};
+use crate::ObsOptions;
+
+/// A pipeline stage with its own latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Lexing + parsing a statement.
+    Parse,
+    /// The view-rewrite search (prepare + enumeration).
+    Rewrite,
+    /// Plan selection and compilation to a physical plan.
+    Plan,
+    /// Executing the chosen plan.
+    Execute,
+    /// Incremental or recompute view maintenance after a write.
+    Maintain,
+    /// Applying one writer batch to the store (shared-store writer).
+    Apply,
+    /// Publishing a new store snapshot.
+    Publish,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Parse,
+        Stage::Rewrite,
+        Stage::Plan,
+        Stage::Execute,
+        Stage::Maintain,
+        Stage::Apply,
+        Stage::Publish,
+    ];
+
+    /// Stable lowercase name, used by both renderers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Rewrite => "rewrite",
+            Stage::Plan => "plan",
+            Stage::Execute => "execute",
+            Stage::Maintain => "maintain",
+            Stage::Apply => "apply",
+            Stage::Publish => "publish",
+        }
+    }
+}
+
+const STAGES: usize = Stage::ALL.len();
+
+/// A monotonic event counter (or, for the queue-depth pair, a gauge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Statements executed (any kind).
+    Statements,
+    /// SELECT queries served.
+    Queries,
+    /// Write statements (INSERT/DELETE) applied.
+    Writes,
+    /// Rewrite-search states expanded.
+    RewriteStates,
+    /// Candidate views discarded by the prefilter.
+    RewritePrefiltered,
+    /// Candidate views attempted in the search.
+    RewriteAttempted,
+    /// Column mappings enumerated.
+    RewriteMappings,
+    /// Complete rewritings emitted.
+    RewriteEmitted,
+    /// Closure-cache hits in the rewrite search.
+    ClosureHits,
+    /// Closure-cache misses in the rewrite search.
+    ClosureMisses,
+    /// Plan-cache hits.
+    PlanCacheHits,
+    /// Plan-cache misses.
+    PlanCacheMisses,
+    /// Plan-cache entries invalidated by schema changes.
+    PlanCacheInvalidations,
+    /// Physical plans compiled.
+    PlanCompiles,
+    /// Grouped-view index probes that answered an aggregate lookup.
+    IndexProbes,
+    /// Rows returned by index probes.
+    IndexProbeRows,
+    /// Views maintained incrementally (delta applied).
+    MaintainIncremental,
+    /// Views maintained by full recompute.
+    MaintainRecompute,
+    /// Queries that crossed the slow-query threshold.
+    SlowQueries,
+    /// Writer batches applied (shared store).
+    StoreBatches,
+    /// Individual write ops inside those batches.
+    StoreBatchedOps,
+    /// Snapshot publishes (shared store).
+    StorePublishes,
+    /// Current write-queue depth (gauge: add on submit, sub on drain).
+    WriteQueueDepth,
+    /// High-water mark of the write queue.
+    WriteQueueMax,
+}
+
+impl CounterId {
+    /// Every counter, in declaration order.
+    pub const ALL: [CounterId; 24] = [
+        CounterId::Statements,
+        CounterId::Queries,
+        CounterId::Writes,
+        CounterId::RewriteStates,
+        CounterId::RewritePrefiltered,
+        CounterId::RewriteAttempted,
+        CounterId::RewriteMappings,
+        CounterId::RewriteEmitted,
+        CounterId::ClosureHits,
+        CounterId::ClosureMisses,
+        CounterId::PlanCacheHits,
+        CounterId::PlanCacheMisses,
+        CounterId::PlanCacheInvalidations,
+        CounterId::PlanCompiles,
+        CounterId::IndexProbes,
+        CounterId::IndexProbeRows,
+        CounterId::MaintainIncremental,
+        CounterId::MaintainRecompute,
+        CounterId::SlowQueries,
+        CounterId::StoreBatches,
+        CounterId::StoreBatchedOps,
+        CounterId::StorePublishes,
+        CounterId::WriteQueueDepth,
+        CounterId::WriteQueueMax,
+    ];
+
+    /// Stable snake_case name; the Prometheus metric is
+    /// `aggview_<name>_total` (counters) or `aggview_<name>` (gauges).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::Statements => "statements",
+            CounterId::Queries => "queries",
+            CounterId::Writes => "writes",
+            CounterId::RewriteStates => "rewrite_states",
+            CounterId::RewritePrefiltered => "rewrite_candidates_prefiltered",
+            CounterId::RewriteAttempted => "rewrite_candidates_attempted",
+            CounterId::RewriteMappings => "rewrite_mappings",
+            CounterId::RewriteEmitted => "rewrite_rewritings",
+            CounterId::ClosureHits => "closure_cache_hits",
+            CounterId::ClosureMisses => "closure_cache_misses",
+            CounterId::PlanCacheHits => "plan_cache_hits",
+            CounterId::PlanCacheMisses => "plan_cache_misses",
+            CounterId::PlanCacheInvalidations => "plan_cache_invalidations",
+            CounterId::PlanCompiles => "plan_compiles",
+            CounterId::IndexProbes => "index_probes",
+            CounterId::IndexProbeRows => "index_probe_rows",
+            CounterId::MaintainIncremental => "maintain_incremental",
+            CounterId::MaintainRecompute => "maintain_recompute",
+            CounterId::SlowQueries => "slow_queries",
+            CounterId::StoreBatches => "store_batches",
+            CounterId::StoreBatchedOps => "store_batched_ops",
+            CounterId::StorePublishes => "store_publishes",
+            CounterId::WriteQueueDepth => "write_queue_depth",
+            CounterId::WriteQueueMax => "write_queue_max",
+        }
+    }
+
+    /// Gauges are exported without the `_total` suffix and typed `gauge`.
+    pub fn is_gauge(self) -> bool {
+        matches!(self, CounterId::WriteQueueDepth | CounterId::WriteQueueMax)
+    }
+}
+
+const COUNTERS: usize = CounterId::ALL.len();
+
+/// The per-session (or per-store) metrics registry.
+///
+/// All hot-path operations are relaxed atomic adds on fixed arrays; the
+/// only lock is inside the slow-query ring, taken only for queries that
+/// already crossed the slowness threshold.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Monotonic clock anchor, resolved once at construction so all span
+    /// timestamps in a session share one origin (deterministic ordering
+    /// for replay; see crate docs).
+    anchor: Instant,
+    counters: [AtomicU64; COUNTERS],
+    stages: [LatencyHistogram; STAGES],
+    ring: SlowQueryRing,
+    slow_threshold_ns: u64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(&ObsOptions::default())
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry configured from `opts`.
+    pub fn new(opts: &ObsOptions) -> Self {
+        MetricsRegistry {
+            anchor: Instant::now(),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            ring: SlowQueryRing::new(opts.slow_query_capacity),
+            slow_threshold_ns: opts.slow_query_threshold_ns(),
+        }
+    }
+
+    /// Nanoseconds since this registry's clock anchor.
+    pub fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counters[id as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Subtract `n` from a gauge-style counter (saturating via wrapping
+    /// add of the two's complement is avoided; fetch_sub is fine because
+    /// submit/drain are paired).
+    pub fn sub(&self, id: CounterId, n: u64) {
+        self.counters[id as usize].fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water-mark counter to at least `n`.
+    pub fn raise_max(&self, id: CounterId, n: u64) {
+        self.counters[id as usize].fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record a latency observation for a stage.
+    pub fn observe_ns(&self, stage: Stage, ns: u64) {
+        self.stages[stage as usize].record_ns(ns);
+    }
+
+    /// A snapshot of one stage's histogram.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[stage as usize].snapshot()
+    }
+
+    /// Start timing a stage; the returned guard records the elapsed time
+    /// when dropped (or at an explicit [`Span::finish`], which also
+    /// returns the elapsed nanoseconds).
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        Span {
+            registry: self,
+            stage,
+            start_ns: self.now_ns(),
+            done: false,
+        }
+    }
+
+    /// The configured slow-query threshold in nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns
+    }
+
+    /// Account one served query: bump the query counter and, if
+    /// `total_ns` crosses the threshold, push it into the slow-query
+    /// ring with its per-stage breakdown. The SQL text is a closure so
+    /// the fast path never pays for rendering it — only queries that are
+    /// already slow materialize their text.
+    pub fn note_query<F>(&self, fingerprint: u64, sql: F, total_ns: u64, stages: &[(Stage, u64)])
+    where
+        F: FnOnce() -> String,
+    {
+        self.incr(CounterId::Queries);
+        if total_ns >= self.slow_threshold_ns {
+            self.incr(CounterId::SlowQueries);
+            self.ring.push(fingerprint, &sql(), total_ns, stages);
+        }
+    }
+
+    /// The retained slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.ring.entries()
+    }
+}
+
+/// A drop guard that records the elapsed wall time of a scope into one
+/// stage's histogram.
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a MetricsRegistry,
+    stage: Stage,
+    start_ns: u64,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Stop the span now and return the elapsed nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.registry.now_ns().saturating_sub(self.start_ns);
+        self.registry.observe_ns(self.stage, ns);
+        self.done = true;
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let ns = self.registry.now_ns().saturating_sub(self.start_ns);
+            self.registry.observe_ns(self.stage, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_read() {
+        let r = MetricsRegistry::default();
+        r.incr(CounterId::Queries);
+        r.add(CounterId::Queries, 4);
+        assert_eq!(r.get(CounterId::Queries), 5);
+        assert_eq!(r.get(CounterId::Writes), 0);
+    }
+
+    #[test]
+    fn gauge_up_down_and_high_water() {
+        let r = MetricsRegistry::default();
+        r.add(CounterId::WriteQueueDepth, 3);
+        r.raise_max(CounterId::WriteQueueMax, 3);
+        r.sub(CounterId::WriteQueueDepth, 2);
+        r.raise_max(CounterId::WriteQueueMax, 1);
+        assert_eq!(r.get(CounterId::WriteQueueDepth), 1);
+        assert_eq!(r.get(CounterId::WriteQueueMax), 3);
+    }
+
+    #[test]
+    fn span_records_into_stage_histogram() {
+        let r = MetricsRegistry::default();
+        {
+            let _s = r.span(Stage::Execute);
+        }
+        let ns = r.span(Stage::Execute).finish();
+        let snap = r.stage_snapshot(Stage::Execute);
+        assert_eq!(snap.count, 2);
+        assert!(snap.max_ns >= ns);
+        assert_eq!(r.stage_snapshot(Stage::Parse).count, 0);
+    }
+
+    #[test]
+    fn note_query_thresholds_into_ring() {
+        let opts = ObsOptions {
+            slow_query_ms: 1,
+            ..ObsOptions::default()
+        };
+        let r = MetricsRegistry::new(&opts);
+        r.note_query(1, || "SELECT fast".to_string(), 10_000, &[]);
+        r.note_query(
+            2,
+            || "SELECT slow".to_string(),
+            2_000_000,
+            &[(Stage::Execute, 1_900_000)],
+        );
+        assert_eq!(r.get(CounterId::Queries), 2);
+        assert_eq!(r.get(CounterId::SlowQueries), 1);
+        let slow = r.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].fingerprint, 2);
+        assert_eq!(slow[0].sql, "SELECT slow");
+    }
+
+    #[test]
+    fn stage_and_counter_tables_are_consistent() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        // Names are unique (they become Prometheus metric names).
+        let mut names: Vec<_> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::ALL.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! The slow-query ring buffer.
+//!
+//! A bounded, mutex-protected deque of the most recent queries whose
+//! end-to-end serving time crossed the configured threshold. The mutex
+//! is acceptable here because by definition only already-slow queries
+//! touch it — the warm path never does.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::registry::Stage;
+
+/// One retained slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Monotonic sequence number (per ring), so eviction order is
+    /// testable and renderers can show recency.
+    pub seq: u64,
+    /// The query's canonical-form fingerprint (same hash the plan cache
+    /// keys on), so repeated shapes can be grouped.
+    pub fingerprint: u64,
+    /// The query text, truncated to a sane display length.
+    pub sql: String,
+    /// End-to-end serving time in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage breakdown captured at record time.
+    pub stages: Vec<(Stage, u64)>,
+}
+
+/// Longest SQL text retained per entry; the rest is elided.
+const MAX_SQL_LEN: usize = 200;
+
+#[derive(Debug, Default)]
+struct RingInner {
+    entries: VecDeque<SlowQuery>,
+    next_seq: u64,
+}
+
+/// A bounded ring of recent slow queries, oldest evicted first.
+#[derive(Debug)]
+pub struct SlowQueryRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+impl SlowQueryRing {
+    /// An empty ring retaining at most `capacity` entries (capacity 0
+    /// disables retention entirely).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity,
+        }
+    }
+
+    /// Record a slow query, evicting the oldest entry when full.
+    pub fn push(&self, fingerprint: u64, sql: &str, total_ns: u64, stages: &[(Stage, u64)]) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut sql_owned: String = sql.chars().take(MAX_SQL_LEN).collect();
+        if sql_owned.len() < sql.len() {
+            sql_owned.push('…');
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+        }
+        inner.entries.push_back(SlowQuery {
+            seq,
+            fingerprint,
+            sql: sql_owned,
+            total_ns,
+            stages: stages.to_vec(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.inner.lock().unwrap().entries.iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_oldest_first() {
+        let ring = SlowQueryRing::new(3);
+        for i in 0..5u64 {
+            ring.push(i, &format!("SELECT {i}"), i * 1000, &[]);
+        }
+        let entries = ring.entries();
+        assert_eq!(entries.len(), 3);
+        // Entries 0 and 1 were evicted; 2, 3, 4 remain, oldest first.
+        let fps: Vec<u64> = entries.iter().map(|e| e.fingerprint).collect();
+        assert_eq!(fps, vec![2, 3, 4]);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let ring = SlowQueryRing::new(0);
+        ring.push(7, "SELECT 1", 999, &[]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn long_sql_is_truncated() {
+        let ring = SlowQueryRing::new(1);
+        let long = "x".repeat(500);
+        ring.push(1, &long, 1, &[]);
+        let e = &ring.entries()[0];
+        assert!(e.sql.chars().count() <= MAX_SQL_LEN + 1);
+        assert!(e.sql.ends_with('…'));
+    }
+
+    #[test]
+    fn stage_breakdown_is_preserved() {
+        let ring = SlowQueryRing::new(2);
+        ring.push(
+            9,
+            "SELECT a",
+            5000,
+            &[(Stage::Rewrite, 3000), (Stage::Execute, 2000)],
+        );
+        let e = &ring.entries()[0];
+        assert_eq!(
+            e.stages,
+            vec![(Stage::Rewrite, 3000), (Stage::Execute, 2000)]
+        );
+    }
+}

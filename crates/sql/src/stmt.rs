@@ -63,6 +63,9 @@ pub enum Statement {
     Select(Query),
     /// Report, per view and mapping, why it is or is not usable.
     Explain(Query),
+    /// Run the query through the full serving path and report per-stage
+    /// timings and search counters instead of the rows.
+    ExplainAnalyze(Query),
     /// Suggest materialized views worth creating for this query.
     Suggest(Query),
 }
@@ -126,6 +129,9 @@ impl Parser {
             return self.delete().map(Statement::Delete);
         }
         if self.eat_keyword(Keyword::Explain) {
+            if self.eat_keyword(Keyword::Analyze) {
+                return self.query().map(Statement::ExplainAnalyze);
+            }
             return self.query().map(Statement::Explain);
         }
         if self.eat_keyword(Keyword::Suggest) {
@@ -284,6 +290,7 @@ impl fmt::Display for Statement {
             }
             Statement::Select(q) => write!(f, "{q}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
             Statement::Suggest(q) => write!(f, "SUGGEST {q}"),
         }
     }

@@ -80,6 +80,8 @@ pub enum Keyword {
     Values,
     /// `EXPLAIN`
     Explain,
+    /// `ANALYZE` (after `EXPLAIN`)
+    Analyze,
     /// `SUGGEST`
     Suggest,
     /// `DELETE`
@@ -116,6 +118,7 @@ impl Keyword {
             ("INTO", Keyword::Into),
             ("VALUES", Keyword::Values),
             ("EXPLAIN", Keyword::Explain),
+            ("ANALYZE", Keyword::Analyze),
             ("SUGGEST", Keyword::Suggest),
             ("DELETE", Keyword::Delete),
         ];
@@ -152,6 +155,7 @@ impl Keyword {
             Keyword::Into => "INTO",
             Keyword::Values => "VALUES",
             Keyword::Explain => "EXPLAIN",
+            Keyword::Analyze => "ANALYZE",
             Keyword::Suggest => "SUGGEST",
             Keyword::Delete => "DELETE",
         }
@@ -289,6 +293,7 @@ mod tests {
             Keyword::Into,
             Keyword::Values,
             Keyword::Explain,
+            Keyword::Analyze,
             Keyword::Suggest,
             Keyword::Delete,
         ] {

@@ -33,4 +33,27 @@ grep -q "S2 — view point lookups" <<<"$smoke"
 # across 2 handles of one shared store.
 cargo test -q --release --test concurrent_store
 ./target/release/qcheck --seeds 0..200 --sessions 2
+# Metrics smoke: run a script through `aggview metrics` and `serve
+# --metrics`, assert the pipeline counters landed, and validate every
+# exposed line against the Prometheus text format (comments are TYPE
+# declarations; samples are `name value` with a bare integer value).
+metrics_script='CREATE TABLE Sales (Region, Product, Amount);
+INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3);
+CREATE VIEW Totals AS SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;'
+scrape=$(./target/release/aggview metrics <<<"$metrics_script")
+grep -q '^aggview_statements_total 5$' <<<"$scrape"
+grep -q '^aggview_queries_total 2$' <<<"$scrape"
+grep -q '^aggview_plan_cache_hits_total 1$' <<<"$scrape"
+grep -q 'aggview_stage_duration_nanoseconds_bucket{stage="execute",le="+Inf"} 2' <<<"$scrape"
+bad=$(grep -Ev '^(# TYPE aggview_[a-z_]+ (counter|gauge|histogram)|aggview_[a-z_]+(\{[^}]*\})? [0-9]+)$' <<<"$scrape" || true)
+if [ -n "$bad" ]; then
+  echo "ci: invalid Prometheus exposition line(s):" >&2
+  printf '%s\n' "$bad" >&2
+  exit 1
+fi
+serve_scrape=$(./target/release/aggview serve --sessions 2 --metrics <<<"$metrics_script")
+grep -q '^aggview_store_publishes_total 3$' <<<"$serve_scrape"
+grep -q '^aggview_write_queue_depth 0$' <<<"$serve_scrape"
 echo "ci: all checks passed"

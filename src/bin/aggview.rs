@@ -4,10 +4,14 @@
 //!
 //! ```text
 //! aggview [FLAGS] [script.sql ...]      # no files: read stdin
-//! aggview serve [--sessions K] [FLAGS] [script.sql ...]
+//! aggview serve [--sessions K] [--metrics] [FLAGS] [script.sql ...]
 //!                                       # shared store, K session handles,
 //!                                       # statements round-robin across them
-//! aggview bench-concurrent [--readers N] [--writers M] [--millis T]
+//! aggview metrics [--human] [FLAGS] [script.sql ...]
+//!                                       # run a script silently, dump the
+//!                                       # observability snapshot (Prometheus
+//!                                       # text format unless --human)
+//! aggview bench-concurrent [--readers N] [--writers M] [--millis T] [--no-obs]
 //!                                       # in-process concurrent micro-bench
 //!
 //!   --verify         cross-check every rewritten answer against base tables
@@ -16,18 +20,24 @@
 //!   --no-multi       single-view rewritings only
 //!   --no-plan-cache  disable the serving-plan cache (full search per SELECT)
 //!   --no-view-index  do not build group indexes on materialized views
+//!   --no-obs         disable the observability layer entirely (no registry,
+//!                    no spans; EXPLAIN ANALYZE becomes an error)
+//!   --slow-ms N      slow-query ring threshold in milliseconds (default 100)
 //!   --interactive    REPL: read statements from stdin, execute per `;`
-//!                    (`:stats` toggles per-query rewrite-search counters)
+//!                    (`:stats` toggles per-query pipeline observability,
+//!                    `:metrics` dumps the session-cumulative snapshot)
 //! ```
 //!
 //! Script statements: `CREATE TABLE t (col, ..., KEY (col, ...))`,
 //! `CREATE VIEW v AS SELECT ...`, `INSERT INTO t VALUES (...), ...`,
-//! `SELECT ...`, `EXPLAIN SELECT ...` — semicolon-separated, `--` comments.
+//! `SELECT ...`, `EXPLAIN SELECT ...`, `EXPLAIN ANALYZE SELECT ...` —
+//! semicolon-separated, `--` comments.
 
+use aggview::obs::{Format, MetricsRegistry, ObsOptions, Stage};
 use aggview::rewrite::Strategy;
 use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions, StatementOutcome};
-use aggview::sql::parse_script;
+use aggview::sql::{parse_script, Statement};
 use aggview::state::WritePolicy;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
@@ -36,13 +46,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return serve(&argv[1..]),
+        Some("metrics") => return metrics(&argv[1..]),
         Some("bench-concurrent") => return bench_concurrent(&argv[1..]),
         _ => {}
     }
     let mut options = SessionOptions::default();
     let mut files: Vec<String> = Vec::new();
     let mut interactive = false;
-    for arg in argv {
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--verify" => options.verify = true,
             "--expand" => options.rewrite.enable_expand = true,
@@ -50,14 +62,21 @@ fn main() -> ExitCode {
             "--no-multi" => options.rewrite.multi_view = false,
             "--no-plan-cache" => options.plan_cache_cap = 0,
             "--no-view-index" => options.index_views = false,
+            "--no-obs" => options.obs.enabled = false,
+            "--slow-ms" => match parse_slow_ms(iter.next()) {
+                Some(ms) => options.obs.slow_query_ms = ms,
+                None => return ExitCode::FAILURE,
+            },
             "--interactive" | "-i" => interactive = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
-                            [--no-plan-cache] [--no-view-index] [--interactive] \
-                            [script.sql ...]\n       \
-                            aggview serve [--sessions K] [FLAGS] [script.sql ...]\n       \
-                            aggview bench-concurrent [--readers N] [--writers M] [--millis T]"
+                            [--no-plan-cache] [--no-view-index] [--no-obs] [--slow-ms N] \
+                            [--interactive] [script.sql ...]\n       \
+                            aggview serve [--sessions K] [--metrics] [FLAGS] [script.sql ...]\n       \
+                            aggview metrics [--human] [FLAGS] [script.sql ...]\n       \
+                            aggview bench-concurrent [--readers N] [--writers M] [--millis T] \
+                            [--no-obs]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -73,36 +92,17 @@ fn main() -> ExitCode {
         return repl(options);
     }
 
-    let mut source = String::new();
-    if files.is_empty() {
-        if std::io::stdin().read_to_string(&mut source).is_err() {
-            eprintln!("error: failed to read stdin");
-            return ExitCode::FAILURE;
-        }
-    } else {
-        for f in &files {
-            match std::fs::read_to_string(f) {
-                Ok(text) => {
-                    source.push_str(&text);
-                    source.push('\n');
-                }
-                Err(e) => {
-                    eprintln!("error: cannot read `{f}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-    }
-
-    let statements = match parse_script(&source) {
+    let source = match read_source(&files) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
-
+    // The session exists before parsing so the parse span lands in its
+    // registry — the Parse stage is part of the pipeline, not overhead.
     let mut session = Session::new(options);
+    let statements = match parse_timed(&source, session.metrics().map(|m| &**m)) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     for stmt in &statements {
         println!("aggview> {stmt}");
         match session.execute(stmt) {
@@ -117,15 +117,67 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse the `--slow-ms` operand (reports its own error).
+fn parse_slow_ms(value: Option<&String>) -> Option<u64> {
+    let parsed = value.and_then(|v| v.parse::<u64>().ok());
+    if parsed.is_none() {
+        eprintln!("error: --slow-ms needs a non-negative integer");
+    }
+    parsed
+}
+
+/// Concatenate the named script files, or read stdin when none given.
+fn read_source(files: &[String]) -> Result<String, ExitCode> {
+    let mut source = String::new();
+    if files.is_empty() {
+        if std::io::stdin().read_to_string(&mut source).is_err() {
+            eprintln!("error: failed to read stdin");
+            return Err(ExitCode::FAILURE);
+        }
+    } else {
+        for f in files {
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    source.push_str(&text);
+                    source.push('\n');
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read `{f}`: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+    }
+    Ok(source)
+}
+
+/// Parse a script under a `Parse` stage span (when a registry is
+/// attached), reporting parse errors to stderr.
+fn parse_timed(
+    source: &str,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<Statement>, ExitCode> {
+    let _span = metrics.map(|m| m.span(Stage::Parse));
+    match parse_script(source) {
+        Ok(s) => Ok(s),
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 /// `aggview serve`: execute a script against a [`SharedStore`] through K
 /// session handles, round-robin one statement per handle. Every handle
 /// shares the catalog, the materialized views, and the group indexes;
 /// each keeps a private plan cache. The tail line reports the store
-/// counters (epoch, publishes, batch sizes).
+/// counters (epoch, publishes, batch sizes); `--metrics` appends the
+/// store-wide observability snapshot in Prometheus text format.
 fn serve(args: &[String]) -> ExitCode {
     let mut options = SessionOptions::default();
     let mut files: Vec<String> = Vec::new();
     let mut sessions = 2usize;
+    let mut show_metrics = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -135,6 +187,12 @@ fn serve(args: &[String]) -> ExitCode {
             "--no-multi" => options.rewrite.multi_view = false,
             "--no-plan-cache" => options.plan_cache_cap = 0,
             "--no-view-index" => options.index_views = false,
+            "--no-obs" => options.obs.enabled = false,
+            "--metrics" => show_metrics = true,
+            "--slow-ms" => match parse_slow_ms(iter.next()) {
+                Some(ms) => options.obs.slow_query_ms = ms,
+                None => return ExitCode::FAILURE,
+            },
             "--sessions" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(k) if k >= 1 => sessions = k,
                 _ => {
@@ -149,39 +207,27 @@ fn serve(args: &[String]) -> ExitCode {
             file => files.push(file.to_string()),
         }
     }
-
-    let mut source = String::new();
-    if files.is_empty() {
-        if std::io::stdin().read_to_string(&mut source).is_err() {
-            eprintln!("error: failed to read stdin");
-            return ExitCode::FAILURE;
-        }
-    } else {
-        for f in &files {
-            match std::fs::read_to_string(f) {
-                Ok(text) => {
-                    source.push_str(&text);
-                    source.push('\n');
-                }
-                Err(e) => {
-                    eprintln!("error: cannot read `{f}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
+    if show_metrics && !options.obs.enabled {
+        eprintln!("error: --metrics needs observability enabled (drop --no-obs)");
+        return ExitCode::FAILURE;
     }
-    let statements = match parse_script(&source) {
+
+    let source = match read_source(&files) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
 
-    let store = SharedStore::new(WritePolicy {
-        index_views: options.index_views,
-        recompute_views: options.recompute_views,
-    });
+    let store = SharedStore::with_obs(
+        WritePolicy {
+            index_views: options.index_views,
+            recompute_views: options.recompute_views,
+        },
+        options.obs.clone(),
+    );
+    let statements = match parse_timed(&source, store.metrics().map(|m| &**m)) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     let mut handles: Vec<Session> = (0..sessions)
         .map(|_| store.session(options.clone()))
         .collect();
@@ -197,31 +243,81 @@ fn serve(args: &[String]) -> ExitCode {
         }
         println!();
     }
-    let stats = store.stats();
-    use std::sync::atomic::Ordering::Relaxed;
-    println!(
-        "-- store: sessions={} epoch={} schema-epoch={} publishes={} batches={} \
-         batched-ops={} mean-batch={:.1} max-batch={}",
-        sessions,
-        store.epoch(),
-        store.schema_epoch(),
-        stats.publishes.load(Relaxed),
-        stats.batches.load(Relaxed),
-        stats.batched_ops.load(Relaxed),
-        stats.mean_batch(),
-        stats.max_batch.load(Relaxed),
-    );
+    let summary = store.store_section().summary();
+    let tail = summary.strip_prefix("store: ").unwrap_or(&summary);
+    println!("-- store: sessions={sessions} {tail}");
+    if show_metrics {
+        if let Some(snap) = store.obs_snapshot() {
+            print!("{}", snap.render(Format::Prometheus));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `aggview metrics`: execute a script with per-statement output
+/// suppressed, then dump the session's observability snapshot. The dump
+/// is the whole of stdout, so it pipes straight into a scraper or
+/// `promtool check metrics`. `--human` renders the human form (stage
+/// latency table, slow queries) instead of Prometheus text exposition.
+fn metrics(args: &[String]) -> ExitCode {
+    let mut options = SessionOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut format = Format::Prometheus;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--verify" => options.verify = true,
+            "--expand" => options.rewrite.enable_expand = true,
+            "--paper-va" => options.rewrite.strategy = Strategy::PaperFaithful,
+            "--no-multi" => options.rewrite.multi_view = false,
+            "--no-plan-cache" => options.plan_cache_cap = 0,
+            "--no-view-index" => options.index_views = false,
+            "--human" => format = Format::Human,
+            "--slow-ms" => match parse_slow_ms(iter.next()) {
+                Some(ms) => options.obs.slow_query_ms = ms,
+                None => return ExitCode::FAILURE,
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let source = match read_source(&files) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut session = Session::new(options);
+    let statements = match parse_timed(&source, session.metrics().map(|m| &**m)) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    for stmt in &statements {
+        if let Err(e) = session.execute(stmt) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(snap) = session.obs_snapshot() else {
+        eprintln!("error: no observability registry attached");
+        return ExitCode::FAILURE;
+    };
+    print!("{}", snap.render(format));
     ExitCode::SUCCESS
 }
 
 /// `aggview bench-concurrent`: an in-process concurrent micro-benchmark.
 /// N reader handles hammer a warm aggregation query against their pinned
 /// snapshots while M writer handles stream single-row inserts; reports
-/// read/write throughput and the store's batching counters.
+/// read/write throughput and the store's batching counters. `--no-obs`
+/// runs without a metrics registry (the two runs bracket the
+/// observability overhead).
 fn bench_concurrent(args: &[String]) -> ExitCode {
     let mut readers = 4usize;
     let mut writers = 1usize;
     let mut millis = 250u64;
+    let mut obs = ObsOptions::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut num = |name: &str| -> Option<u64> {
@@ -244,6 +340,7 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => millis = n,
                 _ => return ExitCode::FAILURE,
             },
+            "--no-obs" => obs.enabled = false,
             flag => {
                 eprintln!("unknown flag `{flag}` (try --help)");
                 return ExitCode::FAILURE;
@@ -251,8 +348,12 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
         }
     }
 
-    let store = SharedStore::with_defaults();
-    let mut setup = store.session(SessionOptions::default());
+    let store = SharedStore::with_obs(WritePolicy::default(), obs.clone());
+    let session_options = || SessionOptions {
+        obs: obs.clone(),
+        ..SessionOptions::default()
+    };
+    let mut setup = store.session(session_options());
     let setup_sql = "CREATE TABLE Sales (Region, Product, Amount);
          CREATE VIEW Totals AS
            SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N
@@ -270,7 +371,7 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
 
     let mut threads = Vec::new();
     for r in 0..readers {
-        let mut session = store.session(SessionOptions::default());
+        let mut session = store.session(session_options());
         let stmt = read_stmt.clone();
         threads.push(
             std::thread::Builder::new()
@@ -287,7 +388,7 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
         );
     }
     for w in 0..writers {
-        let mut session = store.session(SessionOptions::default());
+        let mut session = store.session(session_options());
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bench-writer-{w}"))
@@ -316,8 +417,6 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
         writes += w;
     }
     let secs = millis as f64 / 1e3;
-    let stats = store.stats();
-    use std::sync::atomic::Ordering::Relaxed;
     println!("bench-concurrent: readers={readers} writers={writers} millis={millis}");
     println!(
         "reads:  {reads} ({:.0}/s total, {:.0}/s per reader)",
@@ -325,33 +424,44 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
         reads as f64 / secs / readers.max(1) as f64
     );
     println!("writes: {writes} ({:.0}/s total)", writes as f64 / secs);
-    println!(
-        "store:  epoch={} schema-epoch={} publishes={} batches={} batched-ops={} \
-         mean-batch={:.1} max-batch={}",
-        store.epoch(),
-        store.schema_epoch(),
-        stats.publishes.load(Relaxed),
-        stats.batches.load(Relaxed),
-        stats.batched_ops.load(Relaxed),
-        stats.mean_batch(),
-        stats.max_batch.load(Relaxed),
-    );
+    let summary = store.store_section().summary();
+    let tail = summary.strip_prefix("store: ").unwrap_or(&summary);
+    println!("store:  {tail}");
+    if let Some(snap) = store.obs_snapshot() {
+        for stage in &snap.stages {
+            let h = &stage.hist;
+            println!(
+                "stage:  {} count={} p50={} p95={} p99={} max={}",
+                stage.stage.name(),
+                h.count,
+                h.p50_ns(),
+                h.p95_ns(),
+                h.p99_ns(),
+                h.max_ns,
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
 /// Line-based REPL: statements accumulate until a terminating `;`; errors
 /// are reported without ending the session. `quit` / `exit` / EOF leave;
-/// `:stats` toggles a per-query line with the rewrite-search counters
-/// (states expanded, candidates prefiltered/attempted, closure-cache hit
-/// rate, threads, per-phase wall times).
-fn repl(options: SessionOptions) -> ExitCode {
+/// `:stats` toggles a per-query observability block (rewrite-search
+/// counters, plan-cache and store sections, per-stage timings);
+/// `:metrics` dumps the session-cumulative snapshot on demand.
+fn repl(mut options: SessionOptions) -> ExitCode {
+    // Per-query snapshots power the `:stats` toggle; attaching them is
+    // cheap (a handful of section structs per answer).
+    if options.obs.enabled {
+        options.obs.attach_answers = true;
+    }
     let mut session = Session::new(options);
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut show_stats = false;
     eprintln!(
         "aggview interactive session — end statements with `;`, `:stats` to toggle \
-         search counters, `quit` to leave"
+         per-query observability, `:metrics` to dump the session snapshot, `quit` to leave"
     );
     loop {
         let prompt = if buffer.trim().is_empty() {
@@ -379,21 +489,41 @@ fn repl(options: SessionOptions) -> ExitCode {
             eprintln!("search stats {}", if show_stats { "on" } else { "off" });
             continue;
         }
+        if buffer.trim().is_empty() && trimmed == ":metrics" {
+            match session.obs_snapshot() {
+                Some(snap) => print!("{}", snap.render(Format::Human)),
+                None => eprintln!("observability is off (session started with --no-obs)"),
+            }
+            continue;
+        }
         buffer.push_str(&line);
         if !buffer.trim_end().ends_with(';') {
             continue;
         }
-        match parse_script(&buffer) {
+        let parsed = {
+            let registry = session.metrics().cloned();
+            let _span = registry.as_deref().map(|m| m.span(Stage::Parse));
+            parse_script(&buffer)
+        };
+        match parsed {
             Ok(stmts) => {
                 for stmt in &stmts {
                     match session.execute(stmt) {
                         Ok(outcome) => {
                             print!("{outcome}");
                             if show_stats {
-                                if let StatementOutcome::Answer { search, .. } = &outcome {
-                                    println!("-- search: {}", search.summary());
-                                    println!("-- {}", search.plan_cache_summary());
-                                    println!("-- {}", search.store_summary());
+                                if let StatementOutcome::Answer { search, obs, .. } = &outcome {
+                                    if let Some(snap) = obs {
+                                        for line in snap.render(Format::Human).lines() {
+                                            println!("-- {line}");
+                                        }
+                                    } else {
+                                        // Observability off: the legacy
+                                        // search-counter lines.
+                                        println!("-- search: {}", search.summary());
+                                        println!("-- {}", search.plan_cache_summary());
+                                        println!("-- {}", search.store_summary());
+                                    }
                                 }
                             }
                         }

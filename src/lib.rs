@@ -12,6 +12,9 @@
 //!   inference (Section 5 of the paper).
 //! * [`engine`] — an in-memory multiset (bag) semantics execution engine
 //!   used to materialize views, run queries, and decide multiset equality.
+//! * [`obs`] — the unified observability layer: metrics registry, log₂
+//!   latency histograms per pipeline stage, slow-query ring buffer, and
+//!   human/Prometheus rendering of one `ObsSnapshot`.
 //! * [`rewrite`] — the paper's contribution: usability conditions C1–C4 /
 //!   C2'–C4' and the rewriting algorithms S1–S4 / S1'–S5', multi-view
 //!   iteration, HAVING normalization, and set-semantics mode.
@@ -63,4 +66,5 @@ pub mod state;
 pub use aggview_catalog as catalog;
 pub use aggview_core as rewrite;
 pub use aggview_engine as engine;
+pub use aggview_obs as obs;
 pub use aggview_sql as sql;

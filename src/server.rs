@@ -34,6 +34,7 @@
 use crate::session::{err, Session, SessionError, SessionOptions};
 use crate::state::{Applied, EngineState, WritePolicy};
 use aggview_engine::snapshot::{SnapshotCell, StoreStats};
+use aggview_obs::{CounterId, MetricsRegistry, ObsOptions, ObsSnapshot, Stage, StoreSection};
 use aggview_sql::{CreateTable, CreateView, Delete, Insert};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender};
@@ -78,6 +79,11 @@ struct Shared {
     cell: SnapshotCell<StoreSnapshot>,
     stats: StoreStats,
     policy: WritePolicy,
+    /// The store-wide observability registry. One per store, shared by
+    /// every handle and every published snapshot (their databases clone
+    /// the `Arc`), so `serve --metrics` sees all sessions at once.
+    /// `None` when the store was created with observability disabled.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 struct StoreInner {
@@ -127,10 +133,23 @@ impl SharedStore {
     /// An empty store. `policy` fixes the store-wide maintenance policy
     /// (group indexes on materialized views, delta vs. recompute) — the
     /// materialized state is shared, so these cannot vary per handle.
+    /// Observability is on with the default [`ObsOptions`]; use
+    /// [`SharedStore::with_obs`] to configure or disable it.
     pub fn new(policy: WritePolicy) -> Self {
+        SharedStore::with_obs(policy, ObsOptions::default())
+    }
+
+    /// An empty store with an explicit observability configuration
+    /// (`obs.enabled = false` attaches no registry at all).
+    pub fn with_obs(policy: WritePolicy, obs: ObsOptions) -> Self {
+        let metrics = obs.enabled.then(|| Arc::new(MetricsRegistry::new(&obs)));
         let (tx, rx) = mpsc::channel::<WriteRequest>();
+        let mut initial_state = EngineState::new();
+        if let Some(m) = &metrics {
+            initial_state.db.set_metrics(Arc::clone(m));
+        }
         let initial = StoreSnapshot {
-            state: EngineState::new(),
+            state: initial_state,
             epoch: 0,
             schema_epoch: 0,
         };
@@ -138,6 +157,7 @@ impl SharedStore {
             cell: SnapshotCell::new(initial),
             stats: StoreStats::default(),
             policy,
+            metrics,
         });
         let writer = {
             let shared = Arc::clone(&shared);
@@ -174,6 +194,13 @@ impl SharedStore {
     /// published (read-your-writes for the submitting handle).
     pub fn submit(&self, op: WriteOp) -> Result<Applied, SessionError> {
         let (ack_tx, ack_rx) = mpsc::channel();
+        if let Some(m) = &self.inner.shared.metrics {
+            // Queue-depth gauge: up on submit, down when the writer
+            // drains the request (in `writer_loop`).
+            let depth = m.get(CounterId::WriteQueueDepth) + 1;
+            m.add(CounterId::WriteQueueDepth, 1);
+            m.raise_max(CounterId::WriteQueueMax, depth);
+        }
         self.tx
             .send(WriteRequest { op, ack: ack_tx })
             .map_err(|_| err("store writer thread is gone"))?;
@@ -201,6 +228,39 @@ impl SharedStore {
     pub fn policy(&self) -> WritePolicy {
         self.inner.shared.policy
     }
+
+    /// The store-wide observability registry, if observability is on.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.inner.shared.metrics.as_ref()
+    }
+
+    /// A store-wide observability snapshot: every registry counter, the
+    /// stage latency histograms, the slow-query ring, plus a store
+    /// section built from the live batching counters. This is what
+    /// `aggview serve --metrics` scrapes. `None` when the store was
+    /// created with observability disabled.
+    pub fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        let m = self.metrics()?;
+        let mut snap = ObsSnapshot::from_registry(m);
+        snap.store = Some(self.store_section());
+        Some(snap)
+    }
+
+    /// The live batching counters as an observability section (available
+    /// even when the registry is disabled — the store counters are not
+    /// part of the registry).
+    pub fn store_section(&self) -> StoreSection {
+        let s = self.stats();
+        StoreSection {
+            attached: true,
+            epoch: self.epoch(),
+            schema_epoch: self.schema_epoch(),
+            publishes: s.publishes.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_ops: s.batched_ops.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The single writer: drain the queue into batches, apply each batch to
@@ -208,6 +268,11 @@ impl SharedStore {
 /// anything, then ack every submitter.
 fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
     let mut master = EngineState::new();
+    if let Some(m) = &inner.metrics {
+        // The master database records maintenance events; every published
+        // clone inherits the same registry for reader-side index probes.
+        master.db.set_metrics(Arc::clone(m));
+    }
     let mut epoch = 0u64;
     let mut schema_epoch = 0u64;
     while let Ok(first) = rx.recv() {
@@ -215,6 +280,10 @@ fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
         while let Ok(req) = rx.try_recv() {
             batch.push(req);
         }
+        if let Some(m) = &inner.metrics {
+            m.sub(CounterId::WriteQueueDepth, batch.len() as u64);
+        }
+        let apply_span = inner.metrics.as_ref().map(|m| m.span(Stage::Apply));
         let mut results: Vec<Result<Applied, SessionError>> = Vec::with_capacity(batch.len());
         let mut applied = 0u64;
         for req in &batch {
@@ -227,9 +296,11 @@ fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
             }
             results.push(r);
         }
+        drop(apply_span);
         if applied > 0 {
             // One clone + publish for the whole batch: submitters are
             // acked only after this, so their next read sees the write.
+            let publish_span = inner.metrics.as_ref().map(|m| m.span(Stage::Publish));
             inner
                 .stats
                 .schema_epoch
@@ -239,8 +310,14 @@ fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
                 epoch: epoch + 1,
                 schema_epoch,
             }));
+            drop(publish_span);
             inner.stats.publishes.fetch_add(1, Ordering::Relaxed);
             inner.stats.note_batch(applied);
+            if let Some(m) = &inner.metrics {
+                m.incr(CounterId::StorePublishes);
+                m.incr(CounterId::StoreBatches);
+                m.add(CounterId::StoreBatchedOps, applied);
+            }
         }
         for (req, result) in batch.into_iter().zip(results) {
             let _ = req.ack.send(result);

@@ -36,12 +36,17 @@ use crate::state::{EngineState, WritePolicy};
 use aggview_core::advisor::suggest_views;
 use aggview_core::{Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, ViewDef};
 use aggview_engine::{execute, Database, PhysicalPlan, Relation};
+use aggview_obs::{
+    CounterId, Format, MetricsRegistry, ObsOptions, ObsSnapshot, QuerySection, Stage,
+};
 use aggview_sql::{Query, Statement};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Session configuration.
+/// Session configuration. Construct with [`SessionOptions::builder`],
+/// `Default`, or struct-update syntax — all three stay supported so the
+/// differential harness's options lattice keeps compiling unchanged.
 #[derive(Debug, Clone)]
 pub struct SessionOptions {
     /// Rewriter options (strategy, set mode, expand, ...).
@@ -63,6 +68,10 @@ pub struct SessionOptions {
     /// incremental-maintenance delta path (again a differential-harness
     /// lattice axis: delta and recompute must agree).
     pub recompute_views: bool,
+    /// Observability configuration: whether a metrics registry is
+    /// attached at all, the slow-query threshold and ring capacity, and
+    /// whether answers carry an [`ObsSnapshot`].
+    pub obs: ObsOptions,
 }
 
 impl Default for SessionOptions {
@@ -74,7 +83,73 @@ impl Default for SessionOptions {
             index_views: true,
             compile_plans: true,
             recompute_views: false,
+            obs: ObsOptions::default(),
         }
+    }
+}
+
+impl SessionOptions {
+    /// A fluent builder over the defaults.
+    pub fn builder() -> SessionOptionsBuilder {
+        SessionOptionsBuilder {
+            options: SessionOptions::default(),
+        }
+    }
+}
+
+/// Fluent construction of [`SessionOptions`]; every setter defaults to
+/// the [`Default`] value when not called.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptionsBuilder {
+    options: SessionOptions,
+}
+
+impl SessionOptionsBuilder {
+    /// Set the rewriter options.
+    pub fn rewrite(mut self, rewrite: RewriteOptions) -> Self {
+        self.options.rewrite = rewrite;
+        self
+    }
+
+    /// Cross-check every rewritten answer against base-table evaluation.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.options.verify = verify;
+        self
+    }
+
+    /// Maximum number of cached serving plans (0 disables the cache).
+    pub fn plan_cache_cap(mut self, cap: usize) -> Self {
+        self.options.plan_cache_cap = cap;
+        self
+    }
+
+    /// Attach group indexes to materialized `GROUP BY` views.
+    pub fn index_views(mut self, on: bool) -> Self {
+        self.options.index_views = on;
+        self
+    }
+
+    /// Compile single-block queries to physical plans.
+    pub fn compile_plans(mut self, on: bool) -> Self {
+        self.options.compile_plans = on;
+        self
+    }
+
+    /// Refresh dependent views by full recomputation.
+    pub fn recompute_views(mut self, on: bool) -> Self {
+        self.options.recompute_views = on;
+        self
+    }
+
+    /// Set the observability configuration.
+    pub fn obs(mut self, obs: ObsOptions) -> Self {
+        self.options.obs = obs;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SessionOptions {
+        self.options
     }
 }
 
@@ -107,6 +182,12 @@ pub enum StatementOutcome {
         /// `:stats` toggle). Boxed: the stats block is by far the largest
         /// field and would bloat every outcome otherwise.
         search: Box<RewriteStats>,
+        /// A per-query observability snapshot (stage timings, search and
+        /// cache sections). `None` unless the session's
+        /// [`ObsOptions::attach_answers`] is set or the statement was an
+        /// `EXPLAIN ANALYZE` (which forces it). Boxed for the same reason
+        /// as `search`.
+        obs: Option<Box<ObsSnapshot>>,
     },
     /// `EXPLAIN` output: one line per candidate.
     Explanation(Vec<String>),
@@ -125,6 +206,7 @@ impl fmt::Display for StatementOutcome {
                 elapsed_ms,
                 set_semantics: _,
                 search: _,
+                obs: _,
             } => {
                 if views_used.is_empty() {
                     writeln!(
@@ -192,30 +274,75 @@ pub struct Session {
     options: SessionOptions,
     backend: Backend,
     plan_cache: PlanCache,
+    /// The observability registry this session records into: its own for
+    /// a local session, the store-wide one for a shared handle, `None`
+    /// when observability is disabled.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Plan-cache invalidations already folded into the registry (the
+    /// cache counts cumulatively; the registry wants event deltas).
+    invalidations_synced: u64,
 }
 
 impl Session {
     /// A fresh session owning its own state.
     pub fn new(options: SessionOptions) -> Self {
         let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
+        let metrics = options
+            .obs
+            .enabled
+            .then(|| Arc::new(MetricsRegistry::new(&options.obs)));
+        let mut state = EngineState::new();
+        if let Some(m) = &metrics {
+            state.db.set_metrics(Arc::clone(m));
+        }
         Session {
             options,
-            backend: Backend::Local(EngineState::new()),
+            backend: Backend::Local(state),
             plan_cache,
+            metrics,
+            invalidations_synced: 0,
         }
     }
 
     /// A session handle on a shared store (prefer
     /// [`crate::server::SharedStore::session`]). The handle keeps its own
-    /// plan cache and rewrite options; state lives in the store.
+    /// plan cache and rewrite options; state lives in the store — as does
+    /// the metrics registry, so every handle's spans and counters land in
+    /// one store-wide view (what `serve --metrics` scrapes).
     pub fn on_store(store: SharedStore, options: SessionOptions) -> Self {
         let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
+        let metrics = if options.obs.enabled {
+            store.metrics().cloned()
+        } else {
+            None
+        };
         let snapshot = store.load();
         Session {
             options,
             backend: Backend::Shared { store, snapshot },
             plan_cache,
+            metrics,
+            invalidations_synced: 0,
         }
+    }
+
+    /// The registry this session records into, if observability is on.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// A full observability snapshot: every registry counter, the stage
+    /// latency histograms, the slow-query ring, plus this session's
+    /// plan-cache and store sections. `None` when observability is off.
+    pub fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        let m = self.metrics.as_ref()?;
+        let mut snap = ObsSnapshot::from_registry(m);
+        let mut stats = RewriteStats::default();
+        self.plan_cache.fill_stats(&mut stats);
+        self.fill_store_stats(&mut stats);
+        snap.plan_cache = Some(stats.plan_cache_section());
+        snap.store = Some(stats.store_section());
+        Some(snap)
     }
 
     /// The serving-plan cache (counters surface in `EXPLAIN` and the
@@ -277,6 +404,21 @@ impl Session {
             *snapshot = store.load();
             self.plan_cache.sync_epoch(snapshot.schema_epoch);
         }
+        self.sync_invalidation_metrics();
+    }
+
+    /// Fold plan-cache invalidations that happened since the last sync
+    /// into the registry (the cache tracks a cumulative count; several
+    /// handles can share one store registry, so only deltas are added).
+    fn sync_invalidation_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            let now = self.plan_cache.invalidations();
+            let delta = now.saturating_sub(self.invalidations_synced);
+            if delta > 0 {
+                m.add(CounterId::PlanCacheInvalidations, delta);
+                self.invalidations_synced = now;
+            }
+        }
     }
 
     /// Copy the pinned snapshot's identity and the store-cumulative
@@ -299,7 +441,10 @@ impl Session {
     /// for the publishing ack (shared).
     fn write(&mut self, op: WriteOp) -> Result<StatementOutcome, SessionError> {
         let policy = self.write_policy();
-        match &mut self.backend {
+        if let Some(m) = &self.metrics {
+            m.incr(CounterId::Writes);
+        }
+        let outcome = match &mut self.backend {
             Backend::Local(state) => {
                 let applied = match &op {
                     WriteOp::CreateTable(ct) => state.create_table(ct)?,
@@ -320,18 +465,24 @@ impl Session {
                 self.plan_cache.sync_epoch(snapshot.schema_epoch);
                 Ok(StatementOutcome::Ok(applied.message))
             }
-        }
+        };
+        self.sync_invalidation_metrics();
+        outcome
     }
 
     /// Execute one statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementOutcome, SessionError> {
+        if let Some(m) = &self.metrics {
+            m.incr(CounterId::Statements);
+        }
         match stmt {
             Statement::CreateTable(ct) => self.write(WriteOp::CreateTable(ct.clone())),
             Statement::CreateView(cv) => self.write(WriteOp::CreateView(cv.clone())),
             Statement::Insert(ins) => self.write(WriteOp::Insert(ins.clone())),
             Statement::Delete(del) => self.write(WriteOp::Delete(del.clone())),
-            Statement::Select(q) => self.select(q),
+            Statement::Select(q) => self.select(q, self.options.obs.attach_answers),
             Statement::Explain(q) => self.explain(q),
+            Statement::ExplainAnalyze(q) => self.explain_analyze(q),
             Statement::Suggest(q) => self.suggest(q),
         }
     }
@@ -344,24 +495,41 @@ impl Session {
         stmts.iter().map(|s| self.execute(s)).collect()
     }
 
-    /// Disjoint borrows of the read state, the plan cache, and the
-    /// options — what the select path needs simultaneously.
-    fn parts_mut(&mut self) -> (&EngineState, &mut PlanCache, &SessionOptions) {
+    /// Disjoint borrows of the read state, the plan cache, the options,
+    /// and the registry — what the select path needs simultaneously.
+    fn parts_mut(
+        &mut self,
+    ) -> (
+        &EngineState,
+        &mut PlanCache,
+        &SessionOptions,
+        Option<&MetricsRegistry>,
+    ) {
         let state = match &self.backend {
             Backend::Local(s) => s,
             Backend::Shared { snapshot, .. } => &snapshot.state,
         };
-        (state, &mut self.plan_cache, &self.options)
+        (
+            state,
+            &mut self.plan_cache,
+            &self.options,
+            self.metrics.as_deref(),
+        )
     }
 
-    fn select(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
+    fn select(&mut self, q: &Query, attach_obs: bool) -> Result<StatementOutcome, SessionError> {
         self.refresh();
         let mut outcome = {
-            let (state, plan_cache, options) = self.parts_mut();
-            select_on(state, plan_cache, options, q)?
+            let (state, plan_cache, options, metrics) = self.parts_mut();
+            select_on(state, plan_cache, options, metrics, attach_obs, q)?
         };
-        if let StatementOutcome::Answer { search, .. } = &mut outcome {
+        if let StatementOutcome::Answer { search, obs, .. } = &mut outcome {
             self.fill_store_stats(search);
+            // The store section is filled after the select path returns,
+            // so refresh it on the attached snapshot too.
+            if let Some(snap) = obs {
+                snap.store = Some(search.store_section());
+            }
         }
         Ok(outcome)
     }
@@ -379,15 +547,12 @@ impl Session {
             ]));
         }
         let mut lines: Vec<String> = reports.iter().map(|r| r.to_string()).collect();
-        // Tail line: what the full search does with these candidates.
+        // Tail: what the full search does with these candidates, the
+        // serving-cache status for this query, and the shared store (if
+        // any) — one ObsSnapshot, rendered by the shared renderer.
         let (_, search) = rewriter
             .rewrite_with_stats(q, &state.views)
             .map_err(|e| err(e.to_string()))?;
-        lines.push(format!("-- search: {}", search.summary()));
-        // Tail line: serving-cache status for this query and the
-        // session-cumulative counters.
-        let mut stats = RewriteStats::default();
-        self.plan_cache.fill_stats(&mut stats);
         let status = match cache_key(state, q) {
             Some(k) if self.plan_cache.peek(&k) => {
                 format!("cached (fingerprint {:016x})", k.fingerprint())
@@ -395,13 +560,53 @@ impl Session {
             Some(k) => format!("not cached (fingerprint {:016x})", k.fingerprint()),
             None => "uncacheable (outside the canonical fragment)".to_string(),
         };
-        lines.push(format!(
-            "-- {}; this query: {status}",
-            stats.plan_cache_summary()
-        ));
-        // Tail line: the shared store behind this session, if any.
+        let mut stats = RewriteStats::default();
+        self.plan_cache.fill_stats(&mut stats);
         self.fill_store_stats(&mut stats);
-        lines.push(format!("-- {}", stats.store_summary()));
+        let snap = ObsSnapshot {
+            search: Some(search.search_section()),
+            plan_cache: Some(stats.plan_cache_section()),
+            store: Some(stats.store_section()),
+            ..ObsSnapshot::default()
+        };
+        lines.extend(explain_tail_lines(&snap, Some(&status)));
+        Ok(StatementOutcome::Explanation(lines))
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query through the full serving path
+    /// (plan cache included) with an observability snapshot forced on,
+    /// and report per-stage timings plus the search counters instead of
+    /// the result rows.
+    fn explain_analyze(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
+        if self.metrics.is_none() {
+            return Err(err(
+                "EXPLAIN ANALYZE needs observability enabled (session started with --no-obs)",
+            ));
+        }
+        let outcome = self.select(q, true)?;
+        let StatementOutcome::Answer {
+            relation,
+            executed,
+            views_used,
+            candidates,
+            obs,
+            ..
+        } = outcome
+        else {
+            return Err(err("EXPLAIN ANALYZE: select path returned no answer"));
+        };
+        let mut lines = Vec::new();
+        if views_used.is_empty() {
+            lines.push("-- no usable view; evaluated against base tables".to_string());
+        } else {
+            lines.push(format!(
+                "-- answered from {views_used:?} ({candidates} candidate rewriting(s))"
+            ));
+        }
+        lines.push(format!("-- executed: {executed}"));
+        lines.push(format!("-- rows: {}", relation.len()));
+        let snap = obs.expect("metrics enabled forces an attached snapshot");
+        lines.extend(explain_tail_lines(&snap, None));
         Ok(StatementOutcome::Explanation(lines))
     }
 
@@ -440,6 +645,53 @@ fn cache_key(state: &EngineState, q: &Query) -> Option<CacheKey> {
     Some(CacheKey::new(&canon, q.output_names()))
 }
 
+/// Render an [`ObsSnapshot`] as `EXPLAIN`-style tail lines: the shared
+/// human renderer, each line `-- `-prefixed, with the per-query cache
+/// status appended to the plan-cache line when given.
+fn explain_tail_lines(snap: &ObsSnapshot, cache_status: Option<&str>) -> Vec<String> {
+    snap.render(Format::Human)
+        .lines()
+        .map(|l| match cache_status {
+            Some(status) if l.starts_with("plan-cache:") => {
+                format!("-- {l}; this query: {status}")
+            }
+            _ => format!("-- {l}"),
+        })
+        .collect()
+}
+
+/// Per-query observability bookkeeping at the end of the select path:
+/// account the query (and its slowness) on the registry and build the
+/// attached snapshot when requested.
+#[allow(clippy::too_many_arguments)]
+fn finish_query_obs(
+    metrics: Option<&MetricsRegistry>,
+    attach: bool,
+    q: &Query,
+    fingerprint: u64,
+    cached: bool,
+    total_ns: u64,
+    stages: &[(Stage, u64)],
+    search: &RewriteStats,
+) -> Option<Box<ObsSnapshot>> {
+    let m = metrics?;
+    m.note_query(fingerprint, || q.to_string(), total_ns, stages);
+    attach.then(|| {
+        Box::new(ObsSnapshot {
+            search: Some(search.search_section()),
+            plan_cache: Some(search.plan_cache_section()),
+            store: Some(search.store_section()),
+            query: Some(QuerySection {
+                fingerprint,
+                cached,
+                stages: stages.to_vec(),
+                total_ns,
+            }),
+            ..ObsSnapshot::default()
+        })
+    })
+}
+
 /// The full select path against one fixed state: plan-cache lookup,
 /// rewrite search, cost ranking, compilation, execution, caching. Shared
 /// by both backends — a local session passes its own state, a store
@@ -448,15 +700,29 @@ fn select_on(
     state: &EngineState,
     plan_cache: &mut PlanCache,
     options: &SessionOptions,
+    metrics: Option<&MetricsRegistry>,
+    attach_obs: bool,
     q: &Query,
 ) -> Result<StatementOutcome, SessionError> {
+    let total_start_ns = metrics.map(|m| m.now_ns());
     let key = cache_key(state, q);
+    let fingerprint = key.as_ref().map_or(0, |k| k.fingerprint());
     if let Some(k) = &key {
         // Hit path: no search, no cost ranking, no physical planning —
         // bind the stored relations and run. The entry is used by
         // reference (disjoint borrows), never cloned.
         if let Some(cached) = plan_cache.lookup(k) {
-            let t = std::time::Instant::now();
+            if let Some(m) = metrics {
+                m.incr(CounterId::PlanCacheHits);
+            }
+            // The warm path is the one the ≤5% observability-overhead
+            // budget protects, so it is timed with the registry clock
+            // alone: one read before execution, one read after — the
+            // second closes the execute stage, the end-to-end total,
+            // AND elapsed_ms. (The un-instrumented path keeps its own
+            // Instant pair.)
+            let exec_start_ns = metrics.map(|m| m.now_ns());
+            let t = metrics.is_none().then(std::time::Instant::now);
             let relation = match (&cached.plan, &cached.rewriting) {
                 (Some(plan), _) => plan.run(&state.db).map_err(|e| err(e.to_string()))?,
                 (None, Some(rw)) => {
@@ -464,7 +730,18 @@ fn select_on(
                 }
                 (None, None) => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
             };
-            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let (elapsed_ms, hit_timing) = match (metrics, exec_start_ns, total_start_ns) {
+                (Some(m), Some(exec_start), Some(total_start)) => {
+                    let end = m.now_ns();
+                    let exec_ns = end.saturating_sub(exec_start);
+                    m.observe_ns(Stage::Execute, exec_ns);
+                    (
+                        exec_ns as f64 / 1e6,
+                        Some((exec_ns, end.saturating_sub(total_start))),
+                    )
+                }
+                _ => (t.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3), None),
+            };
             let verified = match (options.verify, &cached.rewriting) {
                 (true, Some(rw)) => {
                     Some(rewriting_equivalent(q, rw, &state.db).map_err(|e| err(e.to_string()))?)
@@ -479,6 +756,17 @@ fn select_on(
             // session-cumulative cache counters.
             let mut search = RewriteStats::default();
             plan_cache.fill_stats(&mut search);
+            let hit_stages = hit_timing.map(|(exec_ns, _)| [(Stage::Execute, exec_ns)]);
+            let obs = finish_query_obs(
+                metrics,
+                attach_obs,
+                q,
+                fingerprint,
+                true,
+                hit_timing.map_or(0, |(_, total_ns)| total_ns),
+                hit_stages.as_ref().map_or(&[][..], |s| &s[..]),
+                &search,
+            );
             return Ok(StatementOutcome::Answer {
                 relation,
                 executed,
@@ -488,13 +776,25 @@ fn select_on(
                 elapsed_ms,
                 set_semantics,
                 search: Box::new(search),
+                obs,
             });
+        }
+        if let Some(m) = metrics {
+            m.incr(CounterId::PlanCacheMisses);
         }
     }
     let rewriter = Rewriter::with_options(&state.catalog, options.rewrite.clone());
     let (mut rewritings, mut search): (Vec<Rewriting>, RewriteStats) = rewriter
         .rewrite_with_stats(q, &state.views)
         .map_err(|e| err(e.to_string()))?;
+    if let Some(m) = metrics {
+        // Folds the search counters in and observes the rewrite stage
+        // with the search's own prepare+search wall time.
+        search.record_into(m);
+    }
+    let rewrite_ns = (search.prepare_time + search.search_time)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
     plan_cache.fill_stats(&mut search);
     let stats = state.table_stats();
     rewritings.sort_by(|a, b| {
@@ -507,16 +807,23 @@ fn select_on(
         None => {
             // Base-table answer. Compile once, run, and cache the
             // compiled plan for canonically identical arrivals.
+            let plan_span = metrics.map(|m| m.span(Stage::Plan));
             let plan = options
                 .compile_plans
                 .then(|| PhysicalPlan::compile(q, &state.db).ok())
                 .flatten();
+            let plan_ns = plan_span.map(|s| s.finish());
+            if let (Some(m), true) = (metrics, plan.is_some()) {
+                m.incr(CounterId::PlanCompiles);
+            }
+            let exec_span = metrics.map(|m| m.span(Stage::Execute));
             let t = std::time::Instant::now();
             let relation = match &plan {
                 Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
                 None => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
             };
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let exec_ns = exec_span.map(|s| s.finish());
             if let Some(k) = key {
                 let meta = AnswerMeta {
                     executed: q.to_string(),
@@ -526,6 +833,16 @@ fn select_on(
                 };
                 plan_cache.store(k, None, plan, meta, search.clone());
             }
+            let obs = finish_query_obs(
+                metrics,
+                attach_obs,
+                q,
+                fingerprint,
+                false,
+                total_ns_since(metrics, total_start_ns),
+                &miss_stage_timings(rewrite_ns, plan_ns, exec_ns),
+                &search,
+            );
             Ok(StatementOutcome::Answer {
                 relation,
                 executed: q.to_string(),
@@ -535,6 +852,7 @@ fn select_on(
                 elapsed_ms,
                 set_semantics: false,
                 search: Box::new(search),
+                obs,
             })
         }
         Some(best) => {
@@ -542,15 +860,22 @@ fn select_on(
             // the Nat table) is a single block over stored relations:
             // compile it once. Scaffolded rewritings cache without a
             // plan — the hit still skips the whole search.
+            let plan_span = metrics.map(|m| m.span(Stage::Plan));
             let plan = (options.compile_plans && best.aux_views.is_empty() && !best.requires_nat)
                 .then(|| PhysicalPlan::compile(&best.query, &state.db).ok())
                 .flatten();
+            let plan_ns = plan_span.map(|s| s.finish());
+            if let (Some(m), true) = (metrics, plan.is_some()) {
+                m.incr(CounterId::PlanCompiles);
+            }
+            let exec_span = metrics.map(|m| m.span(Stage::Execute));
             let t = std::time::Instant::now();
             let relation = match &plan {
                 Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
                 None => execute_rewriting(best, &state.db).map_err(|e| err(e.to_string()))?,
             };
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let exec_ns = exec_span.map(|s| s.finish());
             let verified = if options.verify {
                 Some(rewriting_equivalent(q, best, &state.db).map_err(|e| err(e.to_string()))?)
             } else {
@@ -568,6 +893,16 @@ fn select_on(
                 };
                 plan_cache.store(k, Some(best.clone()), plan, meta, search.clone());
             }
+            let obs = finish_query_obs(
+                metrics,
+                attach_obs,
+                q,
+                fingerprint,
+                false,
+                total_ns_since(metrics, total_start_ns),
+                &miss_stage_timings(rewrite_ns, plan_ns, exec_ns),
+                &search,
+            );
             Ok(StatementOutcome::Answer {
                 relation,
                 executed,
@@ -577,9 +912,35 @@ fn select_on(
                 elapsed_ms,
                 set_semantics,
                 search: Box::new(search),
+                obs,
             })
         }
     }
+}
+
+/// Elapsed registry-clock nanoseconds since `start_ns` (0 when
+/// observability is off).
+fn total_ns_since(metrics: Option<&MetricsRegistry>, start_ns: Option<u64>) -> u64 {
+    match (metrics, start_ns) {
+        (Some(m), Some(start)) => m.now_ns().saturating_sub(start),
+        _ => 0,
+    }
+}
+
+/// The per-query stage breakdown of a plan-cache miss, in pipeline order.
+fn miss_stage_timings(
+    rewrite_ns: u64,
+    plan_ns: Option<u64>,
+    exec_ns: Option<u64>,
+) -> Vec<(Stage, u64)> {
+    let mut stages = vec![(Stage::Rewrite, rewrite_ns)];
+    if let Some(ns) = plan_ns {
+        stages.push((Stage::Plan, ns));
+    }
+    if let Some(ns) = exec_ns {
+        stages.push((Stage::Execute, ns));
+    }
+    stages
 }
 
 #[cfg(test)]

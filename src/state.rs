@@ -275,10 +275,16 @@ impl EngineState {
     ) -> Result<usize, SessionError> {
         let mut changed: Vec<String> = vec![changed_table.to_string()];
         let mut incremental = 0usize;
+        let mut touched = 0usize;
+        let maintain_clock = self.db.metrics().cloned().map(|m| {
+            let start = m.now_ns();
+            (m, start)
+        });
         for v in &self.views {
             if !v.query.from.iter().any(|t| changed.contains(&t.table)) {
                 continue;
             }
+            touched += 1;
             let mut rel = self
                 .db
                 .get(&v.name)
@@ -311,11 +317,27 @@ impl EngineState {
                 false
             };
             incremental += took_incremental as usize;
+            self.db.record(
+                if took_incremental {
+                    aggview_obs::CounterId::MaintainIncremental
+                } else {
+                    aggview_obs::CounterId::MaintainRecompute
+                },
+                1,
+            );
             self.db.insert(v.name.clone(), rel);
             if let Some(i) = idx {
                 self.db.set_index(v.name.clone(), i);
             }
             changed.push(v.name.clone());
+        }
+        if touched > 0 {
+            if let Some((m, start)) = maintain_clock {
+                m.observe_ns(
+                    aggview_obs::Stage::Maintain,
+                    m.now_ns().saturating_sub(start),
+                );
+            }
         }
         Ok(incremental)
     }

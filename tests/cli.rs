@@ -162,6 +162,189 @@ fn bench_concurrent_smoke() {
     assert!(stdout.contains("store:  epoch="), "stdout: {stdout}");
 }
 
+/// Mask the unstable parts of an observability line so golden tests
+/// compare shape, not timings: whitespace collapses to single spaces,
+/// `fingerprint=<hex>` becomes `fingerprint=<FP>`, purely numeric
+/// duration tokens (`41.7µs`, `560ns`, `1.20s`) become `<T>`, and every
+/// remaining digit run becomes `#`.
+fn mask_obs_line(line: &str) -> String {
+    fn mask_token(token: &str) -> String {
+        if let Some(rest) = token.strip_prefix("fingerprint=") {
+            if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit()) {
+                return "fingerprint=<FP>".to_string();
+            }
+        }
+        for unit in ["ns", "µs", "ms", "s"] {
+            if let Some(prefix) = token.strip_suffix(unit) {
+                if !prefix.is_empty() && prefix.chars().all(|c| c.is_ascii_digit() || c == '.') {
+                    return "<T>".to_string();
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut in_digits = false;
+        for c in token.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('#');
+                    in_digits = true;
+                }
+            } else {
+                out.push(c);
+                in_digits = false;
+            }
+        }
+        out
+    }
+    line.split_whitespace()
+        .map(mask_token)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn explain_analyze_golden() {
+    // A warm EXPLAIN ANALYZE (the identical SELECT ran just before, so
+    // the serving plan is cached): with timings and fingerprints masked,
+    // the output shape is exact.
+    let script = "
+CREATE TABLE Sales (Region, Product, Amount);
+INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3);
+CREATE VIEW Totals AS
+  SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N
+  FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
+EXPLAIN ANALYZE SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
+";
+    let (stdout, stderr, ok) = run_cli(&[], script);
+    assert!(ok, "stderr: {stderr}");
+    let (_, tail) = stdout
+        .split_once("aggview> EXPLAIN ANALYZE")
+        .expect("EXPLAIN ANALYZE echoed");
+    let masked: Vec<String> = tail
+        .lines()
+        .filter(|l| l.starts_with("--"))
+        .map(mask_obs_line)
+        .collect();
+    let expected = [
+        "-- answered from [\"Totals\"] (# candidate rewriting(s))",
+        "-- executed: SELECT Totals.Region, SUM(Totals.T) FROM Totals GROUP BY Totals.Region",
+        "-- rows: #",
+        "-- query: fingerprint=<FP> plan=cached",
+        "-- execute <T>",
+        "-- total <T>",
+        "-- search: states=# candidates=# (prefiltered #, attempted #) mappings=# \
+         rewritings=# closure-cache=#% hit threads=# prepare=#.#ms search=#.#ms",
+        "-- plan-cache: # hit(s), # miss(es), # invalidation(s)",
+        "-- store: none (session-local state)",
+    ];
+    assert_eq!(masked, expected, "raw tail: {tail}");
+}
+
+#[test]
+fn explain_analyze_requires_obs() {
+    let script = "
+CREATE TABLE T (a);
+EXPLAIN ANALYZE SELECT a FROM T;
+";
+    let (_, stderr, ok) = run_cli(&["--no-obs"], script);
+    assert!(!ok);
+    assert!(
+        stderr.contains("EXPLAIN ANALYZE needs observability enabled"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn no_obs_flag_runs_clean() {
+    let (stdout, stderr, ok) = run_cli(&["--no-obs", "--verify"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("answered from [\"Totals\"]"));
+}
+
+#[test]
+fn metrics_subcommand_dumps_prometheus() {
+    let (stdout, stderr, ok) = run_cli(&["metrics"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    // Statement output is suppressed; the dump is the whole of stdout.
+    assert!(!stdout.contains("aggview>"), "stdout: {stdout}");
+    assert!(stdout.contains("# TYPE aggview_statements_total counter"));
+    assert!(
+        stdout.contains("aggview_statements_total 5"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("aggview_queries_total 1"),
+        "stdout: {stdout}"
+    );
+    // CREATE TABLE, INSERT, CREATE VIEW all route through the write path.
+    assert!(
+        stdout.contains("aggview_writes_total 3"),
+        "stdout: {stdout}"
+    );
+    // Stage histograms are exported in Prometheus histogram shape.
+    assert!(
+        stdout.contains("aggview_stage_duration_nanoseconds_bucket{stage=\"execute\",le=\"+Inf\"}"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("aggview_stage_duration_nanoseconds_count{stage=\"parse\"} 1"));
+    // Every exposed metric line is either a comment or `name value`.
+    for line in stdout.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE aggview_"), "bad comment: {line}");
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let name = parts.next().unwrap_or("");
+        let value = parts.next().unwrap_or("");
+        assert!(name.starts_with("aggview_"), "bad metric name: {line}");
+        assert!(
+            value.parse::<u64>().is_ok(),
+            "non-numeric sample value: {line}"
+        );
+        assert_eq!(parts.next(), None, "trailing tokens: {line}");
+    }
+}
+
+#[test]
+fn metrics_subcommand_human_format() {
+    let (stdout, stderr, ok) = run_cli(&["metrics", "--human"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("stage"), "stdout: {stdout}");
+    assert!(stdout.contains("slow queries"), "stdout: {stdout}");
+}
+
+#[test]
+fn serve_metrics_scrapes_store_registry() {
+    let (stdout, stderr, ok) = run_cli(&["serve", "--sessions", "2", "--metrics"], SCRIPT);
+    assert!(ok, "stderr: {stderr}");
+    // The serving transcript still prints, then the Prometheus dump.
+    assert!(stdout.contains("s0> "), "stdout: {stdout}");
+    assert!(
+        stdout.contains("aggview_store_publishes_total 3"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("aggview_store_batches_total 3"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("aggview_stage_duration_nanoseconds_count{stage=\"apply\"} 3"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("aggview_write_queue_depth 0"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_metrics_conflicts_with_no_obs() {
+    let (_, stderr, ok) = run_cli(&["serve", "--metrics", "--no-obs"], "");
+    assert!(!ok);
+    assert!(stderr.contains("--metrics"), "stderr: {stderr}");
+}
+
 #[test]
 fn expand_flag_enables_footnote3() {
     let script = "
