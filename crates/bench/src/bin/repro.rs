@@ -11,6 +11,10 @@
 //!                         # read scaling + write batching)
 //!   repro --json s4       # also write BENCH_4.json (warm-serving overhead
 //!                         # of the observability layer, obs on vs. --no-obs)
+//!   repro --json s5       # also write BENCH_5.json (row vs. columnar
+//!                         # scan/aggregate scaling, 1k..100k rows)
+//!   repro --rows N s2 s5  # override the S2 group-count / S5 row-count
+//!                         # sweeps with one scale point
 
 use aggview_bench::experiments as exp;
 use aggview_bench::experiments::SearchPoint;
@@ -175,15 +179,65 @@ fn obs_overhead_json(points: &[serving::ObsOverheadPoint]) -> String {
     )
 }
 
+/// Hand-rolled JSON for the S5 row-vs-columnar scale points. The
+/// top-level `speedup_at_largest_scale` is what the acceptance gate
+/// reads: the vectorized path must be >= 5x the row interpreter at the
+/// largest measured scale.
+fn scale_json(points: &[serving::ScalePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"rows\": {}, \"row_us\": {:.1}, \"columnar_us\": {:.1}, \
+                 \"speedup\": {:.2}, \"vectorized\": {}}}",
+                p.rows,
+                p.row_us,
+                p.columnar_us,
+                p.speedup(),
+                p.vectorized,
+            )
+        })
+        .collect();
+    let at_largest = points
+        .iter()
+        .max_by_key(|p| p.rows)
+        .map(|p| p.speedup())
+        .unwrap_or(0.0);
+    format!(
+        "{{\n  \"speedup_at_largest_scale\": {at_largest:.2},\n  \
+         \"acceptance\": \"speedup_at_largest_scale >= 5.0\",\n  \
+         \"method\": \"warm sessions (plan + columnar caches populated), same filtered \
+         GROUP BY stream, columnar on vs. off; mean select latency per scale\",\n  \
+         \"scale\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut rows_override: Option<usize> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--rows" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => rows_override = Some(n),
+                _ => {
+                    eprintln!("error: --rows needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--full" | "--json" => {}
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            name => selected.push(name),
+        }
+    }
+    let selected = selected;
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     if json && (want("f3") || want("f4")) {
@@ -199,7 +253,10 @@ fn main() {
         println!("wrote {path}");
     }
     if json && (want("s1") || want("s2")) {
-        let doc = serving_json(&serving::serving_points(full), &serving::probe_points(full));
+        let doc = serving_json(
+            &serving::serving_points(full),
+            &serving::probe_points(full, rows_override),
+        );
         let path = "BENCH_2.json";
         std::fs::write(path, &doc).expect("write BENCH_2.json");
         println!("wrote {path}");
@@ -214,6 +271,12 @@ fn main() {
         let doc = obs_overhead_json(&serving::obs_overhead_points(full));
         let path = "BENCH_4.json";
         std::fs::write(path, &doc).expect("write BENCH_4.json");
+        println!("wrote {path}");
+    }
+    if json && want("s5") {
+        let doc = scale_json(&serving::scale_points(full, rows_override));
+        let path = "BENCH_5.json";
+        std::fs::write(path, &doc).expect("write BENCH_5.json");
         println!("wrote {path}");
     }
 
@@ -266,13 +329,16 @@ fn main() {
         tables.push(serving::s1_serving(full));
     }
     if want("s2") {
-        tables.push(serving::s2_probe(full));
+        tables.push(serving::s2_probe(full, rows_override));
     }
     if want("s3") {
         tables.push(serving::s3_concurrent(full));
     }
     if want("s4") {
         tables.push(serving::s4_obs_overhead(full));
+    }
+    if want("s5") {
+        tables.push(serving::s5_scale(full, rows_override));
     }
 
     for t in &tables {

@@ -28,6 +28,14 @@
 //!   and keep the per-configuration minimum, so clock drift and
 //!   scheduling spikes hit both sides equally; the acceptance bar is
 //!   ≤ 5% warm-path overhead with observability on.
+//! * **S5 — row vs. columnar scan/aggregate scaling** (snapshotted to
+//!   `BENCH_5.json`): filtered `GROUP BY` aggregates over a single base
+//!   table from 1k to 100k rows, served by a columnar-enabled session
+//!   (vectorized kernels over typed column vectors) versus a
+//!   `--no-columnar` one (the row-at-a-time interpreter). Both sessions
+//!   are warm (plan cache + columnar cache populated by the warmup
+//!   pass), so the ratio isolates operator execution. The acceptance bar
+//!   is ≥ 5x columnar speedup at the 100k-row scale.
 //!
 //! [`GroupIndex`]: aggview::engine::GroupIndex
 
@@ -257,11 +265,17 @@ pub fn serving_points(full: bool) -> Vec<ServingPoint> {
 }
 
 /// S2 data — grouped-index probe vs. view scan on point lookups.
-pub fn probe_points(full: bool) -> Vec<ProbePoint> {
-    let group_counts: &[usize] = if full {
-        &[1_000, 10_000, 50_000]
-    } else {
-        &[1_000, 5_000]
+/// `rows_override` (the `--rows N` knob) replaces the group-count sweep
+/// with a single point.
+pub fn probe_points(full: bool, rows_override: Option<usize>) -> Vec<ProbePoint> {
+    let single;
+    let group_counts: &[usize] = match rows_override {
+        Some(n) => {
+            single = [n.max(2)];
+            &single
+        }
+        None if full => &[1_000, 10_000, 50_000],
+        None => &[1_000, 5_000],
     };
     let iters = if full { 2_000 } else { 400 };
     group_counts
@@ -564,13 +578,143 @@ pub fn s4_obs_overhead(full: bool) -> Table {
     table
 }
 
+/// One measured scan/aggregate scale point: the same warm query stream
+/// under row-at-a-time vs. vectorized columnar execution.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Base-table row count.
+    pub rows: usize,
+    /// Mean per-`SELECT` latency on the row interpreter (`columnar:
+    /// false`), µs.
+    pub row_us: f64,
+    /// Mean per-`SELECT` latency on the vectorized columnar path, µs.
+    pub columnar_us: f64,
+    /// `exec_vectorized` counter of the columnar session — proves the
+    /// measured selects actually took the vectorized path.
+    pub vectorized: u64,
+}
+
+impl ScalePoint {
+    /// Columnar speedup over the row interpreter.
+    pub fn speedup(&self) -> f64 {
+        self.row_us / self.columnar_us.max(1e-9)
+    }
+}
+
+/// Schema + `rows` random rows for the S5 scan sweep, as one SQL script.
+/// No views: the sweep measures base-table scan/aggregate execution, not
+/// rewriting. `INSERT`s are chunked so statement size stays bounded at
+/// the 100k-row scale.
+fn scan_setup_script(rows: usize) -> String {
+    const CHUNK: usize = 20_000;
+    let mut s = String::from("CREATE TABLE Calls (Region, Product, Amount);\n");
+    let mut rng = 0x5ca1_ab1e_c01d_u64;
+    let mut i = 0;
+    while i < rows {
+        s.push_str("INSERT INTO Calls VALUES ");
+        let end = (i + CHUNK).min(rows);
+        for j in i..end {
+            if j > i {
+                s.push_str(", ");
+            }
+            let r = xorshift(&mut rng) % 16;
+            let p = xorshift(&mut rng) % 8;
+            let a = xorshift(&mut rng) % 500;
+            s.push_str(&format!("({r}, {p}, {a})"));
+        }
+        s.push_str(";\n");
+        i = end;
+    }
+    s
+}
+
+/// The S5 query stream: filtered and unfiltered single-table `GROUP BY`
+/// aggregates — exactly the shapes the vectorized operators cover.
+fn scan_query_stream() -> Vec<Statement> {
+    [
+        "SELECT Region, SUM(Amount), COUNT(Amount) FROM Calls GROUP BY Region",
+        "SELECT Region, SUM(Amount) FROM Calls WHERE Amount < 250 GROUP BY Region",
+        "SELECT Product, MIN(Amount), MAX(Amount) FROM Calls GROUP BY Product",
+        "SELECT Region, AVG(Amount) FROM Calls WHERE Product < 4 GROUP BY Region",
+    ]
+    .iter()
+    .map(|sql| parse_one(sql))
+    .collect()
+}
+
+/// A warm session for the scan sweep with columnar execution on or off.
+fn session_scan(script: &str, columnar: bool) -> Session {
+    let stmts = parse_script(script).expect("setup script parses");
+    let mut session = Session::new(SessionOptions {
+        columnar,
+        ..SessionOptions::default()
+    });
+    session.run_script(&stmts).expect("setup script runs");
+    session
+}
+
+/// S5 data — row vs. columnar execution across base-table scales.
+/// `rows_override` (the `--rows N` knob) replaces the sweep with a single
+/// scale.
+pub fn scale_points(full: bool, rows_override: Option<usize>) -> Vec<ScalePoint> {
+    let scales: Vec<usize> = match rows_override {
+        Some(n) => vec![n.max(1)],
+        None if full => vec![1_000, 10_000, 100_000],
+        None => vec![1_000, 10_000],
+    };
+    let budget = if full { 1_600_000 } else { 200_000 };
+    scales
+        .iter()
+        .map(|&rows| {
+            // Fixed work budget: fewer iterations at larger scales keeps
+            // the sweep's wall time flat-ish while every scale still runs
+            // a two-digit number of measured selects.
+            let iters = (budget / rows).clamp(10, 400);
+            let script = scan_setup_script(rows);
+            let queries = scan_query_stream();
+            let mut row_session = session_scan(&script, false);
+            let (row_us, _) = drive(&mut row_session, &queries, &[], iters, 0);
+            let mut col_session = session_scan(&script, true);
+            let (columnar_us, _) = drive(&mut col_session, &queries, &[], iters, 0);
+            let vectorized = col_session
+                .obs_snapshot()
+                .map(|s| s.counter(CounterId::ExecVectorized))
+                .unwrap_or(0);
+            ScalePoint {
+                rows,
+                row_us,
+                columnar_us,
+                vectorized,
+            }
+        })
+        .collect()
+}
+
+/// S5 — row vs. columnar scan/aggregate latency across scales.
+pub fn s5_scale(full: bool, rows_override: Option<usize>) -> Table {
+    let mut table = Table::new(
+        "S5 — scan/aggregate latency, row interpreter vs. columnar kernels",
+        &["rows", "row us", "columnar us", "speedup", "vectorized"],
+    );
+    for p in scale_points(full, rows_override) {
+        table.push(vec![
+            p.rows.to_string(),
+            format!("{:.1}", p.row_us),
+            format!("{:.1}", p.columnar_us),
+            format!("{:.1}x", p.speedup()),
+            p.vectorized.to_string(),
+        ]);
+    }
+    table
+}
+
 /// S2 — grouped-index probe vs. scan on view point lookups.
-pub fn s2_probe(full: bool) -> Table {
+pub fn s2_probe(full: bool, rows_override: Option<usize>) -> Table {
     let mut table = Table::new(
         "S2 — view point lookups, grouped index vs. scan",
         &["groups", "probe us", "scan us", "speedup"],
     );
-    for p in probe_points(full) {
+    for p in probe_points(full, rows_override) {
         table.push(vec![
             p.groups.to_string(),
             format!("{:.1}", p.probe_us),
@@ -637,7 +781,7 @@ mod tests {
 
     #[test]
     fn probe_point_smoke() {
-        let points = probe_points(false);
+        let points = probe_points(false, None);
         assert!(!points.is_empty());
         for p in &points {
             assert!(p.probe_us > 0.0 && p.scan_us > 0.0);

@@ -1,12 +1,13 @@
 //! A named collection of relations: base tables plus materialized views.
 
+use crate::columnar::ColumnarRelation;
 use crate::error::{EngineError, EngineResult};
 use crate::index::GroupIndex;
 use crate::relation::Relation;
 use aggview_catalog::SchemaSource;
 use aggview_obs::{CounterId, MetricsRegistry};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// A database instance. Materialized views are stored exactly like base
 /// tables — the paper's rewritten queries reference them by name in their
@@ -16,7 +17,7 @@ use std::sync::Arc;
 /// session enables them). Replacing a relation with [`Database::insert`]
 /// drops its index — callers that maintain a relation in place re-attach
 /// the maintained index afterwards with [`Database::set_index`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
     indexes: BTreeMap<String, GroupIndex>,
@@ -24,6 +25,25 @@ pub struct Database {
     /// Cloning a database (snapshotting) clones the `Arc`, so every
     /// snapshot of a shared store reports into the one store registry.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Lazily built columnar conversions, keyed by relation name. An entry
+    /// is dropped whenever its relation is replaced or removed, so a cached
+    /// conversion always reflects the stored rows. Interior mutability lets
+    /// the read-only execution path populate the cache.
+    columnar: Mutex<HashMap<String, Arc<ColumnarRelation>>>,
+}
+
+impl Clone for Database {
+    /// Cloning (the snapshot operation) starts with an *empty* columnar
+    /// cache: entries are rebuilt on first use, so a snapshot can never
+    /// observe a conversion the master rebuilt after diverging.
+    fn clone(&self) -> Self {
+        Database {
+            relations: self.relations.clone(),
+            indexes: self.indexes.clone(),
+            metrics: self.metrics.clone(),
+            columnar: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Database {
@@ -37,6 +57,7 @@ impl Database {
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
         let name = name.into();
         self.indexes.remove(&name);
+        self.columnar_cache().remove(&name);
         self.relations.insert(name, relation);
         self
     }
@@ -56,7 +77,24 @@ impl Database {
     /// Remove a relation (e.g. a temporary auxiliary view) and its index.
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
         self.indexes.remove(name);
+        self.columnar_cache().remove(name);
         self.relations.remove(name)
+    }
+
+    /// The columnar conversion of relation `name`, built on first use and
+    /// cached until the relation changes. `None` for unknown relations.
+    pub fn columnar(&self, name: &str) -> Option<Arc<ColumnarRelation>> {
+        let rel = self.relations.get(name)?;
+        let mut cache = self.columnar_cache();
+        Some(Arc::clone(cache.entry(name.to_string()).or_insert_with(
+            || Arc::new(ColumnarRelation::from_rows(rel)),
+        )))
+    }
+
+    /// The cache guard (a poisoned lock just means a panic mid-build; the
+    /// map holds only derived data, so continuing is safe).
+    fn columnar_cache(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<ColumnarRelation>>> {
+        self.columnar.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Attach (or replace) a [`GroupIndex`] for `name`. Debug builds assert
@@ -182,6 +220,36 @@ mod tests {
         db.set_index("T", GroupIndex::build(db.get("T").unwrap(), vec![0]));
         assert!(db.take_index("T").is_some());
         assert!(db.index("T").is_none());
+    }
+
+    #[test]
+    fn columnar_cache_builds_once_and_invalidates_on_write() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a"], &[&[1]]));
+        let c1 = db.columnar("T").unwrap();
+        assert_eq!(c1.n_rows(), 1);
+        assert!(
+            Arc::ptr_eq(&c1, &db.columnar("T").unwrap()),
+            "second lookup reuses the cached conversion"
+        );
+        db.insert("T", rel_of_ints(["a"], &[&[1], &[2]]));
+        assert_eq!(db.columnar("T").unwrap().n_rows(), 2);
+        db.remove("T");
+        assert!(db.columnar("T").is_none());
+    }
+
+    #[test]
+    fn cloned_database_starts_with_a_fresh_columnar_cache() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["a"], &[&[1]]));
+        let master = db.columnar("T").unwrap();
+        let snap = db.clone();
+        let from_snap = snap.columnar("T").unwrap();
+        assert!(
+            !Arc::ptr_eq(&master, &from_snap),
+            "snapshots rebuild lazily"
+        );
+        assert_eq!(*master, *from_snap);
     }
 
     #[test]

@@ -130,20 +130,33 @@ pub fn nat_table(max: i64) -> Relation {
 /// Generate a random instance for each schema in `catalog`: `n_rows` rows
 /// per table with integer values drawn from `0..domain`. A small `domain`
 /// yields duplicate rows and join hits. Deterministic in `seed`.
+///
+/// Declared keys are respected by rejecting key-duplicate rows. When the
+/// requested `domain` cannot supply `n_rows` distinct key tuples, the draw
+/// domain of the *key columns only* widens (doubling on every stall) until
+/// the table fills — every table always comes back with exactly `n_rows`
+/// rows. Non-key columns keep the narrow domain: duplicates and join
+/// collisions there are the point.
 pub fn random_database(catalog: &Catalog, n_rows: usize, domain: i64, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     for table in catalog.tables() {
         let mut rel = Relation::empty(table.column_names());
-        // Respect declared keys so the Section 5 reasoning stays sound on
-        // generated data: rows are deduplicated on each key.
         let keys = table.keys.clone();
+        let key_cols: std::collections::HashSet<usize> = keys.iter().flatten().copied().collect();
         let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
-        let mut attempts = 0;
-        while rel.len() < n_rows && attempts < n_rows * 20 {
-            attempts += 1;
+        let mut key_domain = domain.max(1);
+        let mut stall = 0usize;
+        while rel.len() < n_rows {
             let row: Vec<Value> = (0..table.arity())
-                .map(|_| Value::Int(rng.random_range(0..domain.max(1))))
+                .map(|c| {
+                    let d = if key_cols.contains(&c) {
+                        key_domain
+                    } else {
+                        domain.max(1)
+                    };
+                    Value::Int(rng.random_range(0..d))
+                })
                 .collect();
             if !keys.is_empty() {
                 let mut dup = false;
@@ -155,9 +168,15 @@ pub fn random_database(catalog: &Catalog, n_rows: usize, domain: i64, seed: u64)
                     }
                 }
                 if dup {
+                    stall += 1;
+                    if stall >= 20 {
+                        key_domain = key_domain.saturating_mul(2);
+                        stall = 0;
+                    }
                     continue;
                 }
             }
+            stall = 0;
             rel.push(row);
         }
         db.insert(table.name.clone(), rel);
@@ -256,14 +275,35 @@ mod tests {
     fn random_database_respects_keys() {
         let cat = telephony_catalog();
         let db = random_database(&cat, 30, 10, 3);
-        // Calls is keyed on Call_Id with domain 10: at most 10 rows survive.
+        // Calls is keyed on Call_Id with domain 10: the key-column domain
+        // widens until all 30 requested rows exist, each with a distinct id.
         let calls = db.get("Calls").unwrap();
-        assert!(calls.len() <= 10);
+        assert_eq!(calls.len(), 30);
         let id_idx = calls.column_index("Call_Id").unwrap();
         let mut ids: Vec<&Value> = calls.rows.iter().map(|r| &r[id_idx]).collect();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), calls.len());
+    }
+
+    #[test]
+    fn random_database_fills_keyed_tables_past_a_tiny_domain() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new("K", ["id", "v"]).with_key(["id"]))
+            .unwrap();
+        // domain=2 can never supply 500 distinct keys without widening.
+        let db = random_database(&cat, 500, 2, 11);
+        let k = db.get("K").unwrap();
+        assert_eq!(k.len(), 500);
+        let mut ids: Vec<&Value> = k.rows.iter().map(|r| &r[0]).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 500, "key column stays duplicate-free");
+        // The non-key column keeps the narrow domain.
+        assert!(k
+            .rows
+            .iter()
+            .all(|r| matches!(&r[1], Value::Int(x) if (0..2).contains(x))));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! scan becomes an index probe.
 
 use crate::agg::Accumulator;
+use crate::columnar::{Column, ColumnarRelation};
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::relation::Relation;
@@ -56,7 +57,17 @@ use std::collections::HashMap;
 /// ]);
 /// ```
 pub fn execute(query: &Query, db: &Database) -> EngineResult<Relation> {
-    PhysicalPlan::compile(query, db)?.run(db)
+    execute_with(query, db, true)
+}
+
+/// [`execute`] with explicit control over the vectorized columnar path.
+/// `columnar: false` forces the row-at-a-time interpreter — the oracle
+/// side of the row-vs-columnar differential axis. Both settings produce
+/// byte-identical results; the flag only selects the execution strategy.
+pub fn execute_with(query: &Query, db: &Database, columnar: bool) -> EngineResult<Relation> {
+    let mut plan = PhysicalPlan::compile(query, db)?;
+    plan.set_columnar(columnar);
+    plan.run(db)
 }
 
 /// Compiled scalar expression with resolved column slots (core-table
@@ -140,6 +151,9 @@ pub struct PhysicalPlan {
     local_preds: Vec<Vec<CPred>>,
     /// A constant `WHERE` conjunct evaluated to false at compile time.
     const_false: bool,
+    /// Try the vectorized columnar path before the row interpreter (on by
+    /// default; see [`PhysicalPlan::set_columnar`]).
+    columnar: bool,
 }
 
 /// Compile-time state: per-occurrence schemas for column resolution.
@@ -293,7 +307,15 @@ impl PhysicalPlan {
             preds,
             local_preds,
             const_false,
+            columnar: true,
         })
+    }
+
+    /// Enable or disable the vectorized columnar path for this plan
+    /// (enabled by default). Disabled plans always take the row-at-a-time
+    /// interpreter — the oracle side of the row-vs-columnar differential.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
     }
 
     /// Execute the compiled plan against `db`. The relations named by the
@@ -314,6 +336,13 @@ impl PhysicalPlan {
             }
             rels.push(r);
         }
+
+        if let Some(out) = self.run_vectorized(db)? {
+            db.record(aggview_obs::CounterId::ExecVectorized, 1);
+            return Ok(out);
+        }
+        db.record(aggview_obs::CounterId::ExecRowFallback, 1);
+
         let core = self.build_core(&rels, db)?;
 
         if !self.grouped {
@@ -657,6 +686,595 @@ impl PhysicalPlan {
             }
         }
         remap
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized (columnar) execution
+// ---------------------------------------------------------------------------
+//
+// The vectorized path replaces the tuple-at-a-time interpreter with tight
+// typed loops over whole columns: predicate evaluation produces a selection
+// vector, projection gathers from columns, and grouped aggregation runs
+// per-column accumulators driven by a group-id assignment. It only engages
+// when every operator it would use is *total* — provably unable to error —
+// so result bytes, output order, and error behavior are identical to the
+// row path at every point of the qcheck lattice. Everything outside that
+// subset (joins, mixed-type columns, NaN under comparison, arithmetic in
+// predicates or aggregate arguments, scans an attached index might serve)
+// declines, and the plan falls back to the row interpreter wholesale.
+
+impl PhysicalPlan {
+    /// Attempt vectorized execution. `Ok(None)` means the plan declined and
+    /// the caller must run the row path; `Err` is a genuine execution error,
+    /// identical to the one the row path would produce.
+    fn run_vectorized(&self, db: &Database) -> EngineResult<Option<Relation>> {
+        if !self.columnar || self.const_false || self.occs.len() != 1 || !self.preds.is_empty() {
+            return Ok(None);
+        }
+        let occ = &self.occs[0];
+        let locals = &self.local_preds[0];
+        // An attached index may answer this scan as a probe (with its own
+        // counters and cost profile) — let the row path decide.
+        if !locals.is_empty() && db.index(&occ.table).is_some() {
+            return Ok(None);
+        }
+        let Some(crel) = db.columnar(&occ.table) else {
+            return Ok(None);
+        };
+
+        // Every local predicate must compile to a total typed kernel.
+        let mut kernels = Vec::with_capacity(locals.len());
+        for p in locals {
+            match filter_kernel(&crel, p) {
+                Some(k) => kernels.push(k),
+                None => return Ok(None),
+            }
+        }
+
+        if self.grouped {
+            self.run_vectorized_grouped(&crel, &kernels)
+        } else {
+            self.run_vectorized_flat(&crel, &kernels)
+        }
+    }
+
+    /// Ungrouped vectorized evaluation: selection vector, then projection.
+    /// `Col`/`Lit`-only projections gather straight from the columns; any
+    /// arithmetic materializes each selected row and reuses the scalar
+    /// evaluator, so errors surface in the row path's order.
+    fn run_vectorized_flat(
+        &self,
+        crel: &ColumnarRelation,
+        kernels: &[FilterKernel<'_>],
+    ) -> EngineResult<Option<Relation>> {
+        let sel = select_rows(crel.n_rows(), kernels);
+        let mut out = Relation::empty(self.output_names.clone());
+        let simple = self
+            .select
+            .iter()
+            .all(|e| matches!(e, CExpr::Col(_) | CExpr::Lit(_)));
+        if simple {
+            for i in sel.indices() {
+                let cells = self
+                    .select
+                    .iter()
+                    .map(|e| match e {
+                        CExpr::Col(c) => crel.value(i, *c),
+                        CExpr::Lit(v) => v.clone(),
+                        _ => unreachable!("projection checked simple"),
+                    })
+                    .collect();
+                out.push(cells);
+            }
+        } else {
+            for i in sel.indices() {
+                let row = crel.row(i);
+                let mut cells = Vec::with_capacity(self.select.len());
+                for e in &self.select {
+                    cells.push(eval(e, &row, &[])?);
+                }
+                out.push(cells);
+            }
+        }
+        if self.distinct {
+            dedup(&mut out);
+        }
+        Ok(Some(out))
+    }
+
+    /// Grouped vectorized evaluation: assign group ids in first-seen order
+    /// (the row path's `group_order`), accumulate per column, then emit one
+    /// row per group through the existing HAVING/SELECT evaluator over the
+    /// group's representative (first) row.
+    fn run_vectorized_grouped(
+        &self,
+        crel: &ColumnarRelation,
+        kernels: &[FilterKernel<'_>],
+    ) -> EngineResult<Option<Relation>> {
+        // Every aggregate slot must be computable by a total typed loop.
+        let mut vaccs = Vec::with_capacity(self.agg_slots.len());
+        for slot in &self.agg_slots {
+            match vacc_for(crel, slot) {
+                Some(a) => vaccs.push(a),
+                None => return Ok(None),
+            }
+        }
+        let sel = select_rows(crel.n_rows(), kernels);
+
+        let mut grouper = Grouper::new(crel, &self.group_exprs);
+        let mut reps: Vec<usize> = Vec::new();
+        for i in sel.indices() {
+            let gid = grouper.gid(i);
+            if gid == reps.len() {
+                reps.push(i);
+            }
+            for a in &mut vaccs {
+                a.update(gid, i);
+            }
+        }
+
+        let mut out = Relation::empty(self.output_names.clone());
+        'group: for (gid, &rep_row) in reps.iter().enumerate() {
+            let rep = crel.row(rep_row);
+            let agg_values: Vec<Value> = vaccs.iter().map(|a| a.finish(gid)).collect();
+            for pred in &self.having {
+                if !eval_pred(pred, &rep, &agg_values)? {
+                    continue 'group;
+                }
+            }
+            let mut cells = Vec::with_capacity(self.select.len());
+            for e in &self.select {
+                cells.push(eval(e, &rep, &agg_values)?);
+            }
+            out.push(cells);
+        }
+        if self.distinct {
+            dedup(&mut out);
+        }
+        Ok(Some(out))
+    }
+}
+
+/// A clean numeric column viewed as f64 — the representation [`value`]'s
+/// cross-type comparison and `AVG` use (`as_f64`).
+#[derive(Clone, Copy)]
+enum NumSlice<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl NumSlice<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumSlice::I(v) => v[i] as f64,
+            NumSlice::F(v) => v[i],
+        }
+    }
+}
+
+/// Numeric view of a clean column (NaN permitted — callers that compare
+/// must use [`num_slice_for_cmp`]).
+fn num_slice(col: &Column) -> Option<NumSlice<'_>> {
+    if let Some(v) = col.ints() {
+        Some(NumSlice::I(v))
+    } else {
+        col.doubles().map(NumSlice::F)
+    }
+}
+
+/// Numeric view for comparison kernels: declines Double columns holding
+/// NaN (incomparable under [`Value::cmp_sql`] — the row path raises a
+/// TypeError, so the vectorized path must not run at all).
+fn num_slice_for_cmp(col: &Column) -> Option<NumSlice<'_>> {
+    if col.has_nan() {
+        None
+    } else {
+        num_slice(col)
+    }
+}
+
+/// A total typed predicate loop: one local conjunct whose row-at-a-time
+/// evaluation can never error, applied column-wise. Literal-on-the-left
+/// comparisons are stored with the mirrored operator.
+enum FilterKernel<'a> {
+    IntLit(&'a [i64], CmpOp, i64),
+    NumLit(NumSlice<'a>, CmpOp, f64),
+    StrLit(&'a [String], CmpOp, String),
+    BoolLit(&'a [bool], CmpOp, bool),
+    IntCol(&'a [i64], CmpOp, &'a [i64]),
+    NumCol(NumSlice<'a>, CmpOp, NumSlice<'a>),
+    StrCol(&'a [String], CmpOp, &'a [String]),
+    BoolCol(&'a [bool], CmpOp, &'a [bool]),
+}
+
+impl FilterKernel<'_> {
+    fn keep(&self, i: usize) -> bool {
+        match self {
+            FilterKernel::IntLit(c, op, k) => ord_keep(c[i].cmp(k), *op),
+            FilterKernel::NumLit(c, op, k) => num_keep(c.get(i), *op, *k),
+            FilterKernel::StrLit(c, op, k) => ord_keep(c[i].as_str().cmp(k.as_str()), *op),
+            FilterKernel::BoolLit(c, op, k) => ord_keep(c[i].cmp(k), *op),
+            FilterKernel::IntCol(a, op, b) => ord_keep(a[i].cmp(&b[i]), *op),
+            FilterKernel::NumCol(a, op, b) => num_keep(a.get(i), *op, b.get(i)),
+            FilterKernel::StrCol(a, op, b) => ord_keep(a[i].cmp(&b[i]), *op),
+            FilterKernel::BoolCol(a, op, b) => ord_keep(a[i].cmp(&b[i]), *op),
+        }
+    }
+}
+
+/// Compile one local predicate into a kernel, or `None` when its shape or
+/// column data falls outside the total typed subset. Type pairs that
+/// [`Value::cmp_sql`] rejects (string vs. number, ...) also land here — the
+/// row path then surfaces the TypeError exactly as before.
+fn filter_kernel<'a>(crel: &'a ColumnarRelation, p: &CPred) -> Option<FilterKernel<'a>> {
+    // Orient as `column op rhs`, mirroring the operator when the column is
+    // on the right.
+    let (ci, op, rhs) = match (&p.lhs, &p.rhs) {
+        (CExpr::Col(c), rhs) => (*c, p.op, rhs),
+        (lhs, CExpr::Col(c)) => (*c, flip(p.op), lhs),
+        _ => return None,
+    };
+    let col = crel.col(ci);
+    match rhs {
+        CExpr::Lit(v) => match v {
+            Value::Int(k) => {
+                if let Some(c) = col.ints() {
+                    return Some(FilterKernel::IntLit(c, op, *k));
+                }
+                match num_slice_for_cmp(col)? {
+                    c @ NumSlice::F(_) => Some(FilterKernel::NumLit(c, op, *k as f64)),
+                    NumSlice::I(_) => None,
+                }
+            }
+            Value::Double(d) if !d.is_nan() => {
+                num_slice_for_cmp(col).map(|c| FilterKernel::NumLit(c, op, *d))
+            }
+            Value::Str(s) => col.strs().map(|c| FilterKernel::StrLit(c, op, s.clone())),
+            Value::Bool(b) => col.bools().map(|c| FilterKernel::BoolLit(c, op, *b)),
+            _ => None,
+        },
+        CExpr::Col(c2) => {
+            let other = crel.col(*c2);
+            if let (Some(a), Some(b)) = (col.ints(), other.ints()) {
+                return Some(FilterKernel::IntCol(a, op, b));
+            }
+            if let (Some(a), Some(b)) = (num_slice_for_cmp(col), num_slice_for_cmp(other)) {
+                return Some(FilterKernel::NumCol(a, op, b));
+            }
+            if let (Some(a), Some(b)) = (col.strs(), other.strs()) {
+                return Some(FilterKernel::StrCol(a, op, b));
+            }
+            if let (Some(a), Some(b)) = (col.bools(), other.bools()) {
+                return Some(FilterKernel::BoolCol(a, op, b));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Mirror a comparison so `lit op col` becomes `col (flip op) lit`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq | CmpOp::Ne => op,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// The op-to-ordering mapping of [`value::compare`].
+fn ord_keep(ord: std::cmp::Ordering, op: CmpOp) -> bool {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+fn num_keep(a: f64, op: CmpOp, b: f64) -> bool {
+    match a.partial_cmp(&b) {
+        Some(ord) => ord_keep(ord, op),
+        None => unreachable!("NaN excluded at kernel build"),
+    }
+}
+
+/// The rows surviving the filter kernels. `All` avoids materializing an
+/// identity index vector for unfiltered scans.
+enum Sel {
+    All(usize),
+    Rows(Vec<usize>),
+}
+
+impl Sel {
+    fn indices(&self) -> SelIter<'_> {
+        match self {
+            Sel::All(n) => SelIter::All(0..*n),
+            Sel::Rows(v) => SelIter::Rows(v.iter()),
+        }
+    }
+}
+
+enum SelIter<'a> {
+    All(std::ops::Range<usize>),
+    Rows(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::All(r) => r.next(),
+            SelIter::Rows(it) => it.next().copied(),
+        }
+    }
+}
+
+/// Run every kernel over the columns, producing the selection (ascending
+/// row order, same as the scan path).
+fn select_rows(n: usize, kernels: &[FilterKernel<'_>]) -> Sel {
+    let Some((first, rest)) = kernels.split_first() else {
+        return Sel::All(n);
+    };
+    let mut rows: Vec<usize> = (0..n).filter(|&i| first.keep(i)).collect();
+    for k in rest {
+        rows.retain(|&i| k.keep(i));
+    }
+    Sel::Rows(rows)
+}
+
+/// Group-id assignment in first-seen order (ids are allocated densely, so
+/// the output loop over ascending ids reproduces the row path's
+/// `group_order` exactly).
+enum Grouper<'a> {
+    /// Single clean Int grouping column: i64 hash keys, no `Value` clones.
+    Int {
+        col: &'a [i64],
+        map: HashMap<i64, usize>,
+    },
+    /// General case: exact `Value` keys — the same `cmp_total` equality the
+    /// row path's `HashMap<Vec<Value>, _>` uses.
+    Generic {
+        crel: &'a ColumnarRelation,
+        cols: &'a [usize],
+        map: HashMap<Vec<Value>, usize>,
+    },
+}
+
+impl<'a> Grouper<'a> {
+    fn new(crel: &'a ColumnarRelation, group_exprs: &'a [usize]) -> Self {
+        if let [c] = group_exprs {
+            if let Some(col) = crel.col(*c).ints() {
+                return Grouper::Int {
+                    col,
+                    map: HashMap::new(),
+                };
+            }
+        }
+        Grouper::Generic {
+            crel,
+            cols: group_exprs,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The group id of row `i`, allocating the next id on first sight.
+    fn gid(&mut self, i: usize) -> usize {
+        match self {
+            Grouper::Int { col, map } => {
+                let next = map.len();
+                *map.entry(col[i]).or_insert(next)
+            }
+            Grouper::Generic { crel, cols, map } => {
+                let key: Vec<Value> = cols.iter().map(|&c| crel.value(i, c)).collect();
+                let next = map.len();
+                *map.entry(key).or_insert(next)
+            }
+        }
+    }
+}
+
+/// SUM over a clean Int column: the Int-with-overflow-promotion state
+/// machine of [`Accumulator`] / [`value::add`].
+#[derive(Clone, Copy)]
+enum IntSum {
+    I(i64),
+    F(f64),
+}
+
+/// A vectorized accumulator: per-group state driven by group ids, reading
+/// its argument straight from a typed column. Each variant replicates the
+/// corresponding [`Accumulator`] arm bit for bit; shapes that could error
+/// mid-accumulation (mixed columns, NaN under MIN/MAX, arithmetic
+/// arguments) are never constructed — see [`vacc_for`].
+enum VAcc<'a> {
+    /// COUNT / COUNT(*): the value is never inspected, never errors.
+    Count(Vec<i64>),
+    SumInt(&'a [i64], Vec<IntSum>),
+    /// SUM over Double, seeded with the group's first value (the row path
+    /// seeds with `v.clone()`; seeding `0.0` would turn a first `-0.0`
+    /// into `+0.0` and diverge bytewise).
+    SumDouble(&'a [f64], Vec<f64>),
+    /// AVG: f64 sum from 0.0 plus a count ([`Accumulator`]'s Avg). NaN is
+    /// permitted — addition is total and poisons the sum identically.
+    Avg(NumSlice<'a>, Vec<(f64, i64)>),
+    MinInt(&'a [i64], Vec<i64>),
+    MaxInt(&'a [i64], Vec<i64>),
+    /// MIN/MAX over Double require a NaN-free column: strict `<`/`>` folds
+    /// match `cmp_sql`'s replace-iff-strictly-ordered rule (first value
+    /// seeds; `-0.0`/`0.0` ties keep the incumbent on both paths).
+    MinDouble(&'a [f64], Vec<f64>),
+    MaxDouble(&'a [f64], Vec<f64>),
+    /// MIN/MAX over strings fold an argmin/argmax row index — no clones
+    /// until finish.
+    MinStr(&'a [String], Vec<usize>),
+    MaxStr(&'a [String], Vec<usize>),
+}
+
+/// Build the vectorized accumulator for one aggregate slot, or `None` when
+/// the slot's argument or column data requires the row path.
+fn vacc_for<'a>(crel: &'a ColumnarRelation, slot: &AggSlot) -> Option<VAcc<'a>> {
+    let col = match &slot.arg {
+        None => None,
+        Some(CExpr::Col(c)) => Some(crel.col(*c)),
+        // Arithmetic arguments can error mid-accumulation; decline.
+        Some(_) => return None,
+    };
+    match slot.func {
+        AggFunc::Count => Some(VAcc::Count(Vec::new())),
+        AggFunc::Sum => {
+            let col = col?;
+            if let Some(v) = col.ints() {
+                Some(VAcc::SumInt(v, Vec::new()))
+            } else {
+                col.doubles().map(|v| VAcc::SumDouble(v, Vec::new()))
+            }
+        }
+        AggFunc::Avg => num_slice(col?).map(|v| VAcc::Avg(v, Vec::new())),
+        AggFunc::Min | AggFunc::Max => {
+            let min = slot.func == AggFunc::Min;
+            let col = col?;
+            if let Some(v) = col.ints() {
+                Some(if min {
+                    VAcc::MinInt(v, Vec::new())
+                } else {
+                    VAcc::MaxInt(v, Vec::new())
+                })
+            } else if let Some(v) = col.doubles() {
+                if col.has_nan() {
+                    None
+                } else if min {
+                    Some(VAcc::MinDouble(v, Vec::new()))
+                } else {
+                    Some(VAcc::MaxDouble(v, Vec::new()))
+                }
+            } else {
+                col.strs().map(|v| {
+                    if min {
+                        VAcc::MinStr(v, Vec::new())
+                    } else {
+                        VAcc::MaxStr(v, Vec::new())
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl VAcc<'_> {
+    /// Fold row `row` into group `gid`. Group ids arrive in first-seen
+    /// order, so `gid == states.len()` marks a new group and seeds it.
+    fn update(&mut self, gid: usize, row: usize) {
+        match self {
+            VAcc::Count(s) => {
+                if gid == s.len() {
+                    s.push(0);
+                }
+                s[gid] += 1;
+            }
+            VAcc::SumInt(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(IntSum::I(v));
+                } else {
+                    s[gid] = match s[gid] {
+                        IntSum::I(a) => match a.checked_add(v) {
+                            Some(x) => IntSum::I(x),
+                            None => IntSum::F(a as f64 + v as f64),
+                        },
+                        IntSum::F(a) => IntSum::F(a + v as f64),
+                    };
+                }
+            }
+            VAcc::SumDouble(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(v);
+                } else {
+                    s[gid] += v;
+                }
+            }
+            VAcc::Avg(col, s) => {
+                if gid == s.len() {
+                    s.push((0.0, 0));
+                }
+                let (sum, count) = &mut s[gid];
+                *sum += col.get(row);
+                *count += 1;
+            }
+            VAcc::MinInt(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(v);
+                } else if v < s[gid] {
+                    s[gid] = v;
+                }
+            }
+            VAcc::MaxInt(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(v);
+                } else if v > s[gid] {
+                    s[gid] = v;
+                }
+            }
+            VAcc::MinDouble(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(v);
+                } else if v < s[gid] {
+                    s[gid] = v;
+                }
+            }
+            VAcc::MaxDouble(col, s) => {
+                let v = col[row];
+                if gid == s.len() {
+                    s.push(v);
+                } else if v > s[gid] {
+                    s[gid] = v;
+                }
+            }
+            VAcc::MinStr(col, s) => {
+                if gid == s.len() {
+                    s.push(row);
+                } else if col[row] < col[s[gid]] {
+                    s[gid] = row;
+                }
+            }
+            VAcc::MaxStr(col, s) => {
+                if gid == s.len() {
+                    s.push(row);
+                } else if col[row] > col[s[gid]] {
+                    s[gid] = row;
+                }
+            }
+        }
+    }
+
+    /// The finished aggregate value for group `gid` (groups always hold at
+    /// least one row — same contract as [`Accumulator::finish`]).
+    fn finish(&self, gid: usize) -> Value {
+        match self {
+            VAcc::Count(s) => Value::Int(s[gid]),
+            VAcc::SumInt(_, s) => match s[gid] {
+                IntSum::I(x) => Value::Int(x),
+                IntSum::F(x) => Value::Double(x),
+            },
+            VAcc::SumDouble(_, s) => Value::Double(s[gid]),
+            VAcc::Avg(_, s) => {
+                let (sum, count) = s[gid];
+                Value::Double(sum / count as f64)
+            }
+            VAcc::MinInt(_, s) | VAcc::MaxInt(_, s) => Value::Int(s[gid]),
+            VAcc::MinDouble(_, s) | VAcc::MaxDouble(_, s) => Value::Double(s[gid]),
+            VAcc::MinStr(col, s) | VAcc::MaxStr(col, s) => Value::Str(col[s[gid]].clone()),
+        }
     }
 }
 
@@ -1351,5 +1969,157 @@ mod tests {
         let indexed = run(sql, &db);
         assert!(multiset_eq(&plain, &indexed));
         assert_eq!(indexed.len(), 2);
+    }
+
+    fn run_with(sql: &str, db: &Database, columnar: bool) -> Relation {
+        execute_with(&parse_query(sql).unwrap(), db, columnar).unwrap()
+    }
+
+    #[test]
+    fn vectorized_matches_row_path_exactly() {
+        let db = db2();
+        for sql in [
+            "SELECT A, B FROM R1",
+            "SELECT A FROM R1 WHERE B > 15",
+            "SELECT A FROM R1 WHERE 15 < B",
+            "SELECT A FROM R1 WHERE A = B",
+            "SELECT B FROM R1 WHERE A <> 1 AND B >= 30",
+            "SELECT A, SUM(B), COUNT(*), MIN(B), MAX(B), AVG(B) FROM R1 GROUP BY A",
+            "SELECT A, SUM(B) FROM R1 WHERE B >= 20 GROUP BY A HAVING SUM(B) > 40",
+            "SELECT DISTINCT A FROM R1",
+            "SELECT SUM(B), COUNT(B) FROM R1",
+            "SELECT A + B FROM R1 WHERE B < 25",
+            "SELECT A, 2 * SUM(B) FROM R1 GROUP BY A",
+        ] {
+            let v = run_with(sql, &db, true);
+            let r = run_with(sql, &db, false);
+            assert_eq!(v.columns, r.columns, "query `{sql}` diverged on names");
+            assert_eq!(v.rows, r.rows, "query `{sql}` diverged");
+        }
+    }
+
+    #[test]
+    fn vectorized_and_fallback_paths_are_counted() {
+        use aggview_obs::{CounterId, MetricsRegistry};
+        use std::sync::Arc;
+        let mut db = db2();
+        let m = Arc::new(MetricsRegistry::default());
+        db.set_metrics(Arc::clone(&m));
+        run("SELECT A, SUM(B) FROM R1 GROUP BY A", &db);
+        assert_eq!(m.get(CounterId::ExecVectorized), 1);
+        assert_eq!(m.get(CounterId::ExecRowFallback), 0);
+        run("SELECT A, D FROM R1, R2 WHERE A = C", &db); // join → row path
+        assert_eq!(m.get(CounterId::ExecVectorized), 1);
+        assert_eq!(m.get(CounterId::ExecRowFallback), 1);
+    }
+
+    #[test]
+    fn disabled_columnar_takes_the_row_path() {
+        use aggview_obs::{CounterId, MetricsRegistry};
+        use std::sync::Arc;
+        let mut db = db2();
+        let m = Arc::new(MetricsRegistry::default());
+        db.set_metrics(Arc::clone(&m));
+        let q = parse_query("SELECT A FROM R1").unwrap();
+        let mut plan = PhysicalPlan::compile(&q, &db).unwrap();
+        plan.set_columnar(false);
+        plan.run(&db).unwrap();
+        assert_eq!(m.get(CounterId::ExecVectorized), 0);
+        assert_eq!(m.get(CounterId::ExecRowFallback), 1);
+    }
+
+    #[test]
+    fn mixed_typed_column_falls_back_and_matches() {
+        let mut db = Database::new();
+        db.insert(
+            "M",
+            Relation::new(
+                ["x"],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Double(2.5)],
+                    vec![Value::Int(3)],
+                ],
+            ),
+        );
+        for sql in ["SELECT SUM(x) FROM M", "SELECT x FROM M WHERE x > 1"] {
+            assert_eq!(
+                run_with(sql, &db, true).rows,
+                run_with(sql, &db, false).rows,
+                "query `{sql}` diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_sum_overflow_promotes_like_row_path() {
+        let mut db = Database::new();
+        db.insert("T", rel_of_ints(["x"], &[&[i64::MAX], &[1], &[5]]));
+        let sql = "SELECT SUM(x) FROM T";
+        let v = run_with(sql, &db, true);
+        assert_eq!(v.rows, run_with(sql, &db, false).rows);
+        assert!(matches!(v.rows[0][0], Value::Double(_)));
+    }
+
+    #[test]
+    fn vectorized_projection_errors_match_row_path() {
+        let db = db2();
+        let q = parse_query("SELECT A / 0 FROM R1").unwrap();
+        let v = execute_with(&q, &db, true).unwrap_err();
+        let r = execute_with(&q, &db, false).unwrap_err();
+        assert_eq!(v, r);
+        assert_eq!(v, EngineError::DivisionByZero);
+    }
+
+    #[test]
+    fn indexed_scan_declines_vectorization() {
+        use aggview_obs::{CounterId, MetricsRegistry};
+        use std::sync::Arc;
+        let mut db = Database::new();
+        db.insert("V", rel_of_ints(["a", "s"], &[&[1, 5], &[2, 9]]));
+        db.set_index("V", GroupIndex::build(db.get("V").unwrap(), vec![0]));
+        let m = Arc::new(MetricsRegistry::default());
+        db.set_metrics(Arc::clone(&m));
+        let out = run("SELECT s FROM V WHERE a = 2", &db);
+        assert_eq!(out.rows, vec![vec![Value::Int(9)]]);
+        assert_eq!(m.get(CounterId::IndexProbes), 1);
+        assert_eq!(m.get(CounterId::ExecVectorized), 0);
+    }
+
+    #[test]
+    fn vectorized_string_grouping_matches_row_path() {
+        let mut db = Database::new();
+        db.insert(
+            "P",
+            Relation::new(
+                ["name", "v"],
+                vec![
+                    vec![Value::Str("gold".into()), Value::Int(5)],
+                    vec![Value::Str("basic".into()), Value::Int(1)],
+                    vec![Value::Str("basic".into()), Value::Int(2)],
+                ],
+            ),
+        );
+        let sql = "SELECT name, SUM(v), MIN(name), MAX(name) FROM P GROUP BY name";
+        let v = run_with(sql, &db, true);
+        assert_eq!(v.rows, run_with(sql, &db, false).rows);
+        // First-seen group order is part of the contract.
+        assert_eq!(v.rows[0][0], Value::Str("gold".into()));
+    }
+
+    #[test]
+    fn nan_under_min_falls_back_to_matching_error() {
+        let mut db = Database::new();
+        db.insert(
+            "D",
+            Relation::new(
+                ["x"],
+                vec![vec![Value::Double(1.0)], vec![Value::Double(f64::NAN)]],
+            ),
+        );
+        let q = parse_query("SELECT MIN(x) FROM D").unwrap();
+        let v = execute_with(&q, &db, true).unwrap_err();
+        let r = execute_with(&q, &db, false).unwrap_err();
+        assert_eq!(v, r);
     }
 }

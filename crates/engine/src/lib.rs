@@ -13,6 +13,9 @@
 //!   planning over the equality predicates, grouping, aggregation, HAVING,
 //!   DISTINCT),
 //! * [`agg`] — aggregate accumulators,
+//! * [`columnar`] — typed column vectors behind the row-based wire format,
+//!   with lossless conversion both ways (the vectorized operators in
+//!   [`exec`] run over these),
 //! * [`datagen`] — synthetic workloads: the telephony warehouse of the
 //!   paper's Example 1.1 and random databases for property testing,
 //! * [`snapshot`] — atomically-swappable immutable snapshots and store
@@ -27,6 +30,7 @@
 //! * `/` always produces a double; `AVG` is a double.
 
 pub mod agg;
+pub mod columnar;
 pub mod database;
 pub mod datagen;
 pub mod error;
@@ -38,9 +42,10 @@ pub mod relation;
 pub mod snapshot;
 pub mod value;
 
+pub use columnar::ColumnarRelation;
 pub use database::Database;
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute, PhysicalPlan};
+pub use exec::{execute, execute_with, PhysicalPlan};
 pub use index::GroupIndex;
 pub use reference::execute_reference;
 pub use relation::{multiset_eq, set_eq, Relation};

@@ -21,7 +21,7 @@
 
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
-use crate::exec::execute;
+use crate::exec::execute_with;
 use crate::index::GroupIndex;
 use crate::relation::Relation;
 use crate::value::{self, Value};
@@ -438,6 +438,23 @@ pub fn maintain_view(
     db: &Database,
     index: Option<&mut GroupIndex>,
 ) -> EngineResult<bool> {
+    maintain_view_with(view_query, view_rel, changed_table, delta, db, index, true)
+}
+
+/// [`maintain_view`] with an explicit columnar-execution switch for the
+/// recomputation fallback (the incremental delta paths are row-based either
+/// way). Sessions thread their `columnar` option through here so `columnar
+/// = off` exercises the row interpreter end to end.
+#[allow(clippy::too_many_arguments)]
+pub fn maintain_view_with(
+    view_query: &Query,
+    view_rel: &mut Relation,
+    changed_table: &str,
+    delta: DeltaKind<'_>,
+    db: &Database,
+    index: Option<&mut GroupIndex>,
+    columnar: bool,
+) -> EngineResult<bool> {
     // A view not reading the changed table is untouched.
     if !view_query.from.iter().any(|t| t.table == changed_table) {
         return Ok(true);
@@ -458,7 +475,7 @@ pub fn maintain_view(
         }
     }
     let names = view_rel.columns.clone();
-    *view_rel = execute(view_query, db)?;
+    *view_rel = execute_with(view_query, db, columnar)?;
     view_rel.columns = names;
     if let Some(idx) = index {
         idx.rebuild(view_rel);
@@ -469,6 +486,7 @@ pub fn maintain_view(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::execute;
     use crate::relation::{multiset_eq, rel_of_ints};
     use aggview_sql::parse_query;
     use rand::rngs::StdRng;

@@ -109,11 +109,16 @@ pub enum CounterId {
     WriteQueueDepth,
     /// High-water mark of the write queue.
     WriteQueueMax,
+    /// Queries answered by the vectorized (columnar) execution path.
+    ExecVectorized,
+    /// Queries answered by the row-at-a-time interpreter (vectorization
+    /// declined or disabled).
+    ExecRowFallback,
 }
 
 impl CounterId {
     /// Every counter, in declaration order.
-    pub const ALL: [CounterId; 24] = [
+    pub const ALL: [CounterId; 26] = [
         CounterId::Statements,
         CounterId::Queries,
         CounterId::Writes,
@@ -138,6 +143,8 @@ impl CounterId {
         CounterId::StorePublishes,
         CounterId::WriteQueueDepth,
         CounterId::WriteQueueMax,
+        CounterId::ExecVectorized,
+        CounterId::ExecRowFallback,
     ];
 
     /// Stable snake_case name; the Prometheus metric is
@@ -168,6 +175,8 @@ impl CounterId {
             CounterId::StorePublishes => "store_publishes",
             CounterId::WriteQueueDepth => "write_queue_depth",
             CounterId::WriteQueueMax => "write_queue_max",
+            CounterId::ExecVectorized => "exec_vectorized",
+            CounterId::ExecRowFallback => "exec_row_fallback",
         }
     }
 

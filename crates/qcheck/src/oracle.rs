@@ -7,7 +7,8 @@
 //!
 //! * a **session config lattice** (plan cache on/off × grouped-view
 //!   indexes on/off × compiled vs. interpreted plans × delta-maintained
-//!   vs. recomputed views) replaying the same statement stream, with the
+//!   vs. recomputed views × columnar vs. row-at-a-time execution)
+//!   replaying the same statement stream, with the
 //!   query answered at three points (half the data, after view creation,
 //!   after more inserts and a delete) plus a repeated `SELECT` that must
 //!   serve from the plan cache without drift;
@@ -69,21 +70,25 @@ struct LatticePoint {
     index: bool,
     compile: bool,
     recompute: bool,
+    columnar: bool,
 }
 
 impl LatticePoint {
     fn all() -> Vec<LatticePoint> {
-        let mut out = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(32);
         for cache in [true, false] {
             for index in [true, false] {
                 for compile in [true, false] {
                     for recompute in [true, false] {
-                        out.push(LatticePoint {
-                            cache,
-                            index,
-                            compile,
-                            recompute,
-                        });
+                        for columnar in [true, false] {
+                            out.push(LatticePoint {
+                                cache,
+                                index,
+                                compile,
+                                recompute,
+                                columnar,
+                            });
+                        }
                     }
                 }
             }
@@ -97,6 +102,7 @@ impl LatticePoint {
             index_views: self.index,
             compile_plans: self.compile,
             recompute_views: self.recompute,
+            columnar: self.columnar,
             ..SessionOptions::default()
         }
     }
@@ -106,8 +112,12 @@ impl fmt::Display for LatticePoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache={} index={} compile={} recompute={}",
-            self.cache as u8, self.index as u8, self.compile as u8, self.recompute as u8
+            "cache={} index={} compile={} recompute={} columnar={}",
+            self.cache as u8,
+            self.index as u8,
+            self.compile as u8,
+            self.recompute as u8,
+            self.columnar as u8
         )
     }
 }
@@ -193,9 +203,9 @@ fn check_case_inner(case: &Case) -> Result<(), Discrepancy> {
 /// The answers must match the same reference expectations the
 /// single-session oracle enforces — a handle whose private plan cache
 /// survives another handle's DDL, or whose pinned snapshot misses an
-/// acked write, shows up as a mismatch. Runs the whole 16-point options
-/// lattice; the lattice's write-side axes (index, recompute) become the
-/// store-wide [`WritePolicy`].
+/// acked write, shows up as a mismatch. Runs the whole 32-point options
+/// lattice; the lattice's write-side axes (index, recompute, columnar)
+/// become the store-wide [`WritePolicy`].
 pub fn check_case_sessions(case: &Case, sessions: usize) -> Result<(), Discrepancy> {
     assert!(sessions >= 1, "at least one session handle");
     match catch_unwind(AssertUnwindSafe(|| {
@@ -261,6 +271,7 @@ fn run_lattice_point_sessions(
     let store = SharedStore::new(WritePolicy {
         index_views: point.index,
         recompute_views: point.recompute,
+        columnar: point.columnar,
     });
     let mut handles: Vec<Session> = (0..sessions)
         .map(|_| store.session(point.options()))

@@ -5,17 +5,27 @@
 #     with the RewriteStats counters of the instrumented run.
 #   BENCH_2.json — the serving-path figures: S1 cold-vs-warm end-to-end
 #     latency/QPS under write mixes, S2 grouped-index probe vs. scan.
+#   BENCH_5.json — the S5 scan/aggregate scale sweep (1k → 100k rows),
+#     row interpreter vs. columnar kernels, with the acceptance bar
+#     (speedup_at_largest_scale >= 5.0) recorded alongside the data.
 #
 # Usage: scripts/bench_snapshot.sh
-# Writes: BENCH_1.json and BENCH_2.json (repo root), prints the tables.
+# Writes: BENCH_1.json, BENCH_2.json and BENCH_5.json (repo root),
+# prints the tables.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p aggview-bench
 ./target/release/repro --json f3 f4 s1 s2
+# S5 runs at --full so the sweep reaches the 100k-row scale the
+# acceptance bar is stated against.
+./target/release/repro --json --full s5
 echo
 echo "BENCH_1.json:"
 cat BENCH_1.json
 echo
 echo "BENCH_2.json:"
 cat BENCH_2.json
+echo
+echo "BENCH_5.json:"
+cat BENCH_5.json

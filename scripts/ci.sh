@@ -3,8 +3,10 @@
 # clean, a quick serving-bench smoke (the S1/S2 harness must run and
 # produce a warm-path speedup > 1), a differential smoke (a short
 # qcheck seed sweep plus the persisted corpus, failing on any
-# regression), and a concurrency smoke (the shared-store stress test
-# under --release plus a short multi-session qcheck sweep).
+# regression), a concurrency smoke (the shared-store stress test
+# under --release plus a short multi-session qcheck sweep), and a
+# columnar smoke (the S5 row-vs-columnar harness runs, and the same
+# script answers byte-identically with and without --no-columnar).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -22,6 +24,29 @@ smoke=$(./target/release/repro s1 s2)
 printf '%s\n' "$smoke" >&2
 grep -q "S1 — end-to-end serving latency" <<<"$smoke"
 grep -q "S2 — view point lookups" <<<"$smoke"
+# Columnar smoke: the S5 scan/aggregate harness at a small scale (the
+# full 1k→100k sweep lives in scripts/bench_snapshot.sh), plus a
+# row-vs-columnar byte-identity check — the same script through the
+# default (vectorized) session and through --no-columnar must print
+# exactly the same bytes once wall-clock duration tokens are masked
+# (the `(N.NN ms)` evaluation timings vary run to run by design).
+smoke5=$(./target/release/repro --rows 2000 s5)
+printf '%s\n' "$smoke5" >&2
+grep -q "S5 — scan/aggregate latency" <<<"$smoke5"
+columnar_script='CREATE TABLE Sales (Region, Product, Amount);
+INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3), (2, 11, 9), (1, 10, 2);
+CREATE VIEW Totals AS SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount), COUNT(Amount) FROM Sales GROUP BY Region;
+SELECT Region, SUM(Amount) FROM Sales WHERE Amount < 5 GROUP BY Region;
+SELECT Product, MIN(Amount), MAX(Amount), AVG(Amount) FROM Sales GROUP BY Product;
+SELECT Region, T, N FROM Totals;'
+col_out=$(./target/release/aggview <<<"$columnar_script" | sed -E 's/\([0-9.]+ ms\)/(ms)/g')
+row_out=$(./target/release/aggview --no-columnar <<<"$columnar_script" | sed -E 's/\([0-9.]+ ms\)/(ms)/g')
+if [ "$col_out" != "$row_out" ]; then
+  echo "ci: columnar and --no-columnar outputs diverge" >&2
+  diff <(printf '%s\n' "$col_out") <(printf '%s\n' "$row_out") >&2 || true
+  exit 1
+fi
 # Differential smoke: seconds, not minutes — the deep sweep lives in
 # scripts/soak.sh. A corpus regression (a once-interesting case going
 # wrong again) fails the gate.

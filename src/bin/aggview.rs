@@ -20,6 +20,8 @@
 //!   --no-multi       single-view rewritings only
 //!   --no-plan-cache  disable the serving-plan cache (full search per SELECT)
 //!   --no-view-index  do not build group indexes on materialized views
+//!   --no-columnar    force the row-at-a-time interpreter (disable the
+//!                    vectorized columnar execution path)
 //!   --no-obs         disable the observability layer entirely (no registry,
 //!                    no spans; EXPLAIN ANALYZE becomes an error)
 //!   --slow-ms N      slow-query ring threshold in milliseconds (default 100)
@@ -62,6 +64,7 @@ fn main() -> ExitCode {
             "--no-multi" => options.rewrite.multi_view = false,
             "--no-plan-cache" => options.plan_cache_cap = 0,
             "--no-view-index" => options.index_views = false,
+            "--no-columnar" => options.columnar = false,
             "--no-obs" => options.obs.enabled = false,
             "--slow-ms" => match parse_slow_ms(iter.next()) {
                 Some(ms) => options.obs.slow_query_ms = ms,
@@ -71,7 +74,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
-                            [--no-plan-cache] [--no-view-index] [--no-obs] [--slow-ms N] \
+                            [--no-plan-cache] [--no-view-index] [--no-columnar] [--no-obs] [--slow-ms N] \
                             [--interactive] [script.sql ...]\n       \
                             aggview serve [--sessions K] [--metrics] [FLAGS] [script.sql ...]\n       \
                             aggview metrics [--human] [FLAGS] [script.sql ...]\n       \
@@ -187,6 +190,7 @@ fn serve(args: &[String]) -> ExitCode {
             "--no-multi" => options.rewrite.multi_view = false,
             "--no-plan-cache" => options.plan_cache_cap = 0,
             "--no-view-index" => options.index_views = false,
+            "--no-columnar" => options.columnar = false,
             "--no-obs" => options.obs.enabled = false,
             "--metrics" => show_metrics = true,
             "--slow-ms" => match parse_slow_ms(iter.next()) {
@@ -221,6 +225,7 @@ fn serve(args: &[String]) -> ExitCode {
         WritePolicy {
             index_views: options.index_views,
             recompute_views: options.recompute_views,
+            columnar: options.columnar,
         },
         options.obs.clone(),
     );
@@ -272,6 +277,7 @@ fn metrics(args: &[String]) -> ExitCode {
             "--no-multi" => options.rewrite.multi_view = false,
             "--no-plan-cache" => options.plan_cache_cap = 0,
             "--no-view-index" => options.index_views = false,
+            "--no-columnar" => options.columnar = false,
             "--human" => format = Format::Human,
             "--slow-ms" => match parse_slow_ms(iter.next()) {
                 Some(ms) => options.obs.slow_query_ms = ms,

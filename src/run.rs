@@ -5,7 +5,9 @@
 use aggview_core::expand::NAT_TABLE;
 use aggview_core::{Rewriter, Rewriting, ViewDef};
 use aggview_engine::datagen::nat_table;
-use aggview_engine::{execute, multiset_eq, set_eq, Database, EngineResult, Relation, Value};
+use aggview_engine::{
+    execute, execute_with, multiset_eq, set_eq, Database, EngineResult, Relation, Value,
+};
 use aggview_sql::Query;
 
 /// Materialize each view into `db` under its name, in definition order
@@ -32,15 +34,26 @@ fn materialize_view(db: &Database, view: &ViewDef) -> EngineResult<Relation> {
 ///
 /// `db` must already contain the materialized views the rewriting uses.
 pub fn execute_rewriting(rw: &Rewriting, db: &Database) -> EngineResult<Relation> {
+    execute_rewriting_with(rw, db, true)
+}
+
+/// [`execute_rewriting`] with an explicit columnar-execution switch (the
+/// auxiliary views are still materialized through the default path — their
+/// contents are path-independent by construction).
+pub fn execute_rewriting_with(
+    rw: &Rewriting,
+    db: &Database,
+    columnar: bool,
+) -> EngineResult<Relation> {
     if rw.aux_views.is_empty() && !rw.requires_nat {
-        return execute(&rw.query, db);
+        return execute_with(&rw.query, db, columnar);
     }
     let mut scratch = db.clone();
     materialize_views(&mut scratch, &rw.aux_views)?;
     if rw.requires_nat && !scratch.contains(NAT_TABLE) {
         ensure_nat(&mut scratch);
     }
-    execute(&rw.query, &scratch)
+    execute_with(&rw.query, &scratch, columnar)
 }
 
 /// Insert the interpreted `Nat` table (footnote 3), sized to the largest

@@ -30,12 +30,12 @@
 //! options — only the stored state is shared.
 
 use crate::plan_cache::{AnswerMeta, CacheKey, PlanCache, DEFAULT_PLAN_CACHE_CAP};
-use crate::run::{execute_rewriting, rewriting_equivalent};
+use crate::run::{execute_rewriting_with, rewriting_equivalent};
 use crate::server::{SharedStore, StoreSnapshot, WriteOp};
 use crate::state::{EngineState, WritePolicy};
 use aggview_core::advisor::suggest_views;
 use aggview_core::{Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, ViewDef};
-use aggview_engine::{execute, Database, PhysicalPlan, Relation};
+use aggview_engine::{execute_with, Database, PhysicalPlan, Relation};
 use aggview_obs::{
     CounterId, Format, MetricsRegistry, ObsOptions, ObsSnapshot, QuerySection, Stage,
 };
@@ -68,6 +68,11 @@ pub struct SessionOptions {
     /// incremental-maintenance delta path (again a differential-harness
     /// lattice axis: delta and recompute must agree).
     pub recompute_views: bool,
+    /// Let eligible queries run on the vectorized columnar operators
+    /// (`false` forces the row-at-a-time interpreter on every path — the
+    /// differential harness's row-vs-columnar lattice axis, and the
+    /// `--no-columnar` escape hatch).
+    pub columnar: bool,
     /// Observability configuration: whether a metrics registry is
     /// attached at all, the slow-query threshold and ring capacity, and
     /// whether answers carry an [`ObsSnapshot`].
@@ -83,6 +88,7 @@ impl Default for SessionOptions {
             index_views: true,
             compile_plans: true,
             recompute_views: false,
+            columnar: true,
             obs: ObsOptions::default(),
         }
     }
@@ -138,6 +144,12 @@ impl SessionOptionsBuilder {
     /// Refresh dependent views by full recomputation.
     pub fn recompute_views(mut self, on: bool) -> Self {
         self.options.recompute_views = on;
+        self
+    }
+
+    /// Run eligible queries on the vectorized columnar operators.
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.options.columnar = on;
         self
     }
 
@@ -394,6 +406,7 @@ impl Session {
         WritePolicy {
             index_views: self.options.index_views,
             recompute_views: self.options.recompute_views,
+            columnar: self.options.columnar,
         }
     }
 
@@ -583,6 +596,14 @@ impl Session {
                 "EXPLAIN ANALYZE needs observability enabled (session started with --no-obs)",
             ));
         }
+        // Bracket the select with the execution-path counters so the
+        // report can say which interpreter answered *this* query.
+        let exec_before = self.metrics.as_ref().map(|m| {
+            (
+                m.get(CounterId::ExecVectorized),
+                m.get(CounterId::ExecRowFallback),
+            )
+        });
         let outcome = self.select(q, true)?;
         let StatementOutcome::Answer {
             relation,
@@ -605,6 +626,21 @@ impl Session {
         }
         lines.push(format!("-- executed: {executed}"));
         lines.push(format!("-- rows: {}", relation.len()));
+        if let (Some(m), Some((vec_before, row_before))) = (&self.metrics, exec_before) {
+            let vectorized = m.get(CounterId::ExecVectorized) - vec_before;
+            let fallback = m.get(CounterId::ExecRowFallback) - row_before;
+            let path = match (vectorized, fallback) {
+                (v, 0) if v > 0 => "vectorized (columnar kernels)".to_string(),
+                (0, f) if f > 0 => "row-at-a-time interpreter".to_string(),
+                (0, 0) => "n/a (no plan execution recorded)".to_string(),
+                (v, f) => format!("mixed ({v} vectorized, {f} row)"),
+            };
+            lines.push(format!(
+                "-- exec path: {path}; session totals: exec_vectorized={} exec_row_fallback={}",
+                m.get(CounterId::ExecVectorized),
+                m.get(CounterId::ExecRowFallback),
+            ));
+        }
         let snap = obs.expect("metrics enabled forces an attached snapshot");
         lines.extend(explain_tail_lines(&snap, None));
         Ok(StatementOutcome::Explanation(lines))
@@ -725,10 +761,11 @@ fn select_on(
             let t = metrics.is_none().then(std::time::Instant::now);
             let relation = match (&cached.plan, &cached.rewriting) {
                 (Some(plan), _) => plan.run(&state.db).map_err(|e| err(e.to_string()))?,
-                (None, Some(rw)) => {
-                    execute_rewriting(rw, &state.db).map_err(|e| err(e.to_string()))?
+                (None, Some(rw)) => execute_rewriting_with(rw, &state.db, options.columnar)
+                    .map_err(|e| err(e.to_string()))?,
+                (None, None) => {
+                    execute_with(q, &state.db, options.columnar).map_err(|e| err(e.to_string()))?
                 }
-                (None, None) => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
             };
             let (elapsed_ms, hit_timing) = match (metrics, exec_start_ns, total_start_ns) {
                 (Some(m), Some(exec_start), Some(total_start)) => {
@@ -811,7 +848,11 @@ fn select_on(
             let plan = options
                 .compile_plans
                 .then(|| PhysicalPlan::compile(q, &state.db).ok())
-                .flatten();
+                .flatten()
+                .map(|mut p| {
+                    p.set_columnar(options.columnar);
+                    p
+                });
             let plan_ns = plan_span.map(|s| s.finish());
             if let (Some(m), true) = (metrics, plan.is_some()) {
                 m.incr(CounterId::PlanCompiles);
@@ -820,7 +861,9 @@ fn select_on(
             let t = std::time::Instant::now();
             let relation = match &plan {
                 Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
-                None => execute(q, &state.db).map_err(|e| err(e.to_string()))?,
+                None => {
+                    execute_with(q, &state.db, options.columnar).map_err(|e| err(e.to_string()))?
+                }
             };
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
             let exec_ns = exec_span.map(|s| s.finish());
@@ -863,7 +906,11 @@ fn select_on(
             let plan_span = metrics.map(|m| m.span(Stage::Plan));
             let plan = (options.compile_plans && best.aux_views.is_empty() && !best.requires_nat)
                 .then(|| PhysicalPlan::compile(&best.query, &state.db).ok())
-                .flatten();
+                .flatten()
+                .map(|mut p| {
+                    p.set_columnar(options.columnar);
+                    p
+                });
             let plan_ns = plan_span.map(|s| s.finish());
             if let (Some(m), true) = (metrics, plan.is_some()) {
                 m.incr(CounterId::PlanCompiles);
@@ -872,7 +919,8 @@ fn select_on(
             let t = std::time::Instant::now();
             let relation = match &plan {
                 Some(p) => p.run(&state.db).map_err(|e| err(e.to_string()))?,
-                None => execute_rewriting(best, &state.db).map_err(|e| err(e.to_string()))?,
+                None => execute_rewriting_with(best, &state.db, options.columnar)
+                    .map_err(|e| err(e.to_string()))?,
             };
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
             let exec_ns = exec_span.map(|s| s.finish());

@@ -13,8 +13,8 @@
 use crate::session::{err, SessionError};
 use aggview_catalog::{Catalog, TableSchema};
 use aggview_core::{Canonical, TableStats, ViewDef};
-use aggview_engine::maintenance::{maintain_view, plan_for_view, DeltaKind, MaintenancePlan};
-use aggview_engine::{execute, Database, GroupIndex, Relation, Value};
+use aggview_engine::maintenance::{maintain_view_with, plan_for_view, DeltaKind, MaintenancePlan};
+use aggview_engine::{execute_with, Database, GroupIndex, Relation, Value};
 use aggview_sql::{CreateTable, CreateView, Delete, Insert, Query};
 
 /// Catalog + database + view definitions: everything a statement needs.
@@ -45,6 +45,10 @@ pub struct WritePolicy {
     /// Refresh dependent views by full recomputation instead of the
     /// incremental delta path.
     pub recompute_views: bool,
+    /// Let write-path query execution (view materialization, DELETE row
+    /// matching, recomputation fallbacks) use the vectorized columnar
+    /// operators. Off forces the row-at-a-time interpreter everywhere.
+    pub columnar: bool,
 }
 
 impl Default for WritePolicy {
@@ -52,6 +56,7 @@ impl Default for WritePolicy {
         WritePolicy {
             index_views: true,
             recompute_views: false,
+            columnar: true,
         }
     }
 }
@@ -113,8 +118,8 @@ impl EngineState {
             return Err(err(format!("relation `{}` already exists", cv.name)));
         }
         let view = ViewDef::new(cv.name.clone(), cv.query.clone());
-        let mut rel =
-            execute(&view.query, &self.db).map_err(|e| err(format!("view `{}`: {e}", cv.name)))?;
+        let mut rel = execute_with(&view.query, &self.db, policy.columnar)
+            .map_err(|e| err(format!("view `{}`: {e}", cv.name)))?;
         rel.columns = view.output_names();
         let n = rel.len();
         self.db.insert(view.name.clone(), rel);
@@ -204,7 +209,7 @@ impl EngineState {
                 group_by: Vec::new(),
                 having: None,
             };
-            execute(&q, &self.db).map_err(|e| err(e.to_string()))?
+            execute_with(&q, &self.db, policy.columnar).map_err(|e| err(e.to_string()))?
         };
         // Remove exactly the matching multiset from the base table.
         let mut remaining = self
@@ -297,17 +302,18 @@ impl EngineState {
             // otherwise), maintain it alongside the rows, and re-attach.
             let mut idx = self.db.take_index(&v.name);
             let took_incremental = if direct_only {
-                maintain_view(
+                maintain_view_with(
                     &v.query,
                     &mut rel,
                     changed_table,
                     delta,
                     &self.db,
                     idx.as_mut(),
+                    policy.columnar,
                 )
                 .map_err(|e| err(format!("maintaining `{}`: {e}", v.name)))?
             } else {
-                let mut fresh = execute(&v.query, &self.db)
+                let mut fresh = execute_with(&v.query, &self.db, policy.columnar)
                     .map_err(|e| err(format!("refreshing `{}`: {e}", v.name)))?;
                 fresh.columns = v.output_names();
                 rel = fresh;

@@ -230,6 +230,8 @@ EXPLAIN ANALYZE SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
         "-- answered from [\"Totals\"] (# candidate rewriting(s))",
         "-- executed: SELECT Totals.Region, SUM(Totals.T) FROM Totals GROUP BY Totals.Region",
         "-- rows: #",
+        "-- exec path: vectorized (columnar kernels); session totals: \
+         exec_vectorized=# exec_row_fallback=#",
         "-- query: fingerprint=<FP> plan=cached",
         "-- execute <T>",
         "-- total <T>",

@@ -73,3 +73,43 @@ fn corpus_replays_without_regressions_across_sessions() {
         }
     }
 }
+
+/// The row-vs-columnar axis, pinned directly: every corpus case's query
+/// and view definitions must produce *byte-identical* relations (rows and
+/// row order, not just bag equality) under `columnar: true` and `false`.
+/// The lattice oracle above already cross-checks both modes against the
+/// reference interpreter; this is the stricter determinism claim behind
+/// the `--no-columnar` escape hatch.
+#[test]
+fn corpus_answers_are_byte_identical_row_vs_columnar() {
+    use aggview::engine::execute_with;
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("corpus files parse");
+    for (name, case) in cases {
+        let mut db = case.database(false);
+        aggview::run::materialize_views(&mut db, &case.views)
+            .unwrap_or_else(|e| panic!("corpus case {name}: views fail to materialize: {e}"));
+        let mut targets = vec![("query".to_string(), case.query.clone())];
+        for v in &case.views {
+            targets.push((format!("view {}", v.name), v.query.clone()));
+        }
+        for (what, q) in targets {
+            let row = execute_with(&q, &db, false);
+            let col = execute_with(&q, &db, true);
+            match (row, col) {
+                (Ok(r), Ok(c)) => {
+                    assert_eq!(
+                        r.rows, c.rows,
+                        "corpus case {name}: {what} answers diverge between row and columnar"
+                    );
+                    assert_eq!(r.columns, c.columns);
+                }
+                (r, c) => assert_eq!(
+                    format!("{r:?}"),
+                    format!("{c:?}"),
+                    "corpus case {name}: {what} outcomes diverge between row and columnar"
+                ),
+            }
+        }
+    }
+}
