@@ -36,13 +36,25 @@
 //!   are warm (plan cache + columnar cache populated by the warmup
 //!   pass), so the ratio isolates operator execution. The acceptance bar
 //!   is ≥ 5x columnar speedup at the 100k-row scale.
+//! * **S6 — sharded write throughput** (snapshotted to `BENCH_6.json`):
+//!   a single driver streams single-row inserts through the
+//!   scatter-gather router of a [`ShardedStore`] at 1/2/4 shards (each
+//!   shard an independent store with its own writer thread), with
+//!   uniform partitioning keys plus one skewed point. Reports acked
+//!   write throughput, the queue-wait vs. apply/publish split, and
+//!   per-shard publish/row balance (uniform keys must stay within 20%
+//!   of the mean).
 //!
 //! [`GroupIndex`]: aggview::engine::GroupIndex
 
 use crate::report::Table;
+use aggview::catalog::{Catalog, TableSchema};
+use aggview::engine::datagen::random_database_skewed;
+use aggview::engine::Value;
 use aggview::obs::{CounterId, Stage};
 use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions};
+use aggview::sharded::ShardedStore;
 use aggview_sql::{parse_script, Statement};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Barrier};
@@ -348,6 +360,12 @@ pub struct ConcurrentPoint {
     /// Mean end-to-end latency of one acked write (submit → batch →
     /// publish → ack), µs.
     pub write_us: f64,
+    /// Mean time one write spent queued before the writer thread drained
+    /// it, µs (`write_us` ≈ queue wait + apply/publish + ack overhead).
+    pub queue_wait_us: f64,
+    /// Mean writer-thread apply+publish cost per write, µs — the store's
+    /// real write-path cost, separated from queueing under contention.
+    pub apply_publish_us: f64,
     /// Snapshots published by the writer thread.
     pub publishes: u64,
     /// Mean ops per write batch (`batched_ops / batches`).
@@ -439,6 +457,8 @@ fn run_concurrent(
         } else {
             0.0
         },
+        queue_wait_us: stats.mean_queue_wait_us(),
+        apply_publish_us: stats.mean_apply_publish_us(),
         publishes: stats.publishes.load(Relaxed),
         mean_batch: stats.mean_batch(),
         max_batch: stats.max_batch.load(Relaxed),
@@ -736,6 +756,8 @@ pub fn s3_concurrent(full: bool) -> Table {
             "read qps",
             "write qps",
             "write us",
+            "queue us",
+            "apply us",
             "publishes",
             "mean batch",
         ],
@@ -748,8 +770,203 @@ pub fn s3_concurrent(full: bool) -> Table {
             format!("{:.0}", p.read_qps),
             format!("{:.0}", p.write_qps),
             format!("{:.1}", p.write_us),
+            format!("{:.1}", p.queue_wait_us),
+            format!("{:.1}", p.apply_publish_us),
             p.publishes.to_string(),
             format!("{:.1}", p.mean_batch),
+        ]);
+    }
+    table
+}
+
+/// One measured sharded-write scenario: single-row inserts routed by the
+/// scatter-gather driver across N independent shard stores (one writer
+/// thread + snapshot cell each) for a fixed wall-clock window.
+#[derive(Debug, Clone)]
+pub struct ShardPoint {
+    /// Shard count (1 = the unsharded baseline through the same router).
+    pub shards: usize,
+    /// Skew of the partitioning-key distribution (0 = uniform; the
+    /// `random_database_skewed` power-law knob).
+    pub skew: f64,
+    /// Total acked single-row `INSERT`s in the window.
+    pub writes: u64,
+    /// Acked write throughput, inserts / wall second.
+    pub write_qps: f64,
+    /// Mean end-to-end latency of one acked write, µs.
+    pub write_us: f64,
+    /// Mean queue wait per write across all shard stores, µs.
+    pub queue_wait_us: f64,
+    /// Mean apply+publish cost per write across all shard stores, µs.
+    pub apply_publish_us: f64,
+    /// Snapshots published per shard, in shard order.
+    pub per_shard_publishes: Vec<u64>,
+    /// Base-table rows that landed on each shard, in shard order.
+    pub per_shard_rows: Vec<usize>,
+}
+
+impl ShardPoint {
+    /// Largest per-shard publish count over the mean (1.0 = perfectly
+    /// balanced; the uniform-key acceptance bar is ≤ 1.2).
+    pub fn publish_balance(&self) -> f64 {
+        let n = self.per_shard_publishes.len();
+        let total: u64 = self.per_shard_publishes.iter().sum();
+        if n == 0 || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / n as f64;
+        let max = *self.per_shard_publishes.iter().max().unwrap() as f64;
+        max / mean
+    }
+
+    /// Same ratio over per-shard row counts.
+    pub fn row_balance(&self) -> f64 {
+        let n = self.per_shard_rows.len();
+        let total: usize = self.per_shard_rows.iter().sum();
+        if n == 0 || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / n as f64;
+        let max = *self.per_shard_rows.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+/// The S6 insert pool: one single-row `INSERT` per generated row, with
+/// the partitioning column (`Region`, column 0 of the keyless table)
+/// drawn from `0..256` — uniformly at `skew = 0`, power-law otherwise.
+fn sharded_write_stream(pool: usize, skew: f64) -> Vec<Statement> {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new("Calls", ["Region", "Product", "Amount"]))
+        .expect("fresh catalog");
+    let db = random_database_skewed(&cat, pool, 256, 0x5eed_5eed, skew);
+    db.get("Calls")
+        .expect("generated table")
+        .rows
+        .iter()
+        .map(|row| {
+            let cell = |v: &Value| match v {
+                Value::Int(x) => *x,
+                other => panic!("datagen emits ints, got {other}"),
+            };
+            parse_one(&format!(
+                "INSERT INTO Calls VALUES ({}, {}, {})",
+                cell(&row[0]),
+                cell(&row[1]),
+                cell(&row[2])
+            ))
+        })
+        .collect()
+}
+
+/// Run one sharded write window: a single driver thread streams the
+/// insert pool through the scatter router; every row is hash-routed to
+/// its shard's writer thread and acked after that shard publishes.
+fn run_sharded_write(shards: usize, skew: f64, millis: u64, pool: usize) -> ShardPoint {
+    let store = ShardedStore::with_defaults(shards);
+    let mut session = store.session(SessionOptions::default());
+    let setup = "CREATE TABLE Calls (Region, Product, Amount);\n\
+         CREATE VIEW RegionTotals AS \
+         SELECT Region, SUM(Amount) AS T, COUNT(Amount) AS N \
+         FROM Calls GROUP BY Region;";
+    session
+        .run_script(&parse_script(setup).expect("setup parses"))
+        .expect("setup runs");
+    let inserts = sharded_write_stream(pool, skew);
+
+    let deadline = Instant::now() + Duration::from_millis(millis);
+    let wall = Instant::now();
+    let mut writes = 0u64;
+    let mut write_us = 0.0f64;
+    while Instant::now() < deadline {
+        let t = Instant::now();
+        session
+            .execute(&inserts[writes as usize % inserts.len()])
+            .expect("insert");
+        write_us += t.elapsed().as_secs_f64() * 1e6;
+        writes += 1;
+    }
+    let secs = wall.elapsed().as_secs_f64();
+
+    let (mut queue_ns, mut apply_ns, mut ops) = (0u64, 0u64, 0u64);
+    let mut per_shard_publishes = Vec::with_capacity(shards);
+    for shard in store.shards() {
+        let stats = shard.stats();
+        queue_ns += stats.queue_wait_ns.load(Relaxed);
+        apply_ns += stats.apply_publish_ns.load(Relaxed);
+        ops += stats.batched_ops.load(Relaxed);
+        per_shard_publishes.push(stats.publishes.load(Relaxed));
+    }
+    let per_shard_rows = store
+        .load_all()
+        .iter()
+        .map(|snap| snap.state.db.get("Calls").map_or(0, |r| r.len()))
+        .collect();
+    let per_op = |ns: u64| {
+        if ops == 0 {
+            0.0
+        } else {
+            ns as f64 / ops as f64 / 1e3
+        }
+    };
+    ShardPoint {
+        shards,
+        skew,
+        writes,
+        write_qps: writes as f64 / secs.max(1e-9),
+        write_us: if writes > 0 {
+            write_us / writes as f64
+        } else {
+            0.0
+        },
+        queue_wait_us: per_op(queue_ns),
+        apply_publish_us: per_op(apply_ns),
+        per_shard_publishes,
+        per_shard_rows,
+    }
+}
+
+/// S6 data — write throughput vs. shard count: uniform partitioning keys
+/// across 1/2/4 shards, plus one skewed point (`skew` > 0 piles the keys
+/// onto the low shards of the hash space's preimage).
+pub fn sharded_points(full: bool, skew: f64) -> Vec<ShardPoint> {
+    let millis = if full { 400 } else { 120 };
+    let pool = if full { 4_096 } else { 1_024 };
+    let mut points: Vec<ShardPoint> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| run_sharded_write(n, 0.0, millis, pool))
+        .collect();
+    points.push(run_sharded_write(4, skew, millis, pool));
+    points
+}
+
+/// S6 — sharded scatter-gather write throughput vs. shard count.
+pub fn s6_sharded(full: bool, skew: f64) -> Table {
+    let mut table = Table::new(
+        "S6 — sharded write throughput (single driver, N shard writer threads)",
+        &[
+            "shards",
+            "skew",
+            "writes",
+            "write qps",
+            "write us",
+            "queue us",
+            "apply us",
+            "publish balance",
+            "per-shard rows",
+        ],
+    );
+    for p in sharded_points(full, skew) {
+        table.push(vec![
+            p.shards.to_string(),
+            format!("{:.1}", p.skew),
+            p.writes.to_string(),
+            format!("{:.0}", p.write_qps),
+            format!("{:.1}", p.write_us),
+            format!("{:.1}", p.queue_wait_us),
+            format!("{:.1}", p.apply_publish_us),
+            format!("{:.2}", p.publish_balance()),
+            format!("{:?}", p.per_shard_rows),
         ]);
     }
     table
@@ -799,6 +1016,39 @@ mod tests {
         assert!(p.writes > 0, "writer made progress");
         assert!(p.publishes > 0 && p.mean_batch >= 1.0);
         assert!(p.write_us > 0.0);
+    }
+
+    #[test]
+    fn sharded_point_smoke() {
+        // A tiny window at 2 shards: the harness must ack writes, split
+        // their latency into queue wait + apply/publish, and account every
+        // inserted row to exactly one shard.
+        let p = run_sharded_write(2, 0.0, 60, 256);
+        assert_eq!(p.shards, 2);
+        assert!(p.writes > 0, "driver made progress");
+        assert!(p.write_us > 0.0);
+        assert_eq!(p.per_shard_publishes.len(), 2);
+        assert_eq!(p.per_shard_rows.len(), 2);
+        assert_eq!(
+            p.per_shard_rows.iter().sum::<usize>() as u64,
+            p.writes,
+            "every acked row lands on exactly one shard"
+        );
+        assert!(p.publish_balance() >= 1.0 && p.row_balance() >= 1.0);
+    }
+
+    #[test]
+    fn sharded_write_stream_is_deterministic_and_skewable() {
+        let a = sharded_write_stream(64, 0.0);
+        let b = sharded_write_stream(64, 0.0);
+        assert_eq!(a.len(), 64);
+        assert_eq!(
+            format!("{}", a[0]),
+            format!("{}", b[0]),
+            "pool is deterministic"
+        );
+        let skewed = sharded_write_stream(64, 2.0);
+        assert_eq!(skewed.len(), 64);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod index;
 pub mod maintenance;
 pub mod reference;
 pub mod relation;
+pub mod shard;
 pub mod snapshot;
 pub mod value;
 

@@ -76,6 +76,13 @@ pub struct StoreStats {
     pub batched_ops: AtomicU64,
     /// Largest single batch observed.
     pub max_batch: AtomicU64,
+    /// Total nanoseconds write requests spent queued before the writer
+    /// thread picked them up (submit → drain), summed over all requests.
+    pub queue_wait_ns: AtomicU64,
+    /// Total nanoseconds the writer thread spent applying batches and
+    /// publishing snapshots (the store's real write-path cost; a client's
+    /// wall-clock write latency is `queue wait + this`).
+    pub apply_publish_ns: AtomicU64,
 }
 
 impl StoreStats {
@@ -84,6 +91,36 @@ impl StoreStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_ops.fetch_add(ops, Ordering::Relaxed);
         self.max_batch.fetch_max(ops, Ordering::Relaxed);
+    }
+
+    /// Record one request's time on the submit queue.
+    pub fn note_queue_wait(&self, ns: u64) {
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record writer-thread time spent applying + publishing one batch.
+    pub fn note_apply_publish(&self, ns: u64) {
+        self.apply_publish_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Mean queue wait per batched op, in microseconds.
+    pub fn mean_queue_wait_us(&self) -> f64 {
+        let ops = self.batched_ops.load(Ordering::Relaxed);
+        if ops == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns.load(Ordering::Relaxed) as f64 / ops as f64 / 1_000.0
+        }
+    }
+
+    /// Mean apply+publish cost per batched op, in microseconds.
+    pub fn mean_apply_publish_us(&self) -> f64 {
+        let ops = self.batched_ops.load(Ordering::Relaxed);
+        if ops == 0 {
+            0.0
+        } else {
+            self.apply_publish_ns.load(Ordering::Relaxed) as f64 / ops as f64 / 1_000.0
+        }
     }
 
     /// Mean ops per batch (0.0 before the first batch).
@@ -157,5 +194,16 @@ mod tests {
         assert_eq!(stats.batched_ops.load(Ordering::Relaxed), 4);
         assert_eq!(stats.max_batch.load(Ordering::Relaxed), 3);
         assert!((stats.mean_batch() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_split_queue_wait_from_apply_publish() {
+        let stats = StoreStats::default();
+        stats.note_batch(2);
+        stats.note_queue_wait(1_000);
+        stats.note_queue_wait(3_000);
+        stats.note_apply_publish(10_000);
+        assert!((stats.mean_queue_wait_us() - 2.0).abs() < 1e-9);
+        assert!((stats.mean_apply_publish_us() - 5.0).abs() < 1e-9);
     }
 }

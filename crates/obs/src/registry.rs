@@ -114,11 +114,23 @@ pub enum CounterId {
     /// Queries answered by the row-at-a-time interpreter (vectorization
     /// declined or disabled).
     ExecRowFallback,
+    /// Sharded SELECTs that entered the scatter-gather planner.
+    ShardFanouts,
+    /// Per-shard scatter queries issued (fanouts × shard count when no
+    /// plan falls back).
+    ShardScatterQueries,
+    /// Gathers merged as a disjoint union (grouped on the shard key).
+    ShardConcatMerges,
+    /// Gathers merged by re-aggregating §4 partial aggregates.
+    ShardReaggMerges,
+    /// Sharded SELECTs served from the union instead (join, unresolvable
+    /// shard column, or a failed scatter/merge).
+    ShardGatherFallbacks,
 }
 
 impl CounterId {
     /// Every counter, in declaration order.
-    pub const ALL: [CounterId; 26] = [
+    pub const ALL: [CounterId; 31] = [
         CounterId::Statements,
         CounterId::Queries,
         CounterId::Writes,
@@ -145,6 +157,11 @@ impl CounterId {
         CounterId::WriteQueueMax,
         CounterId::ExecVectorized,
         CounterId::ExecRowFallback,
+        CounterId::ShardFanouts,
+        CounterId::ShardScatterQueries,
+        CounterId::ShardConcatMerges,
+        CounterId::ShardReaggMerges,
+        CounterId::ShardGatherFallbacks,
     ];
 
     /// Stable snake_case name; the Prometheus metric is
@@ -177,6 +194,11 @@ impl CounterId {
             CounterId::WriteQueueMax => "write_queue_max",
             CounterId::ExecVectorized => "exec_vectorized",
             CounterId::ExecRowFallback => "exec_row_fallback",
+            CounterId::ShardFanouts => "shard_fanouts",
+            CounterId::ShardScatterQueries => "shard_scatter_queries",
+            CounterId::ShardConcatMerges => "shard_concat_merges",
+            CounterId::ShardReaggMerges => "shard_reagg_merges",
+            CounterId::ShardGatherFallbacks => "shard_gather_fallbacks",
         }
     }
 

@@ -200,6 +200,11 @@ pub struct ObsSnapshot {
     pub plan_cache: Option<PlanCacheSection>,
     /// Shared-store identity and writer counters.
     pub store: Option<StoreSection>,
+    /// Per-shard store sections of a sharded session, in shard order
+    /// (empty for unsharded sessions). Rendered with `shard="i"` labels
+    /// in Prometheus output and `shard[i]`-prefixed lines in human
+    /// output.
+    pub shards: Vec<StoreSection>,
     /// Per-query stage timings (`EXPLAIN ANALYZE`).
     pub query: Option<QuerySection>,
 }
@@ -268,6 +273,9 @@ impl ObsSnapshot {
         }
         if let Some(s) = &self.store {
             let _ = writeln!(out, "{}", s.summary());
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "shard[{i}] {}", s.summary());
         }
         if !self.stages.is_empty() {
             let _ = writeln!(
@@ -366,6 +374,28 @@ impl ObsSnapshot {
                 let _ = writeln!(out, "aggview_plan_cache_hits_total {}", p.hits);
                 let _ = writeln!(out, "# TYPE aggview_plan_cache_misses_total counter");
                 let _ = writeln!(out, "aggview_plan_cache_misses_total {}", p.misses);
+            }
+        }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "# TYPE aggview_shard_publishes_total counter");
+            for (i, s) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "aggview_shard_publishes_total{{shard=\"{i}\"}} {}",
+                    s.publishes
+                );
+            }
+            let _ = writeln!(out, "# TYPE aggview_shard_batched_ops_total counter");
+            for (i, s) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "aggview_shard_batched_ops_total{{shard=\"{i}\"}} {}",
+                    s.batched_ops
+                );
+            }
+            let _ = writeln!(out, "# TYPE aggview_shard_epoch gauge");
+            for (i, s) in self.shards.iter().enumerate() {
+                let _ = writeln!(out, "aggview_shard_epoch{{shard=\"{i}\"}} {}", s.epoch);
             }
         }
         out

@@ -4,6 +4,8 @@
 //! qcheck --seeds 0..500              # differential soak over a seed range
 //! qcheck --seeds 0..500 --sessions 2 # same stream, round-robined across
 //!                                    # 2 handles of one shared store
+//! qcheck --seeds 0..500 --shards 2   # same stream through a 2-way
+//!                                    # hash-partitioned scatter-gather store
 //! qcheck --seeds 0..500 --write-failures DIR   # persist shrunk failures
 //! qcheck --replay tests/corpus       # re-check every corpus case
 //! ```
@@ -13,7 +15,8 @@
 //! 2 = usage error.
 
 use aggview_qcheck::{
-    check_case, check_case_sessions, corpus, run_seed, run_seed_sessions, CaseConfig,
+    check_case, check_case_sessions, check_case_shards, corpus, run_seed, run_seed_sessions,
+    run_seed_shards, CaseConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,12 +26,13 @@ struct Args {
     replay: Option<PathBuf>,
     write_failures: Option<PathBuf>,
     sessions: Option<usize>,
+    shards: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qcheck --seeds A..B [--sessions K] [--write-failures DIR]\n       \
-         qcheck --replay DIR [--sessions K]"
+        "usage: qcheck --seeds A..B [--sessions K | --shards K] [--write-failures DIR]\n       \
+         qcheck --replay DIR [--sessions K | --shards K]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         write_failures: None,
         sessions: None,
+        shards: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -65,11 +70,22 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.sessions = Some(k);
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                let k: usize = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+                if k < 1 {
+                    return Err("--shards wants K >= 1".into());
+                }
+                args.shards = Some(k);
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     if args.seeds.is_none() && args.replay.is_none() {
         return Err("one of --seeds or --replay is required".into());
+    }
+    if args.sessions.is_some() && args.shards.is_some() {
+        return Err("--sessions and --shards are separate axes; pick one".into());
     }
     Ok(args)
 }
@@ -89,9 +105,10 @@ fn main() -> ExitCode {
         match corpus::load_dir(dir) {
             Ok(cases) => {
                 for (name, case) in &cases {
-                    let verdict = match args.sessions {
-                        Some(k) => check_case_sessions(case, k),
-                        None => check_case(case),
+                    let verdict = match (args.sessions, args.shards) {
+                        (Some(k), _) => check_case_sessions(case, k),
+                        (_, Some(k)) => check_case_shards(case, k),
+                        _ => check_case(case),
                     };
                     match verdict {
                         Ok(()) => println!("corpus {name}: ok"),
@@ -114,9 +131,10 @@ fn main() -> ExitCode {
         let total = seeds.end.saturating_sub(seeds.start);
         let mut checked = 0u64;
         for seed in seeds {
-            let failure = match args.sessions {
-                Some(k) => run_seed_sessions(seed, &cfg, k),
-                None => run_seed(seed, &cfg),
+            let failure = match (args.sessions, args.shards) {
+                (Some(k), _) => run_seed_sessions(seed, &cfg, k),
+                (_, Some(k)) => run_seed_shards(seed, &cfg, k),
+                _ => run_seed(seed, &cfg),
             };
             match failure {
                 None => checked += 1,

@@ -27,7 +27,7 @@ pub mod shrink;
 
 pub use case::{Case, TableSpec};
 pub use generate::{generate, CaseConfig};
-pub use oracle::{check_case, check_case_sessions, Discrepancy};
+pub use oracle::{check_case, check_case_sessions, check_case_shards, Discrepancy};
 pub use shrink::{shrink, shrink_with};
 
 /// A failing seed: the generated case, its shrunk form, and the verdict.
@@ -95,6 +95,38 @@ pub fn run_range_sessions(
     let mut checked = 0;
     for seed in seeds {
         if let Some(f) = run_seed_sessions(seed, cfg, sessions) {
+            return Err(Box::new(f));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Check one seed through a `shards`-way hash-partitioned store behind a
+/// scatter-gather driver session; on failure, shrink under the same
+/// sharded replay and report.
+pub fn run_seed_shards(seed: u64, cfg: &CaseConfig, shards: usize) -> Option<Failure> {
+    let case = generate(seed, cfg);
+    let discrepancy = check_case_shards(&case, shards).err()?;
+    let (shrunk, shrunk_discrepancy) =
+        shrink_with(&case, &discrepancy.kind, |c| check_case_shards(c, shards));
+    Some(Failure {
+        seed,
+        discrepancy,
+        shrunk,
+        shrunk_discrepancy,
+    })
+}
+
+/// Check a seed range in sharded mode, stopping at the first failure.
+pub fn run_range_shards(
+    seeds: std::ops::Range<u64>,
+    cfg: &CaseConfig,
+    shards: usize,
+) -> Result<u64, Box<Failure>> {
+    let mut checked = 0;
+    for seed in seeds {
+        if let Some(f) = run_seed_shards(seed, cfg, shards) {
             return Err(Box::new(f));
         }
         checked += 1;

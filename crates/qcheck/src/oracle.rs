@@ -29,6 +29,7 @@ use crate::case::Case;
 use aggview::run::execute_rewriting;
 use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions, StatementOutcome};
+use aggview::sharded::ShardedStore;
 use aggview::state::WritePolicy;
 use aggview_core::{RewriteOptions, Rewriter};
 use aggview_engine::{execute_reference, multiset_eq, set_eq, Database, Relation};
@@ -381,6 +382,196 @@ fn run_lattice_point_sessions(
             return Err(fail(
                 "view-content-mismatch",
                 format!("view {} disagrees with reference evaluation", v.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check one case against a hash-partitioned store of `shards` shards,
+/// driven through one scatter-gather session. The same statement stream
+/// and reference expectations as the single-session oracle, plus a
+/// **partition-completeness** invariant: after the full write protocol,
+/// the per-shard base-table contents must be a disjoint cover of the
+/// global contents (their concatenation is multiset-equal to the
+/// unsharded final database), and the union-state views must match the
+/// reference evaluation. Runs the whole 32-point options lattice; the
+/// write-side axes become the per-shard [`WritePolicy`].
+pub fn check_case_shards(case: &Case, shards: usize) -> Result<(), Discrepancy> {
+    assert!(shards >= 1, "at least one shard");
+    match catch_unwind(AssertUnwindSafe(|| check_case_shards_inner(case, shards))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            Err(Discrepancy::new("panic", msg.to_string()))
+        }
+    }
+}
+
+fn check_case_shards_inner(case: &Case, shards: usize) -> Result<(), Discrepancy> {
+    let half_db = case.database(true);
+    let final_db = case.database(false);
+    let expected_half = execute_reference(&case.query, &half_db)
+        .map_err(|e| Discrepancy::new("reference-error", e.to_string()))?;
+    let expected_final = execute_reference(&case.query, &final_db)
+        .map_err(|e| Discrepancy::new("reference-error", e.to_string()))?;
+    let expected_views: Vec<Relation> = case
+        .views
+        .iter()
+        .map(|v| {
+            execute_reference(&v.query, &final_db)
+                .map_err(|e| Discrepancy::new("reference-error", format!("view {}: {e}", v.name)))
+        })
+        .collect::<Result<_, _>>()?;
+
+    for point in LatticePoint::all() {
+        run_lattice_point_shards(
+            case,
+            point,
+            shards,
+            &expected_half,
+            &expected_final,
+            &expected_views,
+            &final_db,
+        )?;
+    }
+    Ok(())
+}
+
+/// The statement stream through one scatter-gather driver session over a
+/// `shards`-way partitioned store, at one lattice point.
+fn run_lattice_point_shards(
+    case: &Case,
+    point: LatticePoint,
+    shards: usize,
+    expected_half: &Relation,
+    expected_final: &Relation,
+    expected_views: &[Relation],
+    final_db: &Database,
+) -> Result<(), Discrepancy> {
+    let fail = |kind: &str, detail: String| {
+        Discrepancy::new(
+            kind,
+            format!("at [{point}] with {shards} shard(s): {detail}"),
+        )
+    };
+    let store = ShardedStore::new(
+        shards,
+        WritePolicy {
+            index_views: point.index,
+            recompute_views: point.recompute,
+            columnar: point.columnar,
+        },
+    );
+    let mut session = store.session(SessionOptions {
+        // The scatter-gather path double-checks every merged answer
+        // against the union evaluation.
+        verify: true,
+        ..point.options()
+    });
+    let mut run = |stmt: Statement| {
+        session
+            .execute(&stmt)
+            .map_err(|e| fail("session-error", e.to_string()))
+    };
+
+    for t in &case.tables {
+        run(Statement::CreateTable(CreateTable {
+            name: t.name.clone(),
+            columns: t.columns.clone(),
+            keys: Vec::new(),
+        }))?;
+    }
+    for (i, t) in case.tables.iter().enumerate() {
+        insert(&mut run, &t.name, &t.rows[..case.split_at(i)])?;
+    }
+    let a1 = answer(&mut run, case)?;
+    compare(&a1, expected_half, "halfway").map_err(|d| fail(&d.kind, d.detail))?;
+
+    for v in &case.views {
+        run(Statement::CreateView(CreateView {
+            name: v.name.clone(),
+            query: v.query.clone(),
+        }))?;
+    }
+    let a2 = answer(&mut run, case)?;
+    compare(&a2, expected_half, "post-view").map_err(|d| fail(&d.kind, d.detail))?;
+
+    for (i, t) in case.tables.iter().enumerate() {
+        insert(&mut run, &t.name, &t.rows[case.split_at(i)..])?;
+    }
+    let t0 = &case.tables[0];
+    run(Statement::Delete(Delete {
+        table: t0.name.clone(),
+        filter: Some(BoolExpr::cmp(
+            Expr::Column(ColumnRef::bare(t0.columns[0].clone())),
+            CmpOp::Eq,
+            Expr::int(1),
+        )),
+    }))?;
+
+    let a3 = answer(&mut run, case)?;
+    compare(&a3, expected_final, "final").map_err(|d| fail(&d.kind, d.detail))?;
+
+    // Repeat: bitwise-stable answer; with the cache on, a cache hit.
+    let a4 = answer(&mut run, case)?;
+    if a3.relation.sorted_rows() != a4.relation.sorted_rows() {
+        return Err(fail(
+            "cache-hit-divergence",
+            "repeated SELECT changed its answer with no intervening write".into(),
+        ));
+    }
+    if point.cache && session.plan_cache().hits() == 0 {
+        return Err(fail(
+            "cache-miss",
+            "repeated SELECT did not hit the driver plan cache".into(),
+        ));
+    }
+
+    // Partition completeness: every base table's global contents must be
+    // exactly the disjoint union of its per-shard partitions.
+    let snaps = store.load_all();
+    for t in &case.tables {
+        let want = final_db
+            .get(&t.name)
+            .map_err(|e| fail("session-error", e.to_string()))?;
+        let mut got = Relation::empty(want.columns.iter().cloned());
+        for snap in &snaps {
+            let part = snap
+                .state
+                .db
+                .get(&t.name)
+                .map_err(|e| fail("session-error", e.to_string()))?;
+            got.rows.extend(part.rows.iter().cloned());
+        }
+        if !multiset_eq(&got, want) {
+            return Err(fail(
+                "partition-incomplete",
+                format!(
+                    "table {}: shard partitions concatenate to {} row(s), global has {}",
+                    t.name,
+                    got.len(),
+                    want.len()
+                ),
+            ));
+        }
+    }
+
+    // Union-state views must match the reference evaluation.
+    for (v, want) in case.views.iter().zip(expected_views) {
+        let got = session
+            .database()
+            .get(&v.name)
+            .map_err(|e| fail("session-error", e.to_string()))?;
+        let got = Relation::new(want.columns.clone(), got.rows.clone());
+        if !multiset_eq(&got, want) {
+            return Err(fail(
+                "view-content-mismatch",
+                format!("union view {} disagrees with reference evaluation", v.name),
             ));
         }
     }

@@ -8,10 +8,14 @@
 #   BENCH_5.json — the S5 scan/aggregate scale sweep (1k → 100k rows),
 #     row interpreter vs. columnar kernels, with the acceptance bar
 #     (speedup_at_largest_scale >= 5.0) recorded alongside the data.
+#   BENCH_6.json — the S6 sharded write sweep (1/2/4 shards uniform +
+#     4 shards skewed), acked write throughput, queue-wait vs.
+#     apply+publish split, and per-shard publish/row balance with the
+#     acceptance bar (max_uniform_publish_balance <= 1.2).
 #
 # Usage: scripts/bench_snapshot.sh
-# Writes: BENCH_1.json, BENCH_2.json and BENCH_5.json (repo root),
-# prints the tables.
+# Writes: BENCH_1.json, BENCH_2.json, BENCH_5.json and BENCH_6.json
+# (repo root), prints the tables.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +24,9 @@ cargo build --release -p aggview-bench
 # S5 runs at --full so the sweep reaches the 100k-row scale the
 # acceptance bar is stated against.
 ./target/release/repro --json --full s5
+# S6 runs at --full so each shard point streams long enough for the
+# balance figures to settle.
+./target/release/repro --json --full s6
 echo
 echo "BENCH_1.json:"
 cat BENCH_1.json
@@ -29,3 +36,6 @@ cat BENCH_2.json
 echo
 echo "BENCH_5.json:"
 cat BENCH_5.json
+echo
+echo "BENCH_6.json:"
+cat BENCH_6.json

@@ -6,7 +6,10 @@
 # regression), a concurrency smoke (the shared-store stress test
 # under --release plus a short multi-session qcheck sweep), and a
 # columnar smoke (the S5 row-vs-columnar harness runs, and the same
-# script answers byte-identically with and without --no-columnar).
+# script answers byte-identically with and without --no-columnar), and
+# a sharding smoke (the S6 sharded-write harness runs, every corpus
+# script answers identically under --shards 2, and a short sharded
+# qcheck sweep passes).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -29,7 +32,9 @@ grep -q "S2 — view point lookups" <<<"$smoke"
 # row-vs-columnar byte-identity check — the same script through the
 # default (vectorized) session and through --no-columnar must print
 # exactly the same bytes once wall-clock duration tokens are masked
-# (the `(N.NN ms)` evaluation timings vary run to run by design).
+# (the `N.NN ms)` evaluation timings vary run to run by design — the
+# mask is anchored on the closing paren because the token sits at the
+# end of a larger parenthetical, not alone in one).
 smoke5=$(./target/release/repro --rows 2000 s5)
 printf '%s\n' "$smoke5" >&2
 grep -q "S5 — scan/aggregate latency" <<<"$smoke5"
@@ -40,8 +45,8 @@ SELECT Region, SUM(Amount), COUNT(Amount) FROM Sales GROUP BY Region;
 SELECT Region, SUM(Amount) FROM Sales WHERE Amount < 5 GROUP BY Region;
 SELECT Product, MIN(Amount), MAX(Amount), AVG(Amount) FROM Sales GROUP BY Product;
 SELECT Region, T, N FROM Totals;'
-col_out=$(./target/release/aggview <<<"$columnar_script" | sed -E 's/\([0-9.]+ ms\)/(ms)/g')
-row_out=$(./target/release/aggview --no-columnar <<<"$columnar_script" | sed -E 's/\([0-9.]+ ms\)/(ms)/g')
+col_out=$(./target/release/aggview <<<"$columnar_script" | sed -E 's/[0-9.]+ ms\)/_ ms)/g')
+row_out=$(./target/release/aggview --no-columnar <<<"$columnar_script" | sed -E 's/[0-9.]+ ms\)/_ ms)/g')
 if [ "$col_out" != "$row_out" ]; then
   echo "ci: columnar and --no-columnar outputs diverge" >&2
   diff <(printf '%s\n' "$col_out") <(printf '%s\n' "$row_out") >&2 || true
@@ -81,4 +86,27 @@ fi
 serve_scrape=$(./target/release/aggview serve --sessions 2 --metrics <<<"$metrics_script")
 grep -q '^aggview_store_publishes_total 3$' <<<"$serve_scrape"
 grep -q '^aggview_write_queue_depth 0$' <<<"$serve_scrape"
+# Sharding smoke: the S6 scatter-gather write harness runs end to end,
+# then every corpus script must answer identically through a 2-shard
+# store and an unsharded session. Wall-clock tokens and maintenance
+# counts are masked (each shard maintains only its own partition's
+# views, so the summed count can legitimately differ), and lines are
+# sorted (a gathered relation is a shard-order permutation of the
+# unsharded row order — bag equality is the contract, and qcheck's
+# repeated-select check pins per-plan determinism separately). A short
+# sharded qcheck sweep closes the gate.
+smoke6=$(./target/release/repro s6)
+printf '%s\n' "$smoke6" >&2
+grep -q "S6 — sharded write throughput" <<<"$smoke6"
+shard_mask='s/[0-9.]+ ms\)/_ ms)/g; s/[0-9]+ view\(s\) maintained/_ view(s) maintained/g'
+for f in tests/corpus/*.sql; do
+  un=$(./target/release/aggview "$f" | sed -E "$shard_mask" | sort)
+  sh=$(./target/release/aggview --shards 2 "$f" | sed -E "$shard_mask" | sort)
+  if [ "$un" != "$sh" ]; then
+    echo "ci: sharded and unsharded outputs diverge on $f" >&2
+    diff <(printf '%s\n' "$un") <(printf '%s\n' "$sh") >&2 || true
+    exit 1
+  fi
+done
+./target/release/qcheck --seeds 0..200 --shards 2
 echo "ci: all checks passed"

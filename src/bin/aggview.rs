@@ -25,6 +25,9 @@
 //!   --no-obs         disable the observability layer entirely (no registry,
 //!                    no spans; EXPLAIN ANALYZE becomes an error)
 //!   --slow-ms N      slow-query ring threshold in milliseconds (default 100)
+//!   --shards N       hash-partition base tables across N shard stores and
+//!                    answer SELECTs by scatter-gather (partial-aggregate
+//!                    re-aggregation); N=0/absent keeps the local backend
 //!   --interactive    REPL: read statements from stdin, execute per `;`
 //!                    (`:stats` toggles per-query pipeline observability,
 //!                    `:metrics` dumps the session-cumulative snapshot)
@@ -39,6 +42,7 @@ use aggview::obs::{Format, MetricsRegistry, ObsOptions, Stage};
 use aggview::rewrite::Strategy;
 use aggview::server::SharedStore;
 use aggview::session::{Session, SessionOptions, StatementOutcome};
+use aggview::sharded::ShardedStore;
 use aggview::sql::{parse_script, Statement};
 use aggview::state::WritePolicy;
 use std::io::{BufRead, Read, Write};
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
     let mut options = SessionOptions::default();
     let mut files: Vec<String> = Vec::new();
     let mut interactive = false;
+    let mut shards: Option<usize> = None;
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -70,12 +75,20 @@ fn main() -> ExitCode {
                 Some(ms) => options.obs.slow_query_ms = ms,
                 None => return ExitCode::FAILURE,
             },
+            "--shards" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => shards = None,
+                Some(n) => shards = Some(n),
+                None => {
+                    eprintln!("error: --shards needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--interactive" | "-i" => interactive = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: aggview [--verify] [--expand] [--paper-va] [--no-multi] \
                             [--no-plan-cache] [--no-view-index] [--no-columnar] [--no-obs] [--slow-ms N] \
-                            [--interactive] [script.sql ...]\n       \
+                            [--shards N] [--interactive] [script.sql ...]\n       \
                             aggview serve [--sessions K] [--metrics] [FLAGS] [script.sql ...]\n       \
                             aggview metrics [--human] [FLAGS] [script.sql ...]\n       \
                             aggview bench-concurrent [--readers N] [--writers M] [--millis T] \
@@ -92,7 +105,7 @@ fn main() -> ExitCode {
     }
 
     if interactive {
-        return repl(options);
+        return repl(options, shards);
     }
 
     let source = match read_source(&files) {
@@ -101,7 +114,7 @@ fn main() -> ExitCode {
     };
     // The session exists before parsing so the parse span lands in its
     // registry — the Parse stage is part of the pipeline, not overhead.
-    let mut session = Session::new(options);
+    let mut session = make_session(options, shards);
     let statements = match parse_timed(&source, session.metrics().map(|m| &**m)) {
         Ok(s) => s,
         Err(code) => return code,
@@ -118,6 +131,26 @@ fn main() -> ExitCode {
         println!();
     }
     ExitCode::SUCCESS
+}
+
+/// A local session, or (under `--shards N`) the driver session of a fresh
+/// sharded store whose write policy mirrors the session options. The
+/// session holds a clone of the store, which keeps the shard writer
+/// threads alive for its lifetime.
+fn make_session(options: SessionOptions, shards: Option<usize>) -> Session {
+    match shards {
+        Some(n) => ShardedStore::with_obs(
+            n,
+            WritePolicy {
+                index_views: options.index_views,
+                recompute_views: options.recompute_views,
+                columnar: options.columnar,
+            },
+            options.obs.clone(),
+        )
+        .session(options),
+        None => Session::new(options),
+    }
 }
 
 /// Parse the `--slow-ms` operand (reports its own error).
@@ -455,13 +488,13 @@ fn bench_concurrent(args: &[String]) -> ExitCode {
 /// `:stats` toggles a per-query observability block (rewrite-search
 /// counters, plan-cache and store sections, per-stage timings);
 /// `:metrics` dumps the session-cumulative snapshot on demand.
-fn repl(mut options: SessionOptions) -> ExitCode {
+fn repl(mut options: SessionOptions, shards: Option<usize>) -> ExitCode {
     // Per-query snapshots power the `:stats` toggle; attaching them is
     // cheap (a handful of section structs per answer).
     if options.obs.enabled {
         options.obs.attach_answers = true;
     }
-    let mut session = Session::new(options);
+    let mut session = make_session(options, shards);
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut show_stats = false;

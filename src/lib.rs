@@ -61,6 +61,7 @@ pub mod plan_cache;
 pub mod run;
 pub mod server;
 pub mod session;
+pub mod sharded;
 pub mod state;
 
 pub use aggview_catalog as catalog;

@@ -70,6 +70,9 @@ pub enum WriteOp {
 struct WriteRequest {
     op: WriteOp,
     ack: Sender<Result<Applied, SessionError>>,
+    /// When the submitter enqueued the request — lets the writer thread
+    /// split queue wait from apply+publish cost in [`StoreStats`].
+    submitted: std::time::Instant,
 }
 
 /// The state the writer thread and every handle share. The writer holds
@@ -202,7 +205,11 @@ impl SharedStore {
             m.raise_max(CounterId::WriteQueueMax, depth);
         }
         self.tx
-            .send(WriteRequest { op, ack: ack_tx })
+            .send(WriteRequest {
+                op,
+                ack: ack_tx,
+                submitted: std::time::Instant::now(),
+            })
             .map_err(|_| err("store writer thread is gone"))?;
         ack_rx
             .recv()
@@ -283,6 +290,16 @@ fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
         if let Some(m) = &inner.metrics {
             m.sub(CounterId::WriteQueueDepth, batch.len() as u64);
         }
+        // Queue wait ends here (the request is in the writer's hands);
+        // everything from this point to the publish is real write-path
+        // cost, accounted separately so client wall-clock latency
+        // (`queue wait + apply+publish`) decomposes cleanly.
+        for req in &batch {
+            inner
+                .stats
+                .note_queue_wait(req.submitted.elapsed().as_nanos() as u64);
+        }
+        let work_started = std::time::Instant::now();
         let apply_span = inner.metrics.as_ref().map(|m| m.span(Stage::Apply));
         let mut results: Vec<Result<Applied, SessionError>> = Vec::with_capacity(batch.len());
         let mut applied = 0u64;
@@ -319,6 +336,9 @@ fn writer_loop(inner: &Shared, rx: Receiver<WriteRequest>) {
                 m.add(CounterId::StoreBatchedOps, applied);
             }
         }
+        inner
+            .stats
+            .note_apply_publish(work_started.elapsed().as_nanos() as u64);
         for (req, result) in batch.into_iter().zip(results) {
             let _ = req.ack.send(result);
         }

@@ -32,10 +32,12 @@
 use crate::plan_cache::{AnswerMeta, CacheKey, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 use crate::run::{execute_rewriting_with, rewriting_equivalent};
 use crate::server::{SharedStore, StoreSnapshot, WriteOp};
+use crate::sharded::{gather_plan, ShardedStore, UnionState};
 use crate::state::{EngineState, WritePolicy};
 use aggview_core::advisor::suggest_views;
 use aggview_core::{Canonical, RewriteOptions, RewriteStats, Rewriter, Rewriting, ViewDef};
-use aggview_engine::{execute_with, Database, PhysicalPlan, Relation};
+use aggview_engine::shard::{self, GatherPlan};
+use aggview_engine::{execute_with, multiset_eq, set_eq, Database, PhysicalPlan, Relation};
 use aggview_obs::{
     CounterId, Format, MetricsRegistry, ObsOptions, ObsSnapshot, QuerySection, Stage,
 };
@@ -279,6 +281,17 @@ enum Backend {
         store: SharedStore,
         snapshot: Arc<StoreSnapshot>,
     },
+    /// The session drives a [`ShardedStore`]: writes route through the
+    /// store (DDL broadcast, DML by partition key), reads scatter to the
+    /// per-shard handle sessions and gather with the §4 recombination
+    /// operators. `union` caches the unioned shard state — the exact
+    /// state an unsharded store would hold — for metadata parity,
+    /// fallback answers, and `--verify` cross-checks.
+    Sharded {
+        store: ShardedStore,
+        shards: Vec<Session>,
+        union: UnionState,
+    },
 }
 
 /// A scriptable session.
@@ -293,6 +306,10 @@ pub struct Session {
     /// Plan-cache invalidations already folded into the registry (the
     /// cache counts cumulatively; the registry wants event deltas).
     invalidations_synced: u64,
+    /// The gather decision of the most recent sharded `SELECT` (`None`
+    /// for unsharded sessions), surfaced as the `-- shards:` line of
+    /// `EXPLAIN ANALYZE`.
+    last_shard_note: Option<String>,
 }
 
 impl Session {
@@ -313,6 +330,7 @@ impl Session {
             plan_cache,
             metrics,
             invalidations_synced: 0,
+            last_shard_note: None,
         }
     }
 
@@ -335,6 +353,44 @@ impl Session {
             plan_cache,
             metrics,
             invalidations_synced: 0,
+            last_shard_note: None,
+        }
+    }
+
+    /// A driver session over a sharded store (prefer
+    /// [`crate::sharded::ShardedStore::session`]). The driver keeps its
+    /// own plan cache and records into the store's front-door registry;
+    /// it owns one inner handle session per shard for scatter execution
+    /// (each recording into its shard's registry). Inner handles never
+    /// re-verify — the driver's `--verify` compares the gathered answer
+    /// against the union instead.
+    pub fn on_sharded_store(store: ShardedStore, options: SessionOptions) -> Self {
+        let plan_cache = PlanCache::with_cap(options.plan_cache_cap);
+        let metrics = if options.obs.enabled {
+            store.metrics().cloned()
+        } else {
+            None
+        };
+        let inner_options = SessionOptions {
+            verify: false,
+            ..options.clone()
+        };
+        let shards = store
+            .shards()
+            .iter()
+            .map(|s| s.session(inner_options.clone()))
+            .collect();
+        Session {
+            options,
+            backend: Backend::Sharded {
+                store,
+                shards,
+                union: UnionState::new(),
+            },
+            plan_cache,
+            metrics,
+            invalidations_synced: 0,
+            last_shard_note: None,
         }
     }
 
@@ -354,6 +410,9 @@ impl Session {
         self.fill_store_stats(&mut stats);
         snap.plan_cache = Some(stats.plan_cache_section());
         snap.store = Some(stats.store_section());
+        if let Backend::Sharded { store, .. } = &self.backend {
+            snap.shards = store.shard_sections();
+        }
         Some(snap)
     }
 
@@ -369,6 +428,7 @@ impl Session {
         match &self.backend {
             Backend::Local(state) => state,
             Backend::Shared { snapshot, .. } => &snapshot.state,
+            Backend::Sharded { union, .. } => union.state(),
         }
     }
 
@@ -387,8 +447,16 @@ impl Session {
     /// The shared store behind this session, if any.
     pub fn store(&self) -> Option<&SharedStore> {
         match &self.backend {
-            Backend::Local(_) => None,
             Backend::Shared { store, .. } => Some(store),
+            _ => None,
+        }
+    }
+
+    /// The sharded store behind this session, if any.
+    pub fn sharded_store(&self) -> Option<&ShardedStore> {
+        match &self.backend {
+            Backend::Sharded { store, .. } => Some(store),
+            _ => None,
         }
     }
 
@@ -396,8 +464,8 @@ impl Session {
     /// store-backed sessions (readers assert these are monotonic).
     pub fn snapshot_epochs(&self) -> Option<(u64, u64)> {
         match &self.backend {
-            Backend::Local(_) => None,
             Backend::Shared { snapshot, .. } => Some((snapshot.epoch, snapshot.schema_epoch)),
+            _ => None,
         }
     }
 
@@ -411,13 +479,25 @@ impl Session {
     }
 
     /// Pin the store's current snapshot (no-op for local sessions) and
-    /// align the plan cache with its schema epoch.
-    fn refresh(&mut self) {
-        if let Backend::Shared { store, snapshot } = &mut self.backend {
-            *snapshot = store.load();
-            self.plan_cache.sync_epoch(snapshot.schema_epoch);
+    /// align the plan cache with its schema epoch. For a sharded session
+    /// this (re)builds the union of all shard snapshots when any shard
+    /// published since the last build — which can fail if a broadcast
+    /// view recomputes with a type error only the union exhibits.
+    fn refresh(&mut self) -> Result<(), SessionError> {
+        let metrics = self.metrics.clone();
+        match &mut self.backend {
+            Backend::Local(_) => {}
+            Backend::Shared { store, snapshot } => {
+                *snapshot = store.load();
+                self.plan_cache.sync_epoch(snapshot.schema_epoch);
+            }
+            Backend::Sharded { store, union, .. } => {
+                union.ensure(store, metrics.as_ref())?;
+                self.plan_cache.sync_epoch(store.schema_epoch());
+            }
         }
         self.sync_invalidation_metrics();
+        Ok(())
     }
 
     /// Fold plan-cache invalidations that happened since the last sync
@@ -437,15 +517,28 @@ impl Session {
     /// Copy the pinned snapshot's identity and the store-cumulative
     /// counters into a stats record (no-op for local sessions).
     fn fill_store_stats(&self, stats: &mut RewriteStats) {
-        if let Backend::Shared { store, snapshot } = &self.backend {
-            let s = store.stats();
-            stats.store_attached = true;
-            stats.store_epoch = snapshot.epoch;
-            stats.store_schema_epoch = snapshot.schema_epoch;
-            stats.store_publishes = s.publishes.load(Ordering::Relaxed);
-            stats.store_batches = s.batches.load(Ordering::Relaxed);
-            stats.store_batched_ops = s.batched_ops.load(Ordering::Relaxed);
-            stats.store_max_batch = s.max_batch.load(Ordering::Relaxed);
+        match &self.backend {
+            Backend::Shared { store, snapshot } => {
+                let s = store.stats();
+                stats.store_attached = true;
+                stats.store_epoch = snapshot.epoch;
+                stats.store_schema_epoch = snapshot.schema_epoch;
+                stats.store_publishes = s.publishes.load(Ordering::Relaxed);
+                stats.store_batches = s.batches.load(Ordering::Relaxed);
+                stats.store_batched_ops = s.batched_ops.load(Ordering::Relaxed);
+                stats.store_max_batch = s.max_batch.load(Ordering::Relaxed);
+            }
+            Backend::Sharded { store, .. } => {
+                let agg = store.aggregate_section();
+                stats.store_attached = true;
+                stats.store_epoch = agg.epoch;
+                stats.store_schema_epoch = agg.schema_epoch;
+                stats.store_publishes = agg.publishes;
+                stats.store_batches = agg.batches;
+                stats.store_batched_ops = agg.batched_ops;
+                stats.store_max_batch = agg.max_batch;
+            }
+            Backend::Local(_) => {}
         }
     }
 
@@ -454,7 +547,8 @@ impl Session {
     /// for the publishing ack (shared).
     fn write(&mut self, op: WriteOp) -> Result<StatementOutcome, SessionError> {
         let policy = self.write_policy();
-        if let Some(m) = &self.metrics {
+        let metrics = self.metrics.clone();
+        if let Some(m) = &metrics {
             m.incr(CounterId::Writes);
         }
         let outcome = match &mut self.backend {
@@ -477,6 +571,32 @@ impl Session {
                 *snapshot = store.load();
                 self.plan_cache.sync_epoch(snapshot.schema_epoch);
                 Ok(StatementOutcome::Ok(applied.message))
+            }
+            Backend::Sharded {
+                store,
+                union,
+                shards: _,
+            } => {
+                let view_name = match &op {
+                    WriteOp::CreateView(cv) => Some(cv.name.clone()),
+                    _ => None,
+                };
+                let applied = store.apply_write(op)?;
+                union.invalidate();
+                self.plan_cache.sync_epoch(store.schema_epoch());
+                let message = match view_name {
+                    // A shard's CREATE VIEW ack reports that shard's
+                    // materialized row count; recompose the global one
+                    // from the union so the ack matches the unsharded
+                    // message byte for byte.
+                    Some(name) => {
+                        let state = union.ensure(store, metrics.as_ref())?;
+                        let n = state.db.get(&name).map_err(|e| err(e.to_string()))?.len();
+                        format!("view `{name}` materialized ({n} rows)")
+                    }
+                    None => applied.message,
+                };
+                Ok(StatementOutcome::Ok(message))
             }
         };
         self.sync_invalidation_metrics();
@@ -521,6 +641,7 @@ impl Session {
         let state = match &self.backend {
             Backend::Local(s) => s,
             Backend::Shared { snapshot, .. } => &snapshot.state,
+            Backend::Sharded { union, .. } => union.state(),
         };
         (
             state,
@@ -531,8 +652,11 @@ impl Session {
     }
 
     fn select(&mut self, q: &Query, attach_obs: bool) -> Result<StatementOutcome, SessionError> {
-        self.refresh();
-        let mut outcome = {
+        self.refresh()?;
+        self.last_shard_note = None;
+        let mut outcome = if matches!(self.backend, Backend::Sharded { .. }) {
+            self.sharded_select(q, attach_obs)?
+        } else {
             let (state, plan_cache, options, metrics) = self.parts_mut();
             select_on(state, plan_cache, options, metrics, attach_obs, q)?
         };
@@ -542,13 +666,137 @@ impl Session {
             // so refresh it on the attached snapshot too.
             if let Some(snap) = obs {
                 snap.store = Some(search.store_section());
+                if let Backend::Sharded { store, .. } = &self.backend {
+                    snap.shards = store.shard_sections();
+                }
             }
         }
         Ok(outcome)
     }
 
+    /// The sharded `SELECT` path. The query is always *also* served
+    /// through [`select_on`] against the union state — that produces the
+    /// metadata (chosen rewriting, candidate count, cache behavior) and
+    /// the fallback answer, both byte-identical to an unsharded session
+    /// by construction. When the gather planner finds a sound
+    /// decomposition, the served relation is replaced by the
+    /// scatter+merge result: a disjoint union when each group lives on
+    /// one shard, a §4 re-aggregation of partial aggregates otherwise.
+    fn sharded_select(
+        &mut self,
+        q: &Query,
+        attach_obs: bool,
+    ) -> Result<StatementOutcome, SessionError> {
+        let Backend::Sharded {
+            store,
+            shards,
+            union,
+        } = &mut self.backend
+        else {
+            unreachable!("sharded_select on a non-sharded backend");
+        };
+        let state = union.state();
+        let metrics = self.metrics.as_deref();
+        let n = store.shard_count();
+        if let Some(m) = metrics {
+            m.incr(CounterId::ShardFanouts);
+        }
+        let (merged, note) = match gather_plan(state, q) {
+            GatherPlan::Fallback(reason) => {
+                if let Some(m) = metrics {
+                    m.incr(CounterId::ShardGatherFallbacks);
+                }
+                (
+                    None,
+                    format!("-- shards: {n}; gather: fallback ({reason}); served from the union"),
+                )
+            }
+            GatherPlan::Concat => match scatter(shards, q) {
+                Ok(parts) => {
+                    let rows: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+                    if let Some(m) = metrics {
+                        m.add(CounterId::ShardScatterQueries, n as u64);
+                        m.incr(CounterId::ShardConcatMerges);
+                    }
+                    (
+                        Some(shard::merge_concat(q, parts)),
+                        format!(
+                            "-- shards: {n}; gather: concat (disjoint groups); per-shard rows: {rows:?}"
+                        ),
+                    )
+                }
+                Err(e) => gather_failed(metrics, n, &e),
+            },
+            GatherPlan::Reaggregate(plan) => match scatter(shards, &plan.scatter) {
+                Ok(parts) => {
+                    let rows: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+                    if let Some(m) = metrics {
+                        m.add(CounterId::ShardScatterQueries, n as u64);
+                    }
+                    match plan.merge(q, &parts) {
+                        Ok(rel) => {
+                            if let Some(m) = metrics {
+                                m.incr(CounterId::ShardReaggMerges);
+                            }
+                            (
+                                Some(rel),
+                                format!(
+                                    "-- shards: {n}; gather: re-aggregate ({} partial slot(s)); per-shard rows: {rows:?}",
+                                    plan.slot_count()
+                                ),
+                            )
+                        }
+                        Err(e) => gather_failed(metrics, n, &err(e.to_string())),
+                    }
+                }
+                Err(e) => gather_failed(metrics, n, &e),
+            },
+        };
+        let mut outcome = select_on(
+            state,
+            &mut self.plan_cache,
+            &self.options,
+            metrics,
+            attach_obs,
+            q,
+        )?;
+        if let Some(mut rel) = merged {
+            if let StatementOutcome::Answer {
+                relation,
+                verified,
+                set_semantics,
+                ..
+            } = &mut outcome
+            {
+                // The union answer's column names come from the chosen
+                // rewriting (e.g. `min_lo` when served from a view); the
+                // scatter ran the original query. Adopt the union's
+                // names so the printed header matches the unsharded
+                // session byte for byte.
+                if rel.arity() == relation.arity() {
+                    rel.columns = relation.columns.clone();
+                }
+                if self.options.verify {
+                    // The gathered relation is multiset-exact for the
+                    // original query; the union answer may come from a
+                    // set-semantics rewriting (§5), so compare
+                    // accordingly.
+                    let agree = if *set_semantics {
+                        set_eq(&rel, relation)
+                    } else {
+                        multiset_eq(&rel, relation)
+                    };
+                    *verified = Some(verified.unwrap_or(true) && agree);
+                }
+                *relation = rel;
+            }
+        }
+        self.last_shard_note = Some(note);
+        Ok(outcome)
+    }
+
     fn explain(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        self.refresh();
+        self.refresh()?;
         let state = self.state();
         let rewriter = Rewriter::with_options(&state.catalog, self.options.rewrite.clone());
         let reports = rewriter
@@ -641,13 +889,16 @@ impl Session {
                 m.get(CounterId::ExecRowFallback),
             ));
         }
+        if let Some(note) = &self.last_shard_note {
+            lines.push(note.clone());
+        }
         let snap = obs.expect("metrics enabled forces an attached snapshot");
         lines.extend(explain_tail_lines(&snap, None));
         Ok(StatementOutcome::Explanation(lines))
     }
 
     fn suggest(&mut self, q: &Query) -> Result<StatementOutcome, SessionError> {
-        self.refresh();
+        self.refresh()?;
         let state = self.state();
         let stats = state.table_stats();
         let suggestions =
@@ -671,6 +922,35 @@ impl Session {
             .collect();
         Ok(StatementOutcome::Explanation(lines))
     }
+}
+
+/// Execute `q` on every shard's handle session, in shard order,
+/// returning the per-shard relations (the gather barrier).
+fn scatter(shards: &mut [Session], q: &Query) -> Result<Vec<Relation>, SessionError> {
+    shards
+        .iter_mut()
+        .map(|s| match s.execute(&Statement::Select(q.clone()))? {
+            StatementOutcome::Answer { relation, .. } => Ok(relation),
+            _ => Err(err("scatter: shard returned a non-answer outcome")),
+        })
+        .collect()
+}
+
+/// Count and describe a failed scatter/merge; the caller serves the
+/// union answer instead (identical to the unsharded result, so a shard
+/// execution error never changes what the client sees).
+fn gather_failed(
+    metrics: Option<&MetricsRegistry>,
+    n: usize,
+    e: &SessionError,
+) -> (Option<Relation>, String) {
+    if let Some(m) = metrics {
+        m.incr(CounterId::ShardGatherFallbacks);
+    }
+    (
+        None,
+        format!("-- shards: {n}; gather: failed ({e}); served from the union"),
+    )
 }
 
 /// The cache key of a query: its normalized canonical form (resolved
@@ -1313,5 +1593,146 @@ mod tests {
         assert!(*candidates >= 2);
         assert_eq!(views_used, &vec!["Coarse".to_string()]);
         assert_eq!(verified, &Some(true));
+    }
+
+    const SHARDED_SCRIPT: &str = "CREATE TABLE Sales (Region, Product, Amount);
+         INSERT INTO Sales VALUES (1, 10, 5), (1, 11, 7), (2, 10, 3), (2, 10, 3), (3, 12, 9);
+         CREATE VIEW Totals AS
+           SELECT Region, Product, SUM(Amount) AS T, COUNT(Amount) AS N
+           FROM Sales GROUP BY Region, Product;
+         SELECT Region, SUM(Amount) FROM Sales GROUP BY Region;
+         SELECT Product, SUM(Amount), AVG(Amount) FROM Sales GROUP BY Product;
+         SELECT COUNT(Amount) FROM Sales;";
+
+    /// Every sharded answer (concat, re-aggregate, and scalar gather)
+    /// equals the unsharded answer as a multiset, with identical DDL/DML
+    /// acks and rewrite metadata, at every shard count.
+    #[test]
+    fn sharded_session_matches_local_answers() {
+        let stmts = parse_script(SHARDED_SCRIPT).expect("parses");
+        let mut local = Session::new(SessionOptions {
+            verify: true,
+            ..SessionOptions::default()
+        });
+        let reference = local.run_script(&stmts).expect("local runs");
+        for shards in [1, 2, 3] {
+            let store = crate::sharded::ShardedStore::with_defaults(shards);
+            let mut session = store.session(SessionOptions {
+                verify: true,
+                ..SessionOptions::default()
+            });
+            let outcomes = session.run_script(&stmts).expect("sharded runs");
+            assert_eq!(outcomes.len(), reference.len());
+            for (i, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+                match (got, want) {
+                    (StatementOutcome::Ok(g), StatementOutcome::Ok(w)) => {
+                        assert_eq!(g, w, "ack #{i} diverged at {shards} shard(s)")
+                    }
+                    (
+                        StatementOutcome::Answer {
+                            relation: gr,
+                            views_used: gv,
+                            candidates: gc,
+                            verified: gok,
+                            ..
+                        },
+                        StatementOutcome::Answer {
+                            relation: wr,
+                            views_used: wv,
+                            candidates: wc,
+                            ..
+                        },
+                    ) => {
+                        assert!(
+                            multiset_eq(gr, wr),
+                            "answer #{i} diverged at {shards} shard(s):\n{gr}\nvs\n{wr}"
+                        );
+                        assert_eq!(gv, wv, "views #{i} at {shards} shard(s)");
+                        assert_eq!(gc, wc, "candidates #{i} at {shards} shard(s)");
+                        assert_eq!(gok, &Some(true), "verify #{i} at {shards} shard(s)");
+                    }
+                    _ => panic!("outcome kind #{i} diverged at {shards} shard(s)"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_selects_hit_the_driver_plan_cache() {
+        let store = crate::sharded::ShardedStore::with_defaults(2);
+        let mut session = store.session(SessionOptions::default());
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (2, 6), (3, 7);
+             SELECT a, SUM(b) FROM T GROUP BY a;
+             SELECT a, SUM(b) FROM T GROUP BY a;",
+        )
+        .expect("parses");
+        session.run_script(&stmts).expect("runs");
+        assert_eq!(session.plan_cache().hits(), 1);
+        let m = session.metrics().expect("obs on by default");
+        assert_eq!(m.get(CounterId::ShardFanouts), 2);
+        assert_eq!(m.get(CounterId::ShardConcatMerges), 2);
+        assert_eq!(m.get(CounterId::ShardScatterQueries), 4);
+    }
+
+    #[test]
+    fn sharded_explain_analyze_reports_the_gather() {
+        let store = crate::sharded::ShardedStore::with_defaults(2);
+        let mut session = store.session(SessionOptions::default());
+        let stmts = parse_script(
+            "CREATE TABLE T (a, b);
+             INSERT INTO T VALUES (1, 5), (2, 6);
+             EXPLAIN ANALYZE SELECT b, SUM(a) FROM T GROUP BY b;",
+        )
+        .expect("parses");
+        let outcomes = session.run_script(&stmts).expect("runs");
+        let StatementOutcome::Explanation(lines) = &outcomes[2] else {
+            panic!("expected explanation")
+        };
+        let shard_line = lines
+            .iter()
+            .find(|l| l.starts_with("-- shards:"))
+            .expect("shards line present");
+        assert!(shard_line.contains("gather: re-aggregate"), "{shard_line}");
+        // Joins fall back to the union and say so.
+        let stmts = parse_script(
+            "CREATE TABLE U (a, c);
+             EXPLAIN ANALYZE SELECT T.a FROM T, U WHERE T.a = U.a;",
+        )
+        .expect("parses");
+        let outcomes = session.run_script(&stmts).expect("runs");
+        let StatementOutcome::Explanation(lines) = &outcomes[1] else {
+            panic!("expected explanation")
+        };
+        let shard_line = lines
+            .iter()
+            .find(|l| l.starts_with("-- shards:"))
+            .expect("shards line present");
+        assert!(shard_line.contains("gather: fallback"), "{shard_line}");
+    }
+
+    #[test]
+    fn sharded_error_messages_match_unsharded() {
+        let store = crate::sharded::ShardedStore::with_defaults(2);
+        let mut session = store.session(SessionOptions::default());
+        let e = session
+            .execute(&aggview_sql::parse_statement("INSERT INTO Nope VALUES (1)").unwrap())
+            .expect_err("unknown table");
+        assert_eq!(e.0, "unknown table `Nope`");
+        session
+            .execute(&aggview_sql::parse_statement("CREATE TABLE T (a, b)").unwrap())
+            .expect("create");
+        let e = session
+            .execute(&aggview_sql::parse_statement("INSERT INTO T VALUES (1, 2, 3)").unwrap())
+            .expect_err("arity");
+        assert_eq!(e.0, "row arity 3 does not match table `T` arity 2");
+        session
+            .execute(&aggview_sql::parse_statement("CREATE VIEW V AS SELECT a FROM T").unwrap())
+            .expect("view");
+        let e = session
+            .execute(&aggview_sql::parse_statement("INSERT INTO V VALUES (1)").unwrap())
+            .expect_err("view insert");
+        assert_eq!(e.0, "`V` is a view; INSERT into base tables only");
     }
 }

@@ -69,6 +69,13 @@ pub struct Applied {
     /// Did the statement change the schema universe (`CREATE TABLE` /
     /// `CREATE VIEW`)? Schema changes bump the plan-cache epoch.
     pub schema_change: bool,
+    /// Rows affected: inserted rows, deleted rows, or the materialized
+    /// row count of a new view (0 for `CREATE TABLE`). The sharded
+    /// router sums these across shards to recompose the global ack.
+    pub rows_affected: usize,
+    /// How many dependent views took the incremental maintenance path
+    /// (0 for DDL).
+    pub views_incremental: usize,
 }
 
 impl EngineState {
@@ -105,6 +112,8 @@ impl EngineState {
                 ct.keys.len()
             ),
             schema_change: true,
+            rows_affected: 0,
+            views_incremental: 0,
         })
     }
 
@@ -136,6 +145,8 @@ impl EngineState {
         Ok(Applied {
             message: format!("view `{}` materialized ({n} rows)", cv.name),
             schema_change: true,
+            rows_affected: n,
+            views_incremental: 0,
         })
     }
 
@@ -176,6 +187,8 @@ impl EngineState {
                 ins.table
             ),
             schema_change: false,
+            rows_affected: ins.rows.len(),
+            views_incremental: incremental,
         })
     }
 
@@ -239,6 +252,8 @@ impl EngineState {
                 del.table
             ),
             schema_change: false,
+            rows_affected: matching.len(),
+            views_incremental: incremental,
         })
     }
 

@@ -5,7 +5,8 @@
 //! the persisted corpus so previously interesting cases stay green.
 
 use aggview_qcheck::{
-    check_case, check_case_sessions, corpus, run_range, run_range_sessions, CaseConfig,
+    check_case, check_case_sessions, check_case_shards, corpus, run_range, run_range_sessions,
+    run_range_shards, CaseConfig,
 };
 use std::path::Path;
 
@@ -44,6 +45,26 @@ fn short_seed_range_is_discrepancy_free_across_sessions() {
     }
 }
 
+/// The same seeds through the hash-partitioned scatter-gather replay:
+/// every statement stream driven through one driver session over 2 (then
+/// 3) shard stores must reach the same verdicts, with the per-shard base
+/// tables forming a disjoint cover of the global contents. Gathered
+/// answers are additionally `verify`-checked against the union evaluation
+/// inside the session.
+#[test]
+fn short_seed_range_is_discrepancy_free_across_shards() {
+    let cfg = CaseConfig::default();
+    for shards in [2usize, 3] {
+        match run_range_shards(0..12, &cfg, shards) {
+            Ok(checked) => assert_eq!(checked, 12),
+            Err(f) => panic!(
+                "seed {} failed with {shards} shards: {}\nshrunk to:\n{}",
+                f.seed, f.discrepancy, f.shrunk
+            ),
+        }
+    }
+}
+
 /// Replay the persisted corpus. Each file is a plain SQL script that once
 /// exposed (or characterizes) a tricky interaction; a discrepancy here is a
 /// regression.
@@ -70,6 +91,18 @@ fn corpus_replays_without_regressions_across_sessions() {
     for (name, case) in cases {
         if let Err(d) = check_case_sessions(&case, 2) {
             panic!("corpus case {name} regressed under 2 sessions: {d}\n{case}");
+        }
+    }
+}
+
+/// The corpus again, through the 2-shard scatter-gather replay.
+#[test]
+fn corpus_replays_without_regressions_across_shards() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cases = corpus::load_dir(&dir).expect("corpus files parse");
+    for (name, case) in cases {
+        if let Err(d) = check_case_shards(&case, 2) {
+            panic!("corpus case {name} regressed under 2 shards: {d}\n{case}");
         }
     }
 }
